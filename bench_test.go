@@ -1,0 +1,207 @@
+package specrpc
+
+// One benchmark per table and figure of the paper's evaluation (§5).
+// The Table benchmarks regenerate the paper's rows through the platform
+// cost models (deterministic); the Live benchmarks measure real wall
+// clock on this machine, generic vs specialized, including a loopback
+// UDP round trip.
+
+import (
+	"net"
+	"testing"
+
+	"specrpc/internal/bench"
+	"specrpc/internal/core"
+	"specrpc/internal/platform"
+)
+
+func BenchmarkTable1ClientMarshaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, m := range platform.Both() {
+			rows, err := bench.Table1(m)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				last := rows[len(rows)-1]
+				b.ReportMetric(last.Speedup, m.Name+"_speedup@2000")
+			}
+		}
+	}
+}
+
+func BenchmarkTable2RoundTrip(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, m := range platform.Both() {
+			rows, err := bench.Table2(m)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				last := rows[len(rows)-1]
+				b.ReportMetric(last.Speedup, m.Name+"_speedup@2000")
+			}
+		}
+	}
+}
+
+func BenchmarkTable3CodeSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Table3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(rows[len(rows)-1].SpecialBytes), "specialized_bytes@2000")
+			b.ReportMetric(float64(rows[0].GenericBytes), "generic_bytes")
+		}
+	}
+}
+
+func BenchmarkTable4BoundedUnrolling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Table4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			last := rows[len(rows)-1]
+			b.ReportMetric(last.SpeedupFull, "full_speedup@2000")
+			b.ReportMetric(last.SpeedupChunked, "chunked_speedup@2000")
+		}
+	}
+}
+
+func BenchmarkFigure6Panels(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		panels, err := bench.Figure6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(panels) != 6 {
+			b.Fatalf("panels = %d", len(panels))
+		}
+	}
+}
+
+// --- Live wall-clock benchmarks on this machine -----------------------------
+
+func liveEncoder(b *testing.B, mode core.Mode, n int) *core.ClientEncoder {
+	b.Helper()
+	enc, err := core.NewClientEncoder(mode, core.CallSpec{
+		Prog: 0x20000530, Vers: 1, Proc: 1, NArgs: n}, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return enc
+}
+
+func benchLiveMarshal(b *testing.B, mode core.Mode, n int) {
+	enc := liveEncoder(b, mode, n)
+	args := make([]int32, n)
+	for i := range args {
+		args[i] = int32(i)
+	}
+	buf := make([]byte, enc.Spec.RequestBytes())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := enc.Encode(buf, uint32(i), args); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(enc.Spec.RequestBytes()))
+}
+
+func BenchmarkLiveMarshalOriginal250(b *testing.B)     { benchLiveMarshal(b, core.Generic, 250) }
+func BenchmarkLiveMarshalSpecialized250(b *testing.B)  { benchLiveMarshal(b, core.Specialized, 250) }
+func BenchmarkLiveMarshalOriginal2000(b *testing.B)    { benchLiveMarshal(b, core.Generic, 2000) }
+func BenchmarkLiveMarshalSpecialized2000(b *testing.B) { benchLiveMarshal(b, core.Specialized, 2000) }
+func BenchmarkLiveMarshalChunked2000(b *testing.B) {
+	enc, err := core.NewClientEncoder(core.Chunked, core.CallSpec{
+		Prog: 0x20000530, Vers: 1, Proc: 1, NArgs: 2000}, 250)
+	if err != nil {
+		b.Fatal(err)
+	}
+	args := make([]int32, 2000)
+	buf := make([]byte, enc.Spec.RequestBytes())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := enc.Encode(buf, uint32(i), args); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchLiveRoundTrip(b *testing.B, mode core.Mode, n int) {
+	spec := core.CallSpec{Prog: 0x20000530, Vers: 1, Proc: 1, NArgs: n}
+	enc, err := core.NewClientEncoder(mode, spec, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := core.NewServerHandler(mode, spec, func(a, r []int32) int {
+		copy(r, a)
+		return len(a)
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	dec, err := core.NewReplyDecoder(mode, spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	// Real loopback UDP between two sockets.
+	srvConn, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		b.Skip("no loopback UDP:", err)
+	}
+	defer srvConn.Close()
+	cliConn, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		b.Skip("no loopback UDP:", err)
+	}
+	defer cliConn.Close()
+	go func() {
+		req := make([]byte, 65536)
+		rep := make([]byte, 65536)
+		for {
+			rn, from, err := srvConn.ReadFrom(req)
+			if err != nil {
+				return
+			}
+			out, err := srv.Handle(req[:rn], rep)
+			if err != nil {
+				continue
+			}
+			if _, err := srvConn.WriteTo(rep[:out], from); err != nil {
+				return
+			}
+		}
+	}()
+
+	args := make([]int32, n)
+	res := make([]int32, n)
+	req := make([]byte, spec.RequestBytes())
+	rep := make([]byte, 65536)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		xid := uint32(i + 1)
+		rn, err := enc.Encode(req, xid, args)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := cliConn.WriteTo(req[:rn], srvConn.LocalAddr()); err != nil {
+			b.Fatal(err)
+		}
+		gotN, _, err := cliConn.ReadFrom(rep)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := dec.Decode(rep[:gotN], xid, res); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLiveRoundTripOriginal250(b *testing.B)    { benchLiveRoundTrip(b, core.Generic, 250) }
+func BenchmarkLiveRoundTripSpecialized250(b *testing.B) { benchLiveRoundTrip(b, core.Specialized, 250) }

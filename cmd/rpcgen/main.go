@@ -1,0 +1,66 @@
+// Command rpcgen compiles an XDR interface definition (.x file) into Go
+// stubs and, for the fixed-shape subset, mini-C marshaling routines for
+// the specializer — the role of Sun's rpcgen in the paper's pipeline.
+//
+// Usage:
+//
+//	rpcgen [-pkg name] [-go out.go] [-minic out.mc] file.x
+//
+// With no output flags the Go stubs go to standard output.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"specrpc/internal/rpcgen"
+)
+
+func main() {
+	pkg := flag.String("pkg", "stubs", "generated Go package name")
+	goOut := flag.String("go", "", "write Go stubs to this file (default stdout)")
+	mcOut := flag.String("minic", "", "write mini-C marshalers to this file")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: rpcgen [-pkg name] [-go out.go] [-minic out.mc] file.x")
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *pkg, *goOut, *mcOut); err != nil {
+		fmt.Fprintln(os.Stderr, "rpcgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path, pkg, goOut, mcOut string) error {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	spec, err := rpcgen.Parse(string(src))
+	if err != nil {
+		return err
+	}
+	goSrc, err := rpcgen.GenerateGo(spec, rpcgen.GoOptions{Package: pkg})
+	if err != nil {
+		return err
+	}
+	if goOut == "" {
+		fmt.Print(goSrc)
+	} else if err := os.WriteFile(goOut, []byte(goSrc), 0o644); err != nil {
+		return err
+	}
+	if mcOut != "" {
+		mcSrc, skipped, err := rpcgen.GenerateMiniC(spec)
+		if err != nil {
+			return err
+		}
+		for _, s := range skipped {
+			fmt.Fprintln(os.Stderr, "rpcgen: not specializable:", s)
+		}
+		if err := os.WriteFile(mcOut, []byte(mcSrc), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,81 @@
+// Command sunbench regenerates the paper's evaluation: Tables 1-4 and
+// the six panels of Figure 6, over the calibrated IPX/SunOS and PC/Linux
+// platform models.
+//
+// Usage:
+//
+//	sunbench              # everything
+//	sunbench -table 1     # one table (1..4)
+//	sunbench -figure 6    # the Figure 6 panels
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"specrpc/internal/bench"
+	"specrpc/internal/platform"
+)
+
+func main() {
+	table := flag.Int("table", 0, "print only this table (1..4)")
+	figure := flag.Int("figure", 0, "print only this figure (6)")
+	flag.Parse()
+
+	all := *table == 0 && *figure == 0
+	if err := run(all, *table, *figure); err != nil {
+		fmt.Fprintln(os.Stderr, "sunbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(all bool, table, figure int) error {
+	if all || table == 1 {
+		for _, m := range platform.Both() {
+			rows, err := bench.Table1(m)
+			if err != nil {
+				return err
+			}
+			fmt.Print(bench.FormatRows("Table 1: Client marshaling performance (ms)", m, rows))
+			fmt.Println()
+		}
+	}
+	if all || table == 2 {
+		for _, m := range platform.Both() {
+			rows, err := bench.Table2(m)
+			if err != nil {
+				return err
+			}
+			fmt.Print(bench.FormatRows("Table 2: Round trip performance (ms)", m, rows))
+			fmt.Println()
+		}
+	}
+	if all || table == 3 {
+		rows, err := bench.Table3()
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatTable3(rows))
+		fmt.Println()
+	}
+	if all || table == 4 {
+		rows, err := bench.Table4()
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatTable4(rows))
+		fmt.Println()
+	}
+	if all || figure == 6 {
+		panels, err := bench.Figure6()
+		if err != nil {
+			return err
+		}
+		for _, p := range panels {
+			fmt.Print(bench.FormatFigure(p))
+			fmt.Println()
+		}
+	}
+	return nil
+}

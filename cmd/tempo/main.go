@@ -1,0 +1,253 @@
+// Command tempo specializes a mini-C program: the CLI face of the
+// internal/tempo partial evaluator.
+//
+// Usage:
+//
+//	tempo -entry f -params dyn,static:5 file.mc
+//	tempo -lib -entry xdr_pair -params xdr:encode:64,dyn -bta
+//
+// The -params list declares one binding time per entry parameter:
+//
+//	dyn              dynamic (kept as a residual parameter)
+//	static:<int>     known integer, folded away
+//	fn:<name>        known function value
+//	xdr:<op>:<n>     pointer to the Sun RPC XDR handle with the paper's
+//	                 division (op ∈ encode|decode|free, n = buffer bytes);
+//	                 with -lib only
+//
+// -lib loads the embedded Sun RPC marshaling library instead of a file;
+// -bta prints the two-level (binding-time annotated) view of every
+// function the division reaches; otherwise the residual program prints.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"specrpc/internal/minic"
+	rpclib "specrpc/internal/minic/lib"
+	"specrpc/internal/tempo"
+	"specrpc/internal/tempo/bta"
+)
+
+func main() {
+	entry := flag.String("entry", "", "function to specialize")
+	params := flag.String("params", "", "comma-separated binding times (see -help)")
+	useLib := flag.Bool("lib", false, "specialize the embedded Sun RPC library")
+	showBTA := flag.Bool("bta", false, "print the binding-time division instead of the residue")
+	unroll := flag.Int("unroll", 0, "loop unrolling limit (0 = unlimited)")
+	flag.Parse()
+
+	if err := run(*entry, *params, *useLib, *showBTA, *unroll, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "tempo:", err)
+		os.Exit(1)
+	}
+}
+
+func run(entry, params string, useLib, showBTA bool, unroll int, args []string) error {
+	if entry == "" {
+		return fmt.Errorf("-entry is required")
+	}
+	var prog *minic.Program
+	var err error
+	switch {
+	case useLib:
+		prog, err = rpclib.Program()
+		if err != nil {
+			return err
+		}
+	case len(args) == 1:
+		src, rerr := os.ReadFile(args[0])
+		if rerr != nil {
+			return rerr
+		}
+		if prog, err = minic.Parse(string(src)); err != nil {
+			return err
+		}
+		if err = minic.Check(prog); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("need exactly one input file (or -lib)")
+	}
+
+	def, ok := prog.Funcs[entry]
+	if !ok {
+		return fmt.Errorf("no function %s", entry)
+	}
+	specs, err := parseParams(params, useLib)
+	if err != nil {
+		return err
+	}
+	if len(specs) != len(def.Params) {
+		return fmt.Errorf("%s has %d parameters, %d binding times given",
+			entry, len(def.Params), len(specs))
+	}
+	ctx := &tempo.Context{Entry: entry, Params: specs, UnrollLimit: unroll}
+
+	if showBTA {
+		div, _, err := bta.Analyze(prog, ctx)
+		if err != nil {
+			return err
+		}
+		static, dynamic := div.Summary()
+		fmt.Printf("/* binding-time division: %d static, %d dynamic observations */\n", static, dynamic)
+		fmt.Printf("/* «dynamic» code is residualized; ⟦dead⟧ code is unreachable under this division */\n\n")
+		names := make([]string, 0, len(prog.Funcs))
+		for name := range prog.Funcs {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			if !reached(div, prog.Funcs[name]) {
+				continue
+			}
+			out, err := div.Render(prog, name)
+			if err != nil {
+				return err
+			}
+			fmt.Print(out)
+		}
+		return nil
+	}
+
+	res, err := tempo.Specialize(prog, ctx)
+	if err != nil {
+		return err
+	}
+	if res.StaticReturn != nil {
+		fmt.Printf("/* static return: %s always yields %d; callers may fold their tests (section 3.3) */\n\n",
+			res.Entry, *res.StaticReturn)
+	}
+	fmt.Print(minic.PrintProgram(res.Program))
+	return nil
+}
+
+// reached reports whether the division observed anything in f's body.
+func reached(div *bta.Division, f *minic.FuncDef) bool {
+	found := false
+	var walkE func(e minic.Expr)
+	walkE = func(e minic.Expr) {
+		if e == nil || found {
+			return
+		}
+		if div.Observed(e) {
+			found = true
+			return
+		}
+		switch n := e.(type) {
+		case *minic.Unary:
+			walkE(n.X)
+		case *minic.Binary:
+			walkE(n.X)
+			walkE(n.Y)
+		case *minic.Assign:
+			walkE(n.LHS)
+			walkE(n.RHS)
+		case *minic.Call:
+			walkE(n.Fun)
+			for _, a := range n.Args {
+				walkE(a)
+			}
+		case *minic.Field:
+			walkE(n.X)
+		case *minic.Index:
+			walkE(n.X)
+			walkE(n.I)
+		}
+	}
+	var walk func(s minic.Stmt)
+	walk = func(s minic.Stmt) {
+		if s == nil || found {
+			return
+		}
+		if div.Observed(s) {
+			found = true
+			return
+		}
+		switch n := s.(type) {
+		case *minic.ExprStmt:
+			walkE(n.E)
+		case *minic.VarDecl:
+			walkE(n.Init)
+		case *minic.If:
+			walkE(n.Cond)
+			walk(n.Then)
+			walk(n.Else)
+		case *minic.While:
+			walkE(n.Cond)
+			walk(n.Body)
+		case *minic.For:
+			walk(n.Init)
+			walkE(n.Cond)
+			walk(n.Post)
+			walk(n.Body)
+		case *minic.Return:
+			walkE(n.E)
+		case *minic.Block:
+			for _, st := range n.Stmts {
+				walk(st)
+			}
+		}
+	}
+	walk(f.Body)
+	return found
+}
+
+func parseParams(s string, libLoaded bool) ([]tempo.ParamSpec, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var specs []tempo.ParamSpec
+	for _, part := range strings.Split(s, ",") {
+		fields := strings.Split(strings.TrimSpace(part), ":")
+		switch fields[0] {
+		case "dyn", "dynamic":
+			specs = append(specs, tempo.Dynamic())
+		case "static":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("static needs a value: %q", part)
+			}
+			v, err := strconv.ParseInt(fields[1], 0, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad static value %q: %v", fields[1], err)
+			}
+			specs = append(specs, tempo.StaticInt(v))
+		case "fn":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("fn needs a name: %q", part)
+			}
+			specs = append(specs, tempo.StaticFunc(fields[1]))
+		case "xdr":
+			if !libLoaded {
+				return nil, fmt.Errorf("xdr:<op>:<n> requires -lib")
+			}
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("xdr needs op and size: %q", part)
+			}
+			var op int
+			switch fields[1] {
+			case "encode":
+				op = rpclib.OpEncode
+			case "decode":
+				op = rpclib.OpDecode
+			case "free":
+				op = rpclib.OpFree
+			default:
+				return nil, fmt.Errorf("unknown xdr op %q", fields[1])
+			}
+			n, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("bad buffer size %q", fields[2])
+			}
+			specs = append(specs, tempo.Object(rpclib.XDRSpec(op, n)))
+		default:
+			return nil, fmt.Errorf("unknown binding time %q", part)
+		}
+	}
+	return specs, nil
+}

@@ -1,0 +1,10 @@
+// Package specrpc is a from-scratch Go reproduction of "Fast, Optimized
+// Sun RPC Using Automatic Program Specialization" (Muller, Marlet,
+// Volanschi, Consel, Pu, Goel — INRIA RR-3220 / ICDCS 1998): a complete
+// Sun RPC/XDR stack, a Tempo-style partial evaluator for a C-like subject
+// language, the rpcgen stub compiler, and the benchmark harness that
+// regenerates every table and figure of the paper's evaluation.
+//
+// See README.md for the layout, DESIGN.md for the system inventory and
+// experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+package specrpc

@@ -1,0 +1,82 @@
+// intarray is the paper's §5 benchmark workload as a runnable program:
+// an int-array echo service exercised through the generic micro-layered
+// pipeline and the Tempo-specialized pipeline. It prints the VM cost
+// counters and real wall-clock times for both, plus the modeled times on
+// the paper's two platforms.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"specrpc/internal/core"
+	"specrpc/internal/platform"
+)
+
+const n = 250 // paper's mid-grid size
+
+func main() {
+	spec := core.CallSpec{Prog: 0x20000530, Vers: 1, Proc: 1, NArgs: n}
+	args := make([]int32, n)
+	for i := range args {
+		args[i] = int32(i * 3)
+	}
+
+	for _, mode := range []core.Mode{core.Generic, core.Specialized} {
+		enc, err := core.NewClientEncoder(mode, spec, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv, err := core.NewServerHandler(mode, spec, func(a, r []int32) int {
+			copy(r, a)
+			return len(a)
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		dec, err := core.NewReplyDecoder(mode, spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		req := make([]byte, spec.RequestBytes())
+		rep := make([]byte, spec.ReplyBytes())
+		res := make([]int32, n)
+
+		// One metered exchange.
+		enc.ResetCost()
+		srv.ResetCost()
+		dec.ResetCost()
+		if _, err := enc.Encode(req, 7, args); err != nil {
+			log.Fatal(err)
+		}
+		if _, err := srv.Handle(req, rep); err != nil {
+			log.Fatal(err)
+		}
+		if err := dec.Decode(rep, 7, res); err != nil {
+			log.Fatal(err)
+		}
+		if res[n-1] != args[n-1] {
+			log.Fatal("echo mismatch")
+		}
+		cost := enc.Cost()
+
+		// Wall-clock marshaling rate on this machine.
+		const iters = 200
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if _, err := enc.Encode(req, uint32(i), args); err != nil {
+				log.Fatal(err)
+			}
+		}
+		wall := time.Since(start) / iters
+
+		fmt.Printf("%-12s  marshal: ops=%-6d calls=%-5d mem=%-6dB  wall=%v\n",
+			mode, cost.Ops, cost.Calls, cost.MemBytes, wall)
+		for _, m := range platform.Both() {
+			ms := m.CPUTimeMS(cost, 4*n+spec.RequestBytes(), enc.CodeSize())
+			fmt.Printf("%-12s  modeled %-10s marshal: %.3f ms\n", "", m.Name, ms)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+// Quickstart: a minimal Sun RPC service over loopback UDP using the
+// library directly — register a procedure, dial it, exchange XDR data.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"net"
+
+	"specrpc/internal/client"
+	"specrpc/internal/server"
+	"specrpc/internal/xdr"
+)
+
+const (
+	progNum  = uint32(0x20000001)
+	versNum  = uint32(1)
+	procSort = uint32(1)
+)
+
+func main() {
+	// Server: one procedure that sorts an int array (insertion sort,
+	// fine for a demo).
+	srv := server.New()
+	srv.Register(progNum, versNum, procSort, func(dec *xdr.XDR) (server.Marshal, error) {
+		var xs []int32
+		if err := xdr.Array(dec, &xs, 4096, (*xdr.XDR).Long); err != nil {
+			return nil, errors.Join(server.ErrGarbageArgs, err)
+		}
+		for i := 1; i < len(xs); i++ {
+			for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+				xs[j], xs[j-1] = xs[j-1], xs[j]
+			}
+		}
+		return func(enc *xdr.XDR) error {
+			return xdr.Array(enc, &xs, 4096, (*xdr.XDR).Long)
+		}, nil
+	})
+
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() { _ = srv.ServeUDP(pc) }()
+	defer srv.Close()
+
+	// Client.
+	conn, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	c := client.NewUDP(conn, pc.LocalAddr(), client.Config{Prog: progNum, Vers: versNum})
+	defer c.Close()
+
+	in := []int32{5, -3, 9, 0, 2}
+	var out []int32
+	err = c.Call(procSort,
+		func(x *xdr.XDR) error { return xdr.Array(x, &in, 4096, (*xdr.XDR).Long) },
+		func(x *xdr.XDR) error { return xdr.Array(x, &out, 4096, (*xdr.XDR).Long) },
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sort(%v) = %v\n", in, out)
+}

@@ -1,0 +1,383 @@
+// Package bench regenerates the paper's evaluation: Tables 1-4 and the
+// six panels of Figure 6. Workloads, parameter grids, and row formats
+// follow §5 exactly; times come from deterministic VM cost counters run
+// through the internal/platform models, so every number is reproducible.
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"specrpc/internal/core"
+	"specrpc/internal/platform"
+	"specrpc/internal/vm"
+)
+
+// Sizes is the paper's array-size grid (4-byte integers).
+var Sizes = []int{20, 100, 250, 500, 1000, 2000}
+
+// ChunkSize is the bounded-unrolling chunk of Table 4.
+const ChunkSize = 250
+
+// benchSpec fixes the benchmark service identity.
+func benchSpec(n int) core.CallSpec {
+	return core.CallSpec{Prog: 0x20000530, Vers: 1, Proc: 1, NArgs: n}
+}
+
+// trio bundles the three pipeline stages of one configuration.
+type trio struct {
+	enc *core.ClientEncoder
+	srv *core.ServerHandler
+	dec *core.ReplyDecoder
+}
+
+var (
+	cacheMu sync.Mutex
+	cache   = map[string]*trio{}
+)
+
+func buildTrio(mode core.Mode, n, chunk int) (*trio, error) {
+	key := fmt.Sprintf("%d/%d/%d", mode, n, chunk)
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if t, ok := cache[key]; ok {
+		return t, nil
+	}
+	spec := benchSpec(n)
+	enc, err := core.NewClientEncoder(mode, spec, chunk)
+	if err != nil {
+		return nil, fmt.Errorf("bench: encoder %v n=%d: %w", mode, n, err)
+	}
+	srvMode, decMode := mode, mode
+	if mode == core.Chunked {
+		// Table 4 varies only the client marshaling configuration.
+		srvMode, decMode = core.Specialized, core.Specialized
+	}
+	srv, err := core.NewServerHandler(srvMode, spec, func(args, res []int32) int {
+		copy(res, args)
+		return len(args)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("bench: server %v n=%d: %w", mode, n, err)
+	}
+	dec, err := core.NewReplyDecoder(decMode, spec)
+	if err != nil {
+		return nil, fmt.Errorf("bench: decoder %v n=%d: %w", mode, n, err)
+	}
+	t := &trio{enc: enc, srv: srv, dec: dec}
+	cache[key] = t
+	return t, nil
+}
+
+// stageCosts runs one complete exchange and captures per-stage meters.
+type stageCosts struct {
+	enc, srv, dec vm.Cost
+	reqBytes      int
+	repBytes      int
+}
+
+func measure(t *trio) (stageCosts, error) {
+	n := t.enc.Spec.NArgs
+	args := make([]int32, n)
+	for i := range args {
+		args[i] = int32(i * 13)
+	}
+	req := make([]byte, t.enc.Spec.RequestBytes())
+	rep := make([]byte, t.enc.Spec.ReplyBytes())
+	res := make([]int32, n)
+
+	t.enc.ResetCost()
+	reqLen, err := t.enc.Encode(req, 99, args)
+	if err != nil {
+		return stageCosts{}, fmt.Errorf("bench: encode: %w", err)
+	}
+	t.srv.ResetCost()
+	repLen, err := t.srv.Handle(req[:reqLen], rep)
+	if err != nil {
+		return stageCosts{}, fmt.Errorf("bench: serve: %w", err)
+	}
+	t.dec.ResetCost()
+	if err := t.dec.Decode(rep[:repLen], 99, res); err != nil {
+		return stageCosts{}, fmt.Errorf("bench: decode: %w", err)
+	}
+	for i := range args {
+		if res[i] != args[i] {
+			return stageCosts{}, fmt.Errorf("bench: echo mismatch at %d", i)
+		}
+	}
+	return stageCosts{
+		enc: t.enc.Cost(), srv: t.srv.Cost(), dec: t.dec.Cost(),
+		reqBytes: reqLen, repBytes: repLen,
+	}, nil
+}
+
+// marshalMS prices the client marshaling stage on a platform.
+func marshalMS(m platform.Model, t *trio, c stageCosts) float64 {
+	ws := 4*t.enc.Spec.NArgs + c.reqBytes
+	return m.CPUTimeMS(c.enc, ws, t.enc.CodeSize())
+}
+
+// roundTripMS prices a whole call: both marshalings, both wire
+// traversals, the server work, and the receive-buffer clears the paper
+// singles out (§5: "the RPC includes a call to bzero to initialize the
+// input buffer on both the client and server sides").
+func roundTripMS(m platform.Model, t *trio, c stageCosts) float64 {
+	n := t.enc.Spec.NArgs
+	clientWS := 4*n + c.reqBytes + c.repBytes
+	serverWS := 4*n*2 + c.reqBytes + c.repBytes
+	total := m.CPUTimeMS(c.enc, clientWS, t.enc.CodeSize()) +
+		m.CPUTimeMS(c.dec, clientWS, t.dec.CodeSize()) +
+		m.CPUTimeMS(c.srv, serverWS, t.srv.CodeSize()) +
+		m.WireMS(c.reqBytes) + m.WireMS(c.repBytes) +
+		m.BzeroMS(c.reqBytes) + m.BzeroMS(c.repBytes)
+	return total
+}
+
+// Row is one line of Tables 1, 2, or 4: a size with original and
+// specialized times and their ratio.
+type Row struct {
+	N             int
+	OriginalMS    float64
+	SpecializedMS float64
+	Speedup       float64
+}
+
+// Table1 computes client marshaling performance (paper Table 1).
+func Table1(m platform.Model) ([]Row, error) {
+	var rows []Row
+	for _, n := range Sizes {
+		gen, err := buildTrio(core.Generic, n, 0)
+		if err != nil {
+			return nil, err
+		}
+		spc, err := buildTrio(core.Specialized, n, 0)
+		if err != nil {
+			return nil, err
+		}
+		gc, err := measure(gen)
+		if err != nil {
+			return nil, err
+		}
+		sc, err := measure(spc)
+		if err != nil {
+			return nil, err
+		}
+		o := marshalMS(m, gen, gc)
+		s := marshalMS(m, spc, sc)
+		rows = append(rows, Row{N: n, OriginalMS: o, SpecializedMS: s, Speedup: o / s})
+	}
+	return rows, nil
+}
+
+// Table2 computes round-trip performance (paper Table 2).
+func Table2(m platform.Model) ([]Row, error) {
+	var rows []Row
+	for _, n := range Sizes {
+		gen, err := buildTrio(core.Generic, n, 0)
+		if err != nil {
+			return nil, err
+		}
+		spc, err := buildTrio(core.Specialized, n, 0)
+		if err != nil {
+			return nil, err
+		}
+		gc, err := measure(gen)
+		if err != nil {
+			return nil, err
+		}
+		sc, err := measure(spc)
+		if err != nil {
+			return nil, err
+		}
+		o := roundTripMS(m, gen, gc)
+		s := roundTripMS(m, spc, sc)
+		rows = append(rows, Row{N: n, OriginalMS: o, SpecializedMS: s, Speedup: o / s})
+	}
+	return rows, nil
+}
+
+// SizeRow is one line of Table 3: code sizes in bytes.
+type SizeRow struct {
+	N            int
+	GenericBytes int
+	SpecialBytes int
+}
+
+// Table3 computes client code sizes (paper Table 3).
+func Table3() ([]SizeRow, error) {
+	gen, err := buildTrio(core.Generic, Sizes[0], 0)
+	if err != nil {
+		return nil, err
+	}
+	genSize := gen.enc.CodeSize()
+	var rows []SizeRow
+	for _, n := range Sizes {
+		spc, err := buildTrio(core.Specialized, n, 0)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, SizeRow{N: n, GenericBytes: genSize, SpecialBytes: spc.enc.CodeSize()})
+	}
+	return rows, nil
+}
+
+// ChunkRow is one line of Table 4.
+type ChunkRow struct {
+	N              int
+	OriginalMS     float64
+	SpecializedMS  float64
+	SpeedupFull    float64
+	ChunkedMS      float64
+	SpeedupChunked float64
+}
+
+// Table4 computes the bounded-unrolling comparison on the PC model
+// (paper Table 4: sizes 500..2000, 250-element chunks).
+func Table4() ([]ChunkRow, error) {
+	m := platform.PC()
+	var rows []ChunkRow
+	for _, n := range []int{500, 1000, 2000} {
+		gen, err := buildTrio(core.Generic, n, 0)
+		if err != nil {
+			return nil, err
+		}
+		spc, err := buildTrio(core.Specialized, n, 0)
+		if err != nil {
+			return nil, err
+		}
+		chk, err := buildTrio(core.Chunked, n, ChunkSize)
+		if err != nil {
+			return nil, err
+		}
+		gc, err := measure(gen)
+		if err != nil {
+			return nil, err
+		}
+		sc, err := measure(spc)
+		if err != nil {
+			return nil, err
+		}
+		cc, err := measure(chk)
+		if err != nil {
+			return nil, err
+		}
+		o := marshalMS(m, gen, gc)
+		s := marshalMS(m, spc, sc)
+		c := marshalMS(m, chk, cc)
+		rows = append(rows, ChunkRow{
+			N: n, OriginalMS: o,
+			SpecializedMS: s, SpeedupFull: o / s,
+			ChunkedMS: c, SpeedupChunked: o / c,
+		})
+	}
+	return rows, nil
+}
+
+// Series is one labeled curve of Figure 6.
+type Series struct {
+	Label  string
+	Points []float64 // indexed like Sizes
+}
+
+// Figure is one panel of Figure 6.
+type Figure struct {
+	Title  string
+	Unit   string
+	Series []Series
+}
+
+// Figure6 assembles the six panels from the table data.
+func Figure6() ([]Figure, error) {
+	panels := make([]Figure, 6)
+	panels[0] = Figure{Title: "(1) Client Marshaling Time - Original Code", Unit: "ms"}
+	panels[1] = Figure{Title: "(2) Client Marshaling Time - Specialized Code", Unit: "ms"}
+	panels[2] = Figure{Title: "(3) RPC Round Trip Time - Original Code", Unit: "ms"}
+	panels[3] = Figure{Title: "(4) RPC Round Trip Time - Specialized Code", Unit: "ms"}
+	panels[4] = Figure{Title: "(5) Speedup Ratio for Client Marshaling", Unit: "x"}
+	panels[5] = Figure{Title: "(6) Speedup Ratio for RPC Round Trip Time", Unit: "x"}
+
+	for _, m := range platform.Both() {
+		t1, err := Table1(m)
+		if err != nil {
+			return nil, err
+		}
+		t2, err := Table2(m)
+		if err != nil {
+			return nil, err
+		}
+		wire := m.Name + " - " + m.Network
+		panels[0].Series = append(panels[0].Series, Series{Label: m.Name, Points: column(t1, func(r Row) float64 { return r.OriginalMS })})
+		panels[1].Series = append(panels[1].Series, Series{Label: m.Name, Points: column(t1, func(r Row) float64 { return r.SpecializedMS })})
+		panels[2].Series = append(panels[2].Series, Series{Label: wire, Points: column(t2, func(r Row) float64 { return r.OriginalMS })})
+		panels[3].Series = append(panels[3].Series, Series{Label: wire, Points: column(t2, func(r Row) float64 { return r.SpecializedMS })})
+		panels[4].Series = append(panels[4].Series, Series{Label: m.Name, Points: column(t1, func(r Row) float64 { return r.Speedup })})
+		panels[5].Series = append(panels[5].Series, Series{Label: wire, Points: column(t2, func(r Row) float64 { return r.Speedup })})
+	}
+	return panels, nil
+}
+
+func column(rows []Row, f func(Row) float64) []float64 {
+	out := make([]float64, len(rows))
+	for i, r := range rows {
+		out[i] = f(r)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Formatting
+
+// FormatRows renders a Table 1/2 style block for one platform.
+func FormatRows(title string, m platform.Model, rows []Row) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s — %s\n", title, m.Name)
+	fmt.Fprintf(&sb, "%10s %12s %12s %9s\n", "Array Size", "Original", "Specialized", "Speedup")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%10d %12.3f %12.3f %9.2f\n", r.N, r.OriginalMS, r.SpecializedMS, r.Speedup)
+	}
+	return sb.String()
+}
+
+// FormatTable3 renders the code-size table.
+func FormatTable3(rows []SizeRow) string {
+	var sb strings.Builder
+	sb.WriteString("Table 3: Size of the client marshaling code (bytes)\n")
+	fmt.Fprintf(&sb, "%10s %12s %12s\n", "Array Size", "Generic", "Specialized")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%10d %12d %12d\n", r.N, r.GenericBytes, r.SpecialBytes)
+	}
+	return sb.String()
+}
+
+// FormatTable4 renders the bounded-unrolling table.
+func FormatTable4(rows []ChunkRow) string {
+	var sb strings.Builder
+	sb.WriteString("Table 4: Specialization with 250-unrolled loops (PC/Linux, times in ms)\n")
+	fmt.Fprintf(&sb, "%10s %10s %12s %8s %14s %8s\n",
+		"Array Size", "Original", "Specialized", "Speedup", "250-unrolled", "Speedup")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%10d %10.3f %12.3f %8.2f %14.3f %8.2f\n",
+			r.N, r.OriginalMS, r.SpecializedMS, r.SpeedupFull, r.ChunkedMS, r.SpeedupChunked)
+	}
+	return sb.String()
+}
+
+// FormatFigure renders one panel as aligned series over the size grid.
+func FormatFigure(f Figure) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s [%s]\n", f.Title, f.Unit)
+	fmt.Fprintf(&sb, "%-28s", "series \\ N")
+	for _, n := range Sizes {
+		fmt.Fprintf(&sb, "%9d", n)
+	}
+	sb.WriteString("\n")
+	for _, s := range f.Series {
+		fmt.Fprintf(&sb, "%-28s", s.Label)
+		for _, p := range s.Points {
+			fmt.Fprintf(&sb, "%9.2f", p)
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}

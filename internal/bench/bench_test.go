@@ -1,0 +1,179 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"specrpc/internal/platform"
+)
+
+// TestTable1Shape checks the headline shape criteria of the paper's
+// Table 1 on both platform models (see DESIGN.md §4).
+func TestTable1Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds specialized stubs up to N=2000")
+	}
+	for _, m := range platform.Both() {
+		rows, err := Table1(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != len(Sizes) {
+			t.Fatalf("%s: %d rows", m.Name, len(rows))
+		}
+		for _, r := range rows {
+			if r.Speedup <= 1 {
+				t.Errorf("%s N=%d: specialization lost (%.2f)", m.Name, r.N, r.Speedup)
+			}
+			if r.OriginalMS <= 0 || r.SpecializedMS <= 0 {
+				t.Errorf("%s N=%d: non-positive time", m.Name, r.N)
+			}
+		}
+		// Times increase with N.
+		for i := 1; i < len(rows); i++ {
+			if rows[i].OriginalMS <= rows[i-1].OriginalMS {
+				t.Errorf("%s: original time not increasing at N=%d", m.Name, rows[i].N)
+			}
+		}
+	}
+}
+
+func TestTable1IPXPeaksThenFalls(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds specialized stubs up to N=2000")
+	}
+	rows, err := Table1(platform.IPX())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byN := map[int]Row{}
+	for _, r := range rows {
+		byN[r.N] = r
+	}
+	// The paper's memory-bound signature: the speedup peaks in the
+	// middle of the grid and decreases toward N=2000.
+	if !(byN[250].Speedup > byN[20].Speedup) {
+		t.Errorf("IPX speedup should rise to the 250 peak: %.2f vs %.2f",
+			byN[250].Speedup, byN[20].Speedup)
+	}
+	if !(byN[2000].Speedup < byN[250].Speedup) {
+		t.Errorf("IPX speedup should fall past the peak: %.2f vs %.2f",
+			byN[2000].Speedup, byN[250].Speedup)
+	}
+}
+
+func TestTable1PCRises(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds specialized stubs up to N=2000")
+	}
+	rows, err := Table1(platform.PC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Speedup <= rows[i-1].Speedup {
+			t.Errorf("PC speedup should rise monotonically; fell at N=%d (%.2f -> %.2f)",
+				rows[i].N, rows[i-1].Speedup, rows[i].Speedup)
+		}
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds specialized stubs up to N=2000")
+	}
+	for _, m := range platform.Both() {
+		t1, err := Table1(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t2, err := Table2(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range t2 {
+			// Round-trip speedup is diluted by the wire: always lower
+			// than the marshaling speedup, always above 1.
+			if t2[i].Speedup >= t1[i].Speedup {
+				t.Errorf("%s N=%d: RT speedup %.2f not below marshal %.2f",
+					m.Name, t2[i].N, t2[i].Speedup, t1[i].Speedup)
+			}
+			if t2[i].Speedup <= 1 {
+				t.Errorf("%s N=%d: RT speedup %.2f", m.Name, t2[i].N, t2[i].Speedup)
+			}
+		}
+		// Speedup grows with N (fixed wire latency amortizes).
+		for i := 1; i < len(t2); i++ {
+			if t2[i].Speedup < t2[i-1].Speedup {
+				t.Errorf("%s: RT speedup fell at N=%d", m.Name, t2[i].N)
+			}
+		}
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds specialized stubs up to N=2000")
+	}
+	rows, err := Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].SpecialBytes <= rows[i-1].SpecialBytes {
+			t.Errorf("specialized size not growing at N=%d", rows[i].N)
+		}
+		if rows[i].GenericBytes != rows[0].GenericBytes {
+			t.Errorf("generic size should be constant")
+		}
+	}
+	// Unrolled code overtakes the generic code within the grid.
+	if rows[len(rows)-1].SpecialBytes <= rows[0].GenericBytes {
+		t.Errorf("specialized code at N=2000 (%d) should exceed generic (%d)",
+			rows[len(rows)-1].SpecialBytes, rows[0].GenericBytes)
+	}
+}
+
+func TestTable4Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds specialized stubs up to N=2000")
+	}
+	rows, err := Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevGap := 0.0
+	for _, r := range rows {
+		if r.SpeedupChunked <= r.SpeedupFull {
+			t.Errorf("N=%d: bounded unrolling (%.2f) should beat full (%.2f)",
+				r.N, r.SpeedupChunked, r.SpeedupFull)
+		}
+		gap := r.SpeedupChunked - r.SpeedupFull
+		if gap < prevGap {
+			t.Errorf("N=%d: bounded-unrolling advantage should grow with N", r.N)
+		}
+		prevGap = gap
+	}
+}
+
+func TestFormatting(t *testing.T) {
+	rows := []Row{{N: 20, OriginalMS: 1, SpecializedMS: 0.5, Speedup: 2}}
+	out := FormatRows("Table X", platform.PC(), rows)
+	if !strings.Contains(out, "PC/Linux") || !strings.Contains(out, "2.00") {
+		t.Fatalf("format: %s", out)
+	}
+	out = FormatTable3([]SizeRow{{N: 20, GenericBytes: 10, SpecialBytes: 20}})
+	if !strings.Contains(out, "20") {
+		t.Fatalf("format3: %s", out)
+	}
+	out = FormatTable4([]ChunkRow{{N: 500, OriginalMS: 1, SpecializedMS: 0.4,
+		SpeedupFull: 2.5, ChunkedMS: 0.35, SpeedupChunked: 2.9}})
+	if !strings.Contains(out, "2.90") {
+		t.Fatalf("format4: %s", out)
+	}
+	out = FormatFigure(Figure{Title: "panel", Unit: "ms",
+		Series: []Series{{Label: "x", Points: []float64{1, 2, 3, 4, 5, 6}}}})
+	if !strings.Contains(out, "panel") || !strings.Contains(out, "series") {
+		t.Fatalf("figure: %s", out)
+	}
+}

@@ -1,0 +1,69 @@
+package client
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"specrpc/internal/rpcmsg"
+)
+
+func TestConfigDefaults(t *testing.T) {
+	var c Config
+	c.fill()
+	if c.Timeout != 5*time.Second {
+		t.Fatalf("Timeout = %v", c.Timeout)
+	}
+	if c.Retransmit != 500*time.Millisecond {
+		t.Fatalf("Retransmit = %v", c.Retransmit)
+	}
+	if c.BufSize != 8900 {
+		t.Fatalf("BufSize = %d", c.BufSize)
+	}
+	if c.FirstXID == 0 {
+		t.Fatal("FirstXID not seeded")
+	}
+	if c.Cred.Flavor != rpcmsg.AuthNone {
+		t.Fatalf("Cred flavor = %d", c.Cred.Flavor)
+	}
+}
+
+func TestConfigExplicitValuesKept(t *testing.T) {
+	c := Config{Timeout: time.Second, Retransmit: time.Millisecond,
+		BufSize: 128, FirstXID: 7}
+	c.fill()
+	if c.Timeout != time.Second || c.Retransmit != time.Millisecond ||
+		c.BufSize != 128 || c.FirstXID != 7 {
+		t.Fatalf("explicit config overridden: %+v", c)
+	}
+}
+
+func TestRPCErrorStrings(t *testing.T) {
+	tests := []struct {
+		err  RPCError
+		want string
+	}{
+		{RPCError{Stat: rpcmsg.MsgAccepted, AcceptStat: rpcmsg.ProcUnavail},
+			"PROC_UNAVAIL"},
+		{RPCError{Stat: rpcmsg.MsgAccepted, AcceptStat: rpcmsg.ProgMismatch,
+			Mismatch: rpcmsg.MismatchInfo{Low: 1, High: 3}},
+			"server supports 1..3"},
+		{RPCError{Stat: rpcmsg.MsgDenied, RejectStat: rpcmsg.AuthError,
+			AuthStat: rpcmsg.AuthBadCred},
+			"AUTH_ERROR"},
+		{RPCError{Stat: rpcmsg.MsgDenied, RejectStat: rpcmsg.RPCMismatch,
+			Mismatch: rpcmsg.MismatchInfo{Low: 2, High: 2}},
+			"RPC_MISMATCH"},
+	}
+	for _, tt := range tests {
+		if got := tt.err.Error(); !strings.Contains(got, tt.want) {
+			t.Errorf("Error() = %q, want substring %q", got, tt.want)
+		}
+	}
+}
+
+func TestVoidMarshaler(t *testing.T) {
+	if err := Void(nil); err != nil {
+		t.Fatalf("Void = %v", err)
+	}
+}

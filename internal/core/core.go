@@ -1,0 +1,226 @@
+// Package core is the paper's experiment pipeline: it turns the generic
+// Sun RPC marshaling library (internal/minic/lib) into runnable encoders,
+// decoders, and server dispatchers — both the original interpretive form
+// and the Tempo-specialized form — executing on the same virtual machine
+// so their costs are directly comparable.
+//
+// The pipeline reproduces the three configurations of the paper's §5:
+//
+//   - Generic: the unmodified micro-layered code (the "original Sun RPC").
+//   - Specialized: the residual code produced by internal/tempo with the
+//     paper's binding-time division (full loop unrolling).
+//   - Chunked: bounded unrolling at a fixed chunk size with a driver loop
+//     outside the specialized body, the paper's Table 4 manual transform.
+package core
+
+import (
+	"fmt"
+
+	"specrpc/internal/minic"
+	rpclib "specrpc/internal/minic/lib"
+	"specrpc/internal/tempo"
+	"specrpc/internal/vm"
+)
+
+// CallSpec fixes the static shape of one remote call: the program triple
+// and the int-array argument/result length — exactly the invariants the
+// paper declares known before execution.
+type CallSpec struct {
+	Prog, Vers, Proc uint32
+	// NArgs is the argument array length (the paper's 20..2000 grid).
+	NArgs int
+	// NRes is the result array length; defaults to NArgs (echo service).
+	NRes int
+	// BufSize is the marshaling buffer size; defaults to the exact wire
+	// size of the larger direction.
+	BufSize int
+}
+
+func (s *CallSpec) fill() {
+	if s.NRes == 0 {
+		s.NRes = s.NArgs
+	}
+	if s.BufSize == 0 {
+		n := s.NArgs
+		if s.NRes > n {
+			n = s.NRes
+		}
+		s.BufSize = rpclib.HeaderBytes + 4 + 4*n
+	}
+}
+
+// RequestBytes is the encoded size of the call message.
+func (s CallSpec) RequestBytes() int { return rpclib.HeaderBytes + 4 + 4*s.NArgs }
+
+// ReplyBytes is the encoded size of the reply message.
+func (s CallSpec) ReplyBytes() int {
+	nres := s.NRes
+	if nres == 0 {
+		nres = s.NArgs
+	}
+	return rpclib.ReplyHeaderBytes + 4 + 4*nres
+}
+
+// Runner wraps one compiled mini-C program with its entry metadata so
+// callers can invoke it by parameter name, independent of how many
+// parameters specialization removed.
+type Runner struct {
+	M            *vm.Machine
+	Prog         *minic.Program
+	Entry        string
+	Params       []string
+	StaticReturn *int64
+}
+
+// Call invokes the entry with the named argument values.
+func (r *Runner) Call(vals map[string]vm.Value) (vm.Value, error) {
+	args := make([]vm.Value, len(r.Params))
+	for i, name := range r.Params {
+		v, ok := vals[name]
+		if !ok {
+			return vm.Value{}, fmt.Errorf("core: missing argument %q for %s", name, r.Entry)
+		}
+		args[i] = v
+	}
+	return r.M.Call(r.Entry, args...)
+}
+
+// CodeSize reports the size in source bytes of the program's functions,
+// the Table 3 metric (the paper measured binary bytes; source bytes of
+// the same code preserve the growth shape).
+func (r *Runner) CodeSize() int {
+	total := 0
+	for name, f := range r.Prog.Funcs {
+		var pr minic.Printer
+		sub := &minic.Program{Funcs: map[string]*minic.FuncDef{name: f}, Order: []string{"func " + name}}
+		total += len(pr.Program(sub))
+	}
+	return total
+}
+
+// genericRunner compiles the whole library unmodified.
+func genericRunner(entry string) (*Runner, error) {
+	prog, err := rpclib.Program()
+	if err != nil {
+		return nil, err
+	}
+	def, ok := prog.Funcs[entry]
+	if !ok {
+		return nil, fmt.Errorf("core: no library function %s", entry)
+	}
+	m, err := vm.New(prog)
+	if err != nil {
+		return nil, err
+	}
+	params := make([]string, len(def.Params))
+	for i, p := range def.Params {
+		params[i] = p.Name
+	}
+	return &Runner{M: m, Prog: prog, Entry: entry, Params: params}, nil
+}
+
+// specializedRunner specializes entry under ctx and compiles the residue.
+func specializedRunner(ctx *tempo.Context) (*Runner, error) {
+	prog, err := rpclib.Program()
+	if err != nil {
+		return nil, err
+	}
+	res, err := tempo.Specialize(prog, ctx)
+	if err != nil {
+		return nil, fmt.Errorf("core: specialize %s: %w", ctx.Entry, err)
+	}
+	m, err := vm.New(res.Program)
+	if err != nil {
+		return nil, fmt.Errorf("core: compile residual %s: %w", res.Entry, err)
+	}
+	return &Runner{M: m, Prog: res.Program, Entry: res.Entry,
+		Params: res.Params, StaticReturn: res.StaticReturn}, nil
+}
+
+// xdrState holds the reusable runtime XDR handle of one machine.
+type xdrState struct {
+	m      *vm.Machine
+	xdrs   *vm.Region
+	ops    *vm.Region
+	layout *vm.Layout
+}
+
+func newXDRState(m *vm.Machine) (*xdrState, error) {
+	xdrs, err := m.NewStruct("xdrbuf", "xdrs")
+	if err != nil {
+		return nil, err
+	}
+	ops, err := m.NewStruct("xdrops", "xdrops")
+	if err != nil {
+		return nil, err
+	}
+	opsLayout, err := m.Layout("xdrops")
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range []struct{ field, fn string }{
+		{"x_putlong", "xdrmem_putlong"},
+		{"x_getlong", "xdrmem_getlong"},
+		{"x_putbytes", "xdrmem_putbytes"},
+		{"x_getbytes", "xdrmem_getbytes"},
+	} {
+		if off := opsLayout.FieldOffset(f.field); off >= 0 && m.HasFunc(f.fn) {
+			ops.Words[off] = vm.FuncVal(f.fn)
+		} else if off >= 0 {
+			// Residual programs may have dropped the generic streams;
+			// the funcptr slots are then never called.
+			ops.Words[off] = vm.FuncVal(f.fn)
+		}
+	}
+	layout, err := m.Layout("xdrbuf")
+	if err != nil {
+		return nil, err
+	}
+	return &xdrState{m: m, xdrs: xdrs, ops: ops, layout: layout}, nil
+}
+
+// arm points the handle at buf with the given mode, exactly what
+// xdrmem_create did per call.
+func (x *xdrState) arm(buf []byte, op int) *vm.Region {
+	region := vm.BytesRegion("msgbuf", buf)
+	x.xdrs.Words[x.layout.FieldOffset("x_op")] = vm.IntVal(int64(op))
+	x.xdrs.Words[x.layout.FieldOffset("x_ops")] = vm.PtrVal(x.ops, 0)
+	x.xdrs.Words[x.layout.FieldOffset("x_private")] = vm.PtrVal(region, 0)
+	x.xdrs.Words[x.layout.FieldOffset("x_base")] = vm.PtrVal(region, 0)
+	x.xdrs.Words[x.layout.FieldOffset("x_handy")] = vm.IntVal(int64(len(buf)))
+	return region
+}
+
+// pos reports how many bytes have been produced into the armed buffer.
+func (x *xdrState) pos(buf []byte) int {
+	private := x.xdrs.Words[x.layout.FieldOffset("x_private")]
+	if private.Kind != vm.KindPtr {
+		return 0
+	}
+	return private.P.Off
+}
+
+// words copies an int32 slice into a reusable word region.
+type wordArray struct {
+	region *vm.Region
+}
+
+func newWordArray(name string, n int) *wordArray {
+	return &wordArray{region: vm.NewWords(name, n)}
+}
+
+func (w *wordArray) load(vals []int32) *vm.Region {
+	if len(vals) > len(w.region.Words) {
+		w.region = vm.NewWords(w.region.Name, len(vals))
+	}
+	for i, v := range vals {
+		w.region.Words[i] = vm.IntVal(int64(v))
+	}
+	return w.region
+}
+
+func (w *wordArray) store(dst []int32) {
+	for i := range dst {
+		dst[i] = int32(w.region.Words[i].I)
+	}
+}

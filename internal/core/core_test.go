@@ -1,0 +1,252 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+var testSpec = CallSpec{Prog: 0x20000042, Vers: 2, Proc: 7, NArgs: 20}
+
+func echoService(args []int32, res []int32) int {
+	copy(res, args)
+	return len(args)
+}
+
+func mustEncoder(t *testing.T, mode Mode, spec CallSpec, chunk int) *ClientEncoder {
+	t.Helper()
+	e, err := NewClientEncoder(mode, spec, chunk)
+	if err != nil {
+		t.Fatalf("encoder %v: %v", mode, err)
+	}
+	return e
+}
+
+func seqArgs(n int) []int32 {
+	args := make([]int32, n)
+	for i := range args {
+		args[i] = int32(i*7 - 3)
+	}
+	return args
+}
+
+func TestEncodeGenericWireFormat(t *testing.T) {
+	spec := testSpec
+	spec.NArgs = 2
+	e := mustEncoder(t, Generic, spec, 0)
+	buf := make([]byte, 512)
+	n, err := e.Encode(buf, 0xdeadbeef, []int32{5, -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != spec.RequestBytes() {
+		t.Fatalf("encoded %d bytes, want %d", n, spec.RequestBytes())
+	}
+	// Spot-check the header: xid, CALL=0, RPCVERS=2, prog, vers, proc.
+	want := []byte{
+		0xde, 0xad, 0xbe, 0xef, // xid
+		0, 0, 0, 0, // CALL
+		0, 0, 0, 2, // RPC version
+		0x20, 0x00, 0x00, 0x42, // prog
+		0, 0, 0, 2, // vers
+		0, 0, 0, 7, // proc
+		0, 0, 0, 0, 0, 0, 0, 0, // null cred
+		0, 0, 0, 0, 0, 0, 0, 0, // null verf
+		0, 0, 0, 2, // array count
+		0, 0, 0, 5, // arg 0
+		0xff, 0xff, 0xff, 0xff, // arg 1 = -1
+	}
+	if !bytes.Equal(buf[:n], want) {
+		t.Fatalf("wire:\n got %x\nwant %x", buf[:n], want)
+	}
+}
+
+func TestEncodeSpecializedMatchesGeneric(t *testing.T) {
+	gen := mustEncoder(t, Generic, testSpec, 0)
+	spc := mustEncoder(t, Specialized, testSpec, 0)
+	f := func(xid uint32, raw [20]int32) bool {
+		args := raw[:]
+		b1 := make([]byte, 512)
+		b2 := make([]byte, 512)
+		n1, err1 := gen.Encode(b1, xid, args)
+		n2, err2 := spc.Encode(b2, xid, args)
+		return err1 == nil && err2 == nil && n1 == n2 && bytes.Equal(b1[:n1], b2[:n2])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeChunkedMatchesGeneric(t *testing.T) {
+	spec := testSpec
+	spec.NArgs = 23 // exercises the remainder chunk (23 = 2*10 + 3)
+	gen := mustEncoder(t, Generic, spec, 0)
+	chk := mustEncoder(t, Chunked, spec, 10)
+	args := seqArgs(spec.NArgs)
+	b1 := make([]byte, 1024)
+	b2 := make([]byte, 1024)
+	n1, err := gen.Encode(b1, 42, args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, err := chk.Encode(b2, 42, args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n1 != n2 || !bytes.Equal(b1[:n1], b2[:n2]) {
+		t.Fatalf("chunked wire differs:\n got %x\nwant %x", b2[:n2], b1[:n1])
+	}
+}
+
+func TestFullCallPipeline(t *testing.T) {
+	for _, encMode := range []Mode{Generic, Specialized} {
+		for _, srvMode := range []Mode{Generic, Specialized} {
+			enc := mustEncoder(t, encMode, testSpec, 0)
+			srv, err := NewServerHandler(srvMode, testSpec, echoService)
+			if err != nil {
+				t.Fatalf("server %v: %v", srvMode, err)
+			}
+			dec, err := NewReplyDecoder(encMode, testSpec)
+			if err != nil {
+				t.Fatalf("decoder %v: %v", encMode, err)
+			}
+
+			args := seqArgs(testSpec.NArgs)
+			req := make([]byte, testSpec.RequestBytes())
+			reply := make([]byte, 4096)
+			xid := uint32(777)
+			if _, err := enc.Encode(req, xid, args); err != nil {
+				t.Fatalf("%v/%v encode: %v", encMode, srvMode, err)
+			}
+			rn, err := srv.Handle(req, reply)
+			if err != nil {
+				t.Fatalf("%v/%v handle: %v", encMode, srvMode, err)
+			}
+			res := make([]int32, testSpec.NArgs)
+			if err := dec.Decode(reply[:rn], xid, res); err != nil {
+				t.Fatalf("%v/%v decode: %v", encMode, srvMode, err)
+			}
+			for i := range args {
+				if res[i] != args[i] {
+					t.Fatalf("%v/%v echo mismatch at %d: %d != %d",
+						encMode, srvMode, i, res[i], args[i])
+				}
+			}
+		}
+	}
+}
+
+func TestDecoderRejectsWrongXID(t *testing.T) {
+	enc := mustEncoder(t, Generic, testSpec, 0)
+	srv, err := NewServerHandler(Generic, testSpec, echoService)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := NewReplyDecoder(Specialized, testSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := make([]byte, testSpec.RequestBytes())
+	reply := make([]byte, 4096)
+	if _, err := enc.Encode(req, 1000, seqArgs(testSpec.NArgs)); err != nil {
+		t.Fatal(err)
+	}
+	rn, err := srv.Handle(req, reply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := make([]int32, testSpec.NArgs)
+	if err := dec.Decode(reply[:rn], 999, res); err == nil {
+		t.Fatal("stale xid accepted")
+	}
+}
+
+func TestServerRejectsWrongProgram(t *testing.T) {
+	enc := mustEncoder(t, Generic, CallSpec{Prog: 111, Vers: 1, Proc: 1, NArgs: 4}, 0)
+	srv, err := NewServerHandler(Specialized, CallSpec{Prog: 222, Vers: 1, Proc: 1, NArgs: 4}, echoService)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := make([]byte, 256)
+	reply := make([]byte, 256)
+	n, err := enc.Encode(req, 5, seqArgs(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Handle(req[:n], reply); err == nil {
+		t.Fatal("wrong program accepted")
+	}
+}
+
+func TestSpecializedCostIsLower(t *testing.T) {
+	// The headline claim: specialization removes interpretation, so the
+	// specialized marshaler executes far fewer operations.
+	spec := testSpec
+	spec.NArgs = 250
+	gen := mustEncoder(t, Generic, spec, 0)
+	spc := mustEncoder(t, Specialized, spec, 0)
+	args := seqArgs(spec.NArgs)
+	buf := make([]byte, spec.RequestBytes())
+
+	gen.ResetCost()
+	if _, err := gen.Encode(buf, 1, args); err != nil {
+		t.Fatal(err)
+	}
+	gcost := gen.Cost()
+
+	spc.ResetCost()
+	if _, err := spc.Encode(buf, 1, args); err != nil {
+		t.Fatal(err)
+	}
+	scost := spc.Cost()
+
+	if scost.Ops*2 >= gcost.Ops {
+		t.Fatalf("specialized ops %d not < half generic ops %d", scost.Ops, gcost.Ops)
+	}
+	if scost.Calls >= gcost.Calls {
+		t.Fatalf("specialized calls %d not < generic calls %d", scost.Calls, gcost.Calls)
+	}
+	// The data movement itself is identical work (paper §5: "the number
+	// of memory moves remains constant").
+	if scost.MemBytes > gcost.MemBytes {
+		t.Fatalf("specialized moved more bytes: %d > %d", scost.MemBytes, gcost.MemBytes)
+	}
+}
+
+func TestCodeSizeGrowsWithUnrolling(t *testing.T) {
+	// Table 3: residual code is larger than generic and grows with N.
+	genSize := mustEncoder(t, Generic, testSpec, 0).CodeSize()
+	sizes := make(map[int]int)
+	for _, n := range []int{20, 100, 250} {
+		spec := testSpec
+		spec.NArgs = n
+		sizes[n] = mustEncoder(t, Specialized, spec, 0).CodeSize()
+	}
+	if sizes[20] <= 0 || sizes[100] <= sizes[20] || sizes[250] <= sizes[100] {
+		t.Fatalf("sizes do not grow: %v", sizes)
+	}
+	if sizes[250] <= genSize {
+		t.Fatalf("residual at N=250 (%d) not larger than generic (%d)", sizes[250], genSize)
+	}
+}
+
+func TestEncoderArgumentValidation(t *testing.T) {
+	e := mustEncoder(t, Specialized, testSpec, 0)
+	buf := make([]byte, 4096)
+	if _, err := e.Encode(buf, 1, make([]int32, 3)); err == nil {
+		t.Fatal("wrong arg count accepted")
+	}
+}
+
+func TestChunkedNeedsChunkSize(t *testing.T) {
+	if _, err := NewClientEncoder(Chunked, testSpec, 0); err == nil {
+		t.Fatal("chunked mode without chunk size accepted")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Generic.String() != "Original" || Specialized.String() != "Specialized" ||
+		Chunked.String() != "Chunked" {
+		t.Fatal("mode names changed; tables depend on them")
+	}
+}

@@ -1,0 +1,337 @@
+package core
+
+import (
+	"fmt"
+
+	rpclib "specrpc/internal/minic/lib"
+	"specrpc/internal/tempo"
+	"specrpc/internal/vm"
+)
+
+// Mode selects which pipeline configuration an encoder/decoder runs.
+type Mode int
+
+// Pipeline configurations.
+const (
+	// Generic runs the unmodified micro-layered library.
+	Generic Mode = iota + 1
+	// Specialized runs the Tempo residue with full loop unrolling.
+	Specialized
+	// Chunked runs the Table 4 configuration: bounded unrolling with a
+	// driver loop around a fixed-size specialized chunk.
+	Chunked
+)
+
+// String names the mode as the paper's tables do.
+func (m Mode) String() string {
+	switch m {
+	case Generic:
+		return "Original"
+	case Specialized:
+		return "Specialized"
+	case Chunked:
+		return "Chunked"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// ClientEncoder produces encoded call messages (header + int array), the
+// client marshaling process of Table 1.
+type ClientEncoder struct {
+	Spec CallSpec
+	Mode Mode
+
+	run   *Runner
+	st    *xdrState
+	args  *wordArray
+	chunk int
+	// chunkRun/restRun drive the Chunked mode.
+	prefixRun *Runner
+	chunkRun  *Runner
+	restRun   *Runner
+}
+
+// NewClientEncoder builds an encoder in the given mode. chunk is only
+// used by Chunked mode (the paper used 250).
+func NewClientEncoder(mode Mode, spec CallSpec, chunk int) (*ClientEncoder, error) {
+	spec.fill()
+	e := &ClientEncoder{Spec: spec, Mode: mode, chunk: chunk, args: newWordArray("args", spec.NArgs)}
+	switch mode {
+	case Generic:
+		run, err := genericRunner("marshal_call")
+		if err != nil {
+			return nil, err
+		}
+		e.run = run
+	case Specialized:
+		run, err := specializedRunner(&tempo.Context{
+			Entry: "marshal_call",
+			Params: []tempo.ParamSpec{
+				tempo.Object(rpclib.XDRSpec(rpclib.OpEncode, spec.BufSize)), // xdrs
+				tempo.Dynamic(),                    // xid
+				tempo.StaticInt(int64(spec.Prog)),  // prog
+				tempo.StaticInt(int64(spec.Vers)),  // vers
+				tempo.StaticInt(int64(spec.Proc)),  // proc
+				tempo.Dynamic(),                    // args
+				tempo.StaticInt(int64(spec.NArgs)), // nargs
+				tempo.StaticInt(int64(spec.NArgs)), // maxargs
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		e.run = run
+	case Chunked:
+		if chunk <= 0 {
+			return nil, fmt.Errorf("core: chunked mode needs a positive chunk size")
+		}
+		prefix, err := specializedRunner(&tempo.Context{
+			Entry: "marshal_call_prefix",
+			Params: []tempo.ParamSpec{
+				tempo.Object(rpclib.XDRSpec(rpclib.OpEncode, spec.BufSize)),
+				tempo.Dynamic(), // xid
+				tempo.StaticInt(int64(spec.Prog)),
+				tempo.StaticInt(int64(spec.Vers)),
+				tempo.StaticInt(int64(spec.Proc)),
+				tempo.StaticInt(int64(spec.NArgs)),
+			},
+			Suffix: "_pfx",
+		})
+		if err != nil {
+			return nil, err
+		}
+		e.prefixRun = prefix
+		// The chunk body is specialized once with a huge static x_handy
+		// so the per-element overflow checks fold away; the driver below
+		// performs the single whole-message bound check, as the paper's
+		// manual 250-unrolled variant did.
+		e.chunkRun, err = specializedRunner(&tempo.Context{
+			Entry: "marshal_chunk",
+			Params: []tempo.ParamSpec{
+				tempo.Object(rpclib.XDRSpec(rpclib.OpEncode, 1<<30)),
+				tempo.Dynamic(),               // base
+				tempo.StaticInt(int64(chunk)), // count
+			},
+			Suffix: "_chunk",
+		})
+		if err != nil {
+			return nil, err
+		}
+		if rest := spec.NArgs % chunk; rest != 0 {
+			e.restRun, err = specializedRunner(&tempo.Context{
+				Entry: "marshal_chunk",
+				Params: []tempo.ParamSpec{
+					tempo.Object(rpclib.XDRSpec(rpclib.OpEncode, 1<<30)),
+					tempo.Dynamic(),
+					tempo.StaticInt(int64(rest)),
+				},
+				Suffix: "_rest",
+			})
+			if err != nil {
+				return nil, err
+			}
+		}
+	default:
+		return nil, fmt.Errorf("core: unknown mode %v", mode)
+	}
+
+	var err error
+	switch mode {
+	case Chunked:
+		// The chunk runners share one machine state each; arm both.
+		if e.st, err = newXDRState(e.prefixRun.M); err != nil {
+			return nil, err
+		}
+	default:
+		if e.st, err = newXDRState(e.run.M); err != nil {
+			return nil, err
+		}
+	}
+	return e, nil
+}
+
+// Encode marshals one call into buf, returning the message length.
+func (e *ClientEncoder) Encode(buf []byte, xid uint32, args []int32) (int, error) {
+	if len(args) != e.Spec.NArgs {
+		return 0, fmt.Errorf("core: encoder specialized for %d args, got %d", e.Spec.NArgs, len(args))
+	}
+	if len(buf) < e.Spec.RequestBytes() {
+		return 0, fmt.Errorf("core: buffer %d short of message %d", len(buf), e.Spec.RequestBytes())
+	}
+	if e.Mode == Chunked {
+		return e.encodeChunked(buf, xid, args)
+	}
+	argRegion := e.args.load(args)
+	e.st.arm(buf, rpclib.OpEncode)
+	rv, err := e.run.Call(map[string]vm.Value{
+		"xdrs":    vm.PtrVal(e.st.xdrs, 0),
+		"xid":     vm.IntVal(int64(xid)),
+		"prog":    vm.IntVal(int64(e.Spec.Prog)),
+		"vers":    vm.IntVal(int64(e.Spec.Vers)),
+		"proc":    vm.IntVal(int64(e.Spec.Proc)),
+		"args":    vm.PtrVal(argRegion, 0),
+		"nargs":   vm.IntVal(int64(e.Spec.NArgs)),
+		"maxargs": vm.IntVal(int64(e.Spec.NArgs)),
+	})
+	if err != nil {
+		return 0, err
+	}
+	if e.run.StaticReturn != nil {
+		if *e.run.StaticReturn != 1 {
+			return 0, fmt.Errorf("core: encoder statically fails (buffer too small?)")
+		}
+	} else if rv.I != 1 {
+		return 0, fmt.Errorf("core: encode failed")
+	}
+	return e.Spec.RequestBytes(), nil
+}
+
+func (e *ClientEncoder) encodeChunked(buf []byte, xid uint32, args []int32) (int, error) {
+	need := e.Spec.RequestBytes()
+	if len(buf) < need {
+		return 0, fmt.Errorf("core: buffer %d short of message %d", len(buf), need)
+	}
+	argRegion := e.args.load(args)
+	e.st.arm(buf, rpclib.OpEncode)
+	if _, err := e.prefixRun.Call(map[string]vm.Value{
+		"xdrs": vm.PtrVal(e.st.xdrs, 0),
+		"xid":  vm.IntVal(int64(xid)),
+	}); err != nil {
+		return 0, err
+	}
+	// Driver loop: the paper's manual partial unrolling re-runs the same
+	// specialized chunk body, so its code stays resident in the i-cache.
+	i := 0
+	for ; i+e.chunk <= e.Spec.NArgs; i += e.chunk {
+		if _, err := e.chunkRun.Call(map[string]vm.Value{
+			"xdrs": vm.PtrVal(e.st.xdrs, 0),
+			"base": vm.PtrVal(argRegion, i),
+		}); err != nil {
+			return 0, err
+		}
+	}
+	if i < e.Spec.NArgs {
+		if _, err := e.restRun.Call(map[string]vm.Value{
+			"xdrs": vm.PtrVal(e.st.xdrs, 0),
+			"base": vm.PtrVal(argRegion, i),
+		}); err != nil {
+			return 0, err
+		}
+	}
+	return need, nil
+}
+
+// Cost reports the accumulated VM cost of all machines the encoder runs.
+func (e *ClientEncoder) Cost() vm.Cost {
+	if e.Mode == Chunked {
+		c := e.prefixRun.M.Cost
+		c.Add(e.chunkRun.M.Cost)
+		if e.restRun != nil {
+			c.Add(e.restRun.M.Cost)
+		}
+		return c
+	}
+	return e.run.M.Cost
+}
+
+// ResetCost zeroes the meters.
+func (e *ClientEncoder) ResetCost() {
+	if e.Mode == Chunked {
+		e.prefixRun.M.ResetCost()
+		e.chunkRun.M.ResetCost()
+		if e.restRun != nil {
+			e.restRun.M.ResetCost()
+		}
+		return
+	}
+	e.run.M.ResetCost()
+}
+
+// CodeSize reports the Table 3 metric for this configuration.
+func (e *ClientEncoder) CodeSize() int {
+	if e.Mode == Chunked {
+		total := e.prefixRun.CodeSize() + e.chunkRun.CodeSize()
+		if e.restRun != nil {
+			total += e.restRun.CodeSize()
+		}
+		return total
+	}
+	return e.run.CodeSize()
+}
+
+// ReplyDecoder decodes reply messages (strict fixed-shape service).
+type ReplyDecoder struct {
+	Spec CallSpec
+	Mode Mode
+
+	run *Runner
+	st  *xdrState
+	res *wordArray
+}
+
+// NewReplyDecoder builds a decoder in the given mode.
+func NewReplyDecoder(mode Mode, spec CallSpec) (*ReplyDecoder, error) {
+	spec.fill()
+	d := &ReplyDecoder{Spec: spec, Mode: mode, res: newWordArray("res", spec.NRes)}
+	var err error
+	switch mode {
+	case Generic:
+		d.run, err = genericRunner("unmarshal_reply_strict")
+	case Specialized:
+		d.run, err = specializedRunner(&tempo.Context{
+			Entry: "unmarshal_reply_strict",
+			Params: []tempo.ParamSpec{
+				tempo.Object(rpclib.XDRSpec(rpclib.OpDecode, spec.BufSize)),
+				tempo.Dynamic(), // xid
+				tempo.Dynamic(), // res
+				tempo.StaticInt(int64(spec.NRes)),
+			},
+		})
+	default:
+		return nil, fmt.Errorf("core: decoder supports Generic and Specialized, not %v", mode)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if d.st, err = newXDRState(d.run.M); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// Decode unpacks a reply into res, validating header and length.
+func (d *ReplyDecoder) Decode(buf []byte, xid uint32, res []int32) error {
+	if len(res) != d.Spec.NRes {
+		return fmt.Errorf("core: decoder specialized for %d results, got %d", d.Spec.NRes, len(res))
+	}
+	resRegion := d.res.load(res)
+	d.st.arm(buf, rpclib.OpDecode)
+	rv, err := d.run.Call(map[string]vm.Value{
+		"xdrs":          vm.PtrVal(d.st.xdrs, 0),
+		"xid":           vm.IntVal(int64(xid)),
+		"res":           vm.PtrVal(resRegion, 0),
+		"expected_nres": vm.IntVal(int64(d.Spec.NRes)),
+	})
+	if err != nil {
+		return err
+	}
+	ok := rv.I == 1
+	if d.run.StaticReturn != nil {
+		ok = *d.run.StaticReturn == 1
+	}
+	if !ok {
+		return fmt.Errorf("core: reply rejected")
+	}
+	d.res.store(res)
+	return nil
+}
+
+// Cost reports accumulated VM cost.
+func (d *ReplyDecoder) Cost() vm.Cost { return d.run.M.Cost }
+
+// ResetCost zeroes the meters.
+func (d *ReplyDecoder) ResetCost() { d.run.M.ResetCost() }
+
+// CodeSize reports the Table 3 metric.
+func (d *ReplyDecoder) CodeSize() int { return d.run.CodeSize() }

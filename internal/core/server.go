@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+
+	rpclib "specrpc/internal/minic/lib"
+	"specrpc/internal/tempo"
+	"specrpc/internal/vm"
+)
+
+// ServiceFunc is the Go-side implementation of the remote procedure: it
+// receives the decoded arguments and fills the result slice, returning
+// the number of results (negative for failure).
+type ServiceFunc func(args []int32, res []int32) int
+
+// ServerHandler runs the server half of one call — decode request, run
+// the service, encode reply — through the mini-C pipeline (generic or
+// specialized svcudp_dispatch).
+type ServerHandler struct {
+	Spec CallSpec
+	Mode Mode
+
+	run  *Runner
+	in   *xdrState
+	out  *xdrState
+	args *wordArray
+	res  *wordArray
+	svc  ServiceFunc
+}
+
+// NewServerHandler builds the handler; svc is invoked by the run_service
+// extern from inside the mini-C dispatch.
+func NewServerHandler(mode Mode, spec CallSpec, svc ServiceFunc) (*ServerHandler, error) {
+	spec.fill()
+	h := &ServerHandler{
+		Spec: spec, Mode: mode, svc: svc,
+		args: newWordArray("srvargs", spec.NArgs),
+		res:  newWordArray("srvres", spec.NRes),
+	}
+	var err error
+	switch mode {
+	case Generic:
+		h.run, err = genericRunner("svcudp_dispatch")
+	case Specialized:
+		h.run, err = specializedRunner(&tempo.Context{
+			Entry: "svcudp_dispatch",
+			Params: []tempo.ParamSpec{
+				tempo.Object(rpclib.XDRSpec(rpclib.OpDecode, spec.BufSize)), // xin
+				tempo.Object(rpclib.XDRSpec(rpclib.OpEncode, spec.BufSize)), // xout
+				tempo.StaticInt(int64(spec.Prog)),
+				tempo.StaticInt(int64(spec.Vers)),
+				tempo.StaticInt(int64(spec.NArgs)), // expected_nargs
+				tempo.StaticInt(int64(spec.NRes)),  // maxargs
+				tempo.Dynamic(),                    // args
+				tempo.Dynamic(),                    // res
+			},
+		})
+	default:
+		return nil, fmt.Errorf("core: server handler supports Generic and Specialized, not %v", mode)
+	}
+	if err != nil {
+		return nil, err
+	}
+	// Two handles on one machine: request in, reply out.
+	if h.in, err = newXDRState(h.run.M); err != nil {
+		return nil, err
+	}
+	if h.out, err = newXDRState(h.run.M); err != nil {
+		return nil, err
+	}
+	h.run.M.Extern("run_service", func(m *vm.Machine, callArgs []vm.Value) vm.Value {
+		nargs := int(callArgs[1].I)
+		argvals := make([]int32, nargs)
+		argRegion := callArgs[0].P.Region
+		for i := 0; i < nargs; i++ {
+			argvals[i] = int32(argRegion.Words[callArgs[0].P.Off+i].I)
+		}
+		resvals := make([]int32, int(callArgs[3].I))
+		n := h.svc(argvals, resvals)
+		if n < 0 {
+			return vm.IntVal(-1)
+		}
+		resRegion := callArgs[2].P.Region
+		for i := 0; i < n; i++ {
+			resRegion.Words[callArgs[2].P.Off+i] = vm.IntVal(int64(resvals[i]))
+		}
+		return vm.IntVal(int64(n))
+	})
+	return h, nil
+}
+
+// Handle processes one encoded request and produces the encoded reply,
+// returning its length.
+func (h *ServerHandler) Handle(req []byte, reply []byte) (int, error) {
+	h.in.arm(req, rpclib.OpDecode)
+	h.out.arm(reply, rpclib.OpEncode)
+	rv, err := h.run.Call(map[string]vm.Value{
+		"xin":            vm.PtrVal(h.in.xdrs, 0),
+		"xout":           vm.PtrVal(h.out.xdrs, 0),
+		"prog":           vm.IntVal(int64(h.Spec.Prog)),
+		"vers":           vm.IntVal(int64(h.Spec.Vers)),
+		"expected_nargs": vm.IntVal(int64(h.Spec.NArgs)),
+		"maxargs":        vm.IntVal(int64(h.Spec.NRes)),
+		"args":           vm.PtrVal(h.args.load(make([]int32, h.Spec.NArgs)), 0),
+		"res":            vm.PtrVal(h.res.load(make([]int32, h.Spec.NRes)), 0),
+	})
+	if err != nil {
+		return 0, err
+	}
+	ok := rv.I == 1
+	if h.run.StaticReturn != nil {
+		ok = *h.run.StaticReturn == 1
+	}
+	if !ok {
+		return 0, fmt.Errorf("core: server rejected request")
+	}
+	return h.Spec.ReplyBytes(), nil
+}
+
+// Cost reports accumulated VM cost.
+func (h *ServerHandler) Cost() vm.Cost { return h.run.M.Cost }
+
+// ResetCost zeroes the meters.
+func (h *ServerHandler) ResetCost() { h.run.M.ResetCost() }
+
+// CodeSize reports the Table 3 metric for the server side.
+func (h *ServerHandler) CodeSize() int { return h.run.CodeSize() }

@@ -1,0 +1,545 @@
+package minic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ---------------------------------------------------------------------------
+// Types
+
+// Type is a mini-C type.
+type Type interface {
+	typeNode()
+	// String renders the type in C-like syntax.
+	String() string
+	// Equal reports structural type equality.
+	Equal(Type) bool
+}
+
+// PrimKind enumerates primitive types.
+type PrimKind int
+
+// Primitive kinds. Int covers C's int/long/unsigned (all 32-bit words);
+// Char is a byte; FuncPtr is an opaque function value.
+const (
+	Int PrimKind = iota + 1
+	Char
+	Void
+	FuncPtr
+)
+
+// Prim is a primitive type.
+type Prim struct{ Kind PrimKind }
+
+func (*Prim) typeNode() {}
+
+// String renders the primitive name.
+func (p *Prim) String() string {
+	switch p.Kind {
+	case Int:
+		return "int"
+	case Char:
+		return "char"
+	case Void:
+		return "void"
+	case FuncPtr:
+		return "funcptr"
+	default:
+		return "?"
+	}
+}
+
+// Equal reports type equality.
+func (p *Prim) Equal(o Type) bool {
+	q, ok := o.(*Prim)
+	return ok && q.Kind == p.Kind
+}
+
+// Canonical primitive instances.
+var (
+	TypeInt     = &Prim{Kind: Int}
+	TypeChar    = &Prim{Kind: Char}
+	TypeVoid    = &Prim{Kind: Void}
+	TypeFuncPtr = &Prim{Kind: FuncPtr}
+)
+
+// Ptr is a pointer type.
+type Ptr struct{ Elem Type }
+
+func (*Ptr) typeNode() {}
+
+// String renders "elem*".
+func (p *Ptr) String() string { return p.Elem.String() + "*" }
+
+// Equal reports type equality.
+func (p *Ptr) Equal(o Type) bool {
+	q, ok := o.(*Ptr)
+	return ok && p.Elem.Equal(q.Elem)
+}
+
+// Struct is a named structure type; Fields are filled in by Check.
+type Struct struct {
+	Name   string
+	Fields []FieldDef
+}
+
+func (*Struct) typeNode() {}
+
+// String renders "struct name".
+func (s *Struct) String() string { return "struct " + s.Name }
+
+// Equal compares by name (structs are nominal).
+func (s *Struct) Equal(o Type) bool {
+	q, ok := o.(*Struct)
+	return ok && q.Name == s.Name
+}
+
+// FieldIndex returns the slot of the named field, or -1.
+func (s *Struct) FieldIndex(name string) int {
+	for i, f := range s.Fields {
+		if f.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// FieldDef is one struct member.
+type FieldDef struct {
+	Name string
+	Type Type
+}
+
+// Array is a fixed-length array type (used for locals and struct fields).
+type Array struct {
+	Elem Type
+	Len  int
+}
+
+func (*Array) typeNode() {}
+
+// String renders "elem[len]".
+func (a *Array) String() string { return fmt.Sprintf("%s[%d]", a.Elem.String(), a.Len) }
+
+// Equal reports type equality.
+func (a *Array) Equal(o Type) bool {
+	q, ok := o.(*Array)
+	return ok && a.Len == q.Len && a.Elem.Equal(q.Elem)
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+// Expr is a mini-C expression. After Check, every expression carries its
+// resolved type (via SetType/TypeOf).
+type Expr interface {
+	exprNode()
+	Position() Pos
+}
+
+type exprBase struct {
+	Pos Pos
+	typ Type
+}
+
+func (e *exprBase) exprNode() {}
+
+// Position returns the source position.
+func (e *exprBase) Position() Pos { return e.Pos }
+
+// TypeOf returns the checked type of e (nil before Check).
+func TypeOf(e Expr) Type {
+	switch n := e.(type) {
+	case *IntLit:
+		return n.typ
+	case *StrLit:
+		return n.typ
+	case *VarRef:
+		return n.typ
+	case *Unary:
+		return n.typ
+	case *Binary:
+		return n.typ
+	case *Assign:
+		return n.typ
+	case *Call:
+		return n.typ
+	case *Field:
+		return n.typ
+	case *Index:
+		return n.typ
+	case *SizeOf:
+		return n.typ
+	case *FuncRef:
+		return n.typ
+	default:
+		return nil
+	}
+}
+
+func setType(e Expr, t Type) {
+	switch n := e.(type) {
+	case *IntLit:
+		n.typ = t
+	case *StrLit:
+		n.typ = t
+	case *VarRef:
+		n.typ = t
+	case *Unary:
+		n.typ = t
+	case *Binary:
+		n.typ = t
+	case *Assign:
+		n.typ = t
+	case *Call:
+		n.typ = t
+	case *Field:
+		n.typ = t
+	case *Index:
+		n.typ = t
+	case *SizeOf:
+		n.typ = t
+	case *FuncRef:
+		n.typ = t
+	}
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	exprBase
+	Val int64
+}
+
+// StrLit is a string literal (only valid as an extern-call argument).
+type StrLit struct {
+	exprBase
+	Val string
+}
+
+// VarRef names a variable or parameter.
+type VarRef struct {
+	exprBase
+	Name string
+}
+
+// FuncRef names a function used as a value (assigned to a funcptr);
+// created by Check when a VarRef resolves to a function.
+type FuncRef struct {
+	exprBase
+	Name string
+}
+
+// Unary is a prefix operation: one of ! - * & ~.
+type Unary struct {
+	exprBase
+	Op string
+	X  Expr
+}
+
+// Binary is an infix operation: arithmetic, comparison, logical, bitwise.
+// && and || short-circuit.
+type Binary struct {
+	exprBase
+	Op   string
+	X, Y Expr
+}
+
+// Assign is an assignment expression: =, +=, -=, etc. Its value is the
+// assigned value, so it composes like C's.
+type Assign struct {
+	exprBase
+	Op  string // "=", "+=", "-=", ...
+	LHS Expr
+	RHS Expr
+}
+
+// Call invokes a function. Fun is a VarRef/FuncRef for direct calls or an
+// expression of funcptr type for indirect calls.
+type Call struct {
+	exprBase
+	Fun  Expr
+	Args []Expr
+}
+
+// Field accesses a struct member: x.name or p->name (Arrow).
+type Field struct {
+	exprBase
+	X     Expr
+	Name  string
+	Arrow bool
+	// Struct is resolved by Check.
+	Struct *Struct
+}
+
+// Index is array/pointer subscripting x[i].
+type Index struct {
+	exprBase
+	X Expr
+	I Expr
+}
+
+// SizeOf is sizeof(type); it folds to a constant during Check.
+type SizeOf struct {
+	exprBase
+	T Type
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+
+// Stmt is a mini-C statement.
+type Stmt interface {
+	stmtNode()
+	Position() Pos
+}
+
+type stmtBase struct{ Pos Pos }
+
+func (s *stmtBase) stmtNode() {}
+
+// Position returns the source position.
+func (s *stmtBase) Position() Pos { return s.Pos }
+
+// ExprStmt evaluates an expression for effect.
+type ExprStmt struct {
+	stmtBase
+	E Expr
+}
+
+// VarDecl declares a local variable with optional initializer.
+type VarDecl struct {
+	stmtBase
+	Name string
+	Type Type
+	Init Expr // may be nil
+}
+
+// If is a conditional with optional else.
+type If struct {
+	stmtBase
+	Cond Expr
+	Then Stmt
+	Else Stmt // may be nil
+}
+
+// While is a pre-tested loop.
+type While struct {
+	stmtBase
+	Cond Expr
+	Body Stmt
+}
+
+// For is a C for loop; any of Init/Cond/Post may be nil.
+type For struct {
+	stmtBase
+	Init Stmt // ExprStmt or VarDecl
+	Cond Expr
+	Post Stmt // ExprStmt
+	Body Stmt
+}
+
+// Return exits the enclosing function; E may be nil for void.
+type Return struct {
+	stmtBase
+	E Expr
+}
+
+// Break exits the innermost loop.
+type Break struct{ stmtBase }
+
+// Continue advances the innermost loop.
+type Continue struct{ stmtBase }
+
+// Block is a brace-delimited statement sequence with its own scope.
+type Block struct {
+	stmtBase
+	Stmts []Stmt
+}
+
+// ---------------------------------------------------------------------------
+// Declarations and programs
+
+// Param is one function parameter.
+type Param struct {
+	Name string
+	Type Type
+}
+
+// FuncDef is a function definition.
+type FuncDef struct {
+	Pos    Pos
+	Name   string
+	Ret    Type
+	Params []Param
+	Body   *Block
+}
+
+// ExternDecl declares an external function: either a builtin provided by
+// the VM (stlong, htonl, memcopy, ...) or an opaque dynamic operation
+// (send, recv) that the specializer must always residualize.
+type ExternDecl struct {
+	Pos    Pos
+	Name   string
+	Ret    Type
+	Params []Param
+}
+
+// Program is a parsed compilation unit.
+type Program struct {
+	Structs map[string]*Struct
+	Funcs   map[string]*FuncDef
+	Externs map[string]*ExternDecl
+	// Order preserves declaration order for deterministic printing.
+	Order []string
+}
+
+// NewProgram returns an empty program.
+func NewProgram() *Program {
+	return &Program{
+		Structs: make(map[string]*Struct),
+		Funcs:   make(map[string]*FuncDef),
+		Externs: make(map[string]*ExternDecl),
+	}
+}
+
+// Clone deep-copies the program so the specializer can transform it
+// without mutating the input.
+func (p *Program) Clone() *Program {
+	q := NewProgram()
+	q.Order = append([]string(nil), p.Order...)
+	for name, s := range p.Structs {
+		fields := append([]FieldDef(nil), s.Fields...)
+		q.Structs[name] = &Struct{Name: s.Name, Fields: fields}
+	}
+	for name, e := range p.Externs {
+		q.Externs[name] = &ExternDecl{Pos: e.Pos, Name: e.Name, Ret: e.Ret,
+			Params: append([]Param(nil), e.Params...)}
+	}
+	for name, f := range p.Funcs {
+		q.Funcs[name] = cloneFunc(f)
+	}
+	return q
+}
+
+func cloneFunc(f *FuncDef) *FuncDef {
+	return &FuncDef{
+		Pos: f.Pos, Name: f.Name, Ret: f.Ret,
+		Params: append([]Param(nil), f.Params...),
+		Body:   CloneStmt(f.Body).(*Block),
+	}
+}
+
+// CloneStmt deep-copies a statement tree.
+func CloneStmt(s Stmt) Stmt {
+	switch n := s.(type) {
+	case nil:
+		return nil
+	case *ExprStmt:
+		return &ExprStmt{stmtBase: n.stmtBase, E: CloneExpr(n.E)}
+	case *VarDecl:
+		return &VarDecl{stmtBase: n.stmtBase, Name: n.Name, Type: n.Type, Init: CloneExpr(n.Init)}
+	case *If:
+		return &If{stmtBase: n.stmtBase, Cond: CloneExpr(n.Cond),
+			Then: CloneStmt(n.Then), Else: CloneStmt(n.Else)}
+	case *While:
+		return &While{stmtBase: n.stmtBase, Cond: CloneExpr(n.Cond), Body: CloneStmt(n.Body)}
+	case *For:
+		return &For{stmtBase: n.stmtBase, Init: CloneStmt(n.Init), Cond: CloneExpr(n.Cond),
+			Post: CloneStmt(n.Post), Body: CloneStmt(n.Body)}
+	case *Return:
+		return &Return{stmtBase: n.stmtBase, E: CloneExpr(n.E)}
+	case *Break:
+		return &Break{stmtBase: n.stmtBase}
+	case *Continue:
+		return &Continue{stmtBase: n.stmtBase}
+	case *Block:
+		b := &Block{stmtBase: n.stmtBase, Stmts: make([]Stmt, len(n.Stmts))}
+		for i, st := range n.Stmts {
+			b.Stmts[i] = CloneStmt(st)
+		}
+		return b
+	default:
+		panic(fmt.Sprintf("minic: CloneStmt: unknown node %T", s))
+	}
+}
+
+// CloneExpr deep-copies an expression tree (nil-safe).
+func CloneExpr(e Expr) Expr {
+	switch n := e.(type) {
+	case nil:
+		return nil
+	case *IntLit:
+		c := *n
+		return &c
+	case *StrLit:
+		c := *n
+		return &c
+	case *VarRef:
+		c := *n
+		return &c
+	case *FuncRef:
+		c := *n
+		return &c
+	case *Unary:
+		return &Unary{exprBase: n.exprBase, Op: n.Op, X: CloneExpr(n.X)}
+	case *Binary:
+		return &Binary{exprBase: n.exprBase, Op: n.Op, X: CloneExpr(n.X), Y: CloneExpr(n.Y)}
+	case *Assign:
+		return &Assign{exprBase: n.exprBase, Op: n.Op, LHS: CloneExpr(n.LHS), RHS: CloneExpr(n.RHS)}
+	case *Call:
+		c := &Call{exprBase: n.exprBase, Fun: CloneExpr(n.Fun), Args: make([]Expr, len(n.Args))}
+		for i, a := range n.Args {
+			c.Args[i] = CloneExpr(a)
+		}
+		return c
+	case *Field:
+		return &Field{exprBase: n.exprBase, X: CloneExpr(n.X), Name: n.Name,
+			Arrow: n.Arrow, Struct: n.Struct}
+	case *Index:
+		return &Index{exprBase: n.exprBase, X: CloneExpr(n.X), I: CloneExpr(n.I)}
+	case *SizeOf:
+		c := *n
+		return &c
+	default:
+		panic(fmt.Sprintf("minic: CloneExpr: unknown node %T", e))
+	}
+}
+
+// SizeOfType returns the byte size of t: char=1, int=4, pointers and
+// funcptrs are one word (4 for layout purposes, matching the 32-bit
+// machines of the paper), structs are the sum of their fields, arrays
+// multiply.
+func SizeOfType(t Type) int {
+	switch n := t.(type) {
+	case *Prim:
+		switch n.Kind {
+		case Char:
+			return 1
+		case Void:
+			return 0
+		default:
+			return 4
+		}
+	case *Ptr:
+		return 4
+	case *Struct:
+		total := 0
+		for _, f := range n.Fields {
+			total += SizeOfType(f.Type)
+		}
+		return total
+	case *Array:
+		return n.Len * SizeOfType(n.Elem)
+	default:
+		return 4
+	}
+}
+
+// String renders a short program summary.
+func (p *Program) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "program{%d structs, %d funcs, %d externs}",
+		len(p.Structs), len(p.Funcs), len(p.Externs))
+	return sb.String()
+}

@@ -1,0 +1,501 @@
+package minic
+
+import (
+	"fmt"
+)
+
+// Check resolves names and types across the program: variable references
+// are bound, struct field accesses are resolved to their defining struct,
+// function names used as values become FuncRefs, sizeof folds to a
+// constant, and every expression is annotated with its type. It returns
+// the first error found.
+func Check(p *Program) error {
+	c := &checker{prog: p}
+	for name, s := range p.Structs {
+		if len(s.Fields) == 0 {
+			return fmt.Errorf("minic: struct %s referenced but never defined", name)
+		}
+	}
+	for _, f := range p.Funcs {
+		if err := c.checkFunc(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	prog   *Program
+	fn     *FuncDef
+	scopes []map[string]Type
+}
+
+func (c *checker) pushScope() { c.scopes = append(c.scopes, make(map[string]Type)) }
+func (c *checker) popScope()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+func (c *checker) declare(name string, t Type, pos Pos) error {
+	top := c.scopes[len(c.scopes)-1]
+	if _, dup := top[name]; dup {
+		return errAt(pos, "%s redeclared in this scope", name)
+	}
+	top[name] = t
+	return nil
+}
+
+func (c *checker) lookup(name string) (Type, bool) {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if t, ok := c.scopes[i][name]; ok {
+			return t, true
+		}
+	}
+	return nil, false
+}
+
+func (c *checker) checkFunc(f *FuncDef) error {
+	c.fn = f
+	c.scopes = nil
+	c.pushScope()
+	for _, p := range f.Params {
+		if err := c.declare(p.Name, p.Type, f.Pos); err != nil {
+			return err
+		}
+	}
+	err := c.checkStmt(f.Body)
+	c.popScope()
+	return err
+}
+
+func (c *checker) checkStmt(s Stmt) error {
+	switch n := s.(type) {
+	case nil:
+		return nil
+	case *ExprStmt:
+		e, err := c.checkExpr(n.E)
+		if err != nil {
+			return err
+		}
+		n.E = e
+		return nil
+	case *VarDecl:
+		if n.Init != nil {
+			e, err := c.checkExpr(n.Init)
+			if err != nil {
+				return err
+			}
+			n.Init = e
+			if !assignable(n.Type, e) {
+				return errAt(n.Pos, "cannot initialize %s (%s) with %s",
+					n.Name, n.Type, typeName(TypeOf(e)))
+			}
+		}
+		return c.declare(n.Name, n.Type, n.Pos)
+	case *If:
+		e, err := c.checkExpr(n.Cond)
+		if err != nil {
+			return err
+		}
+		n.Cond = e
+		if err := c.checkStmt(n.Then); err != nil {
+			return err
+		}
+		return c.checkStmt(n.Else)
+	case *While:
+		e, err := c.checkExpr(n.Cond)
+		if err != nil {
+			return err
+		}
+		n.Cond = e
+		return c.checkStmt(n.Body)
+	case *For:
+		c.pushScope()
+		defer c.popScope()
+		if err := c.checkStmt(n.Init); err != nil {
+			return err
+		}
+		if n.Cond != nil {
+			e, err := c.checkExpr(n.Cond)
+			if err != nil {
+				return err
+			}
+			n.Cond = e
+		}
+		if err := c.checkStmt(n.Post); err != nil {
+			return err
+		}
+		return c.checkStmt(n.Body)
+	case *Return:
+		if n.E == nil {
+			if !c.fn.Ret.Equal(TypeVoid) {
+				return errAt(n.Pos, "missing return value in %s", c.fn.Name)
+			}
+			return nil
+		}
+		e, err := c.checkExpr(n.E)
+		if err != nil {
+			return err
+		}
+		n.E = e
+		if c.fn.Ret.Equal(TypeVoid) {
+			return errAt(n.Pos, "returning a value from void function %s", c.fn.Name)
+		}
+		if !assignable(c.fn.Ret, e) {
+			return errAt(n.Pos, "cannot return %s from %s (returns %s)",
+				typeName(TypeOf(e)), c.fn.Name, c.fn.Ret)
+		}
+		return nil
+	case *Break, *Continue:
+		return nil
+	case *Block:
+		c.pushScope()
+		defer c.popScope()
+		for i, st := range n.Stmts {
+			if err := c.checkStmt(st); err != nil {
+				return err
+			}
+			n.Stmts[i] = st
+		}
+		return nil
+	default:
+		return fmt.Errorf("minic: unknown statement %T", s)
+	}
+}
+
+// checkExpr type-checks e, returning a possibly rewritten expression
+// (VarRef→FuncRef, SizeOf→IntLit).
+func (c *checker) checkExpr(e Expr) (Expr, error) {
+	switch n := e.(type) {
+	case nil:
+		return nil, nil
+	case *IntLit:
+		setType(n, TypeInt)
+		return n, nil
+	case *StrLit:
+		setType(n, &Ptr{Elem: TypeChar})
+		return n, nil
+	case *VarRef:
+		if t, ok := c.lookup(n.Name); ok {
+			setType(n, t)
+			return n, nil
+		}
+		if _, ok := c.prog.Funcs[n.Name]; ok {
+			fr := &FuncRef{exprBase: exprBase{Pos: n.Pos}, Name: n.Name}
+			setType(fr, TypeFuncPtr)
+			return fr, nil
+		}
+		if _, ok := c.prog.Externs[n.Name]; ok {
+			fr := &FuncRef{exprBase: exprBase{Pos: n.Pos}, Name: n.Name}
+			setType(fr, TypeFuncPtr)
+			return fr, nil
+		}
+		return nil, errAt(n.Pos, "undefined: %s", n.Name)
+	case *SizeOf:
+		lit := &IntLit{exprBase: exprBase{Pos: n.Pos}, Val: int64(SizeOfType(n.T))}
+		setType(lit, TypeInt)
+		return lit, nil
+	case *Unary:
+		x, err := c.checkExpr(n.X)
+		if err != nil {
+			return nil, err
+		}
+		n.X = x
+		xt := TypeOf(x)
+		switch n.Op {
+		case "!", "-", "~":
+			if !isScalar(xt) {
+				return nil, errAt(n.Pos, "operator %s needs a scalar, got %s", n.Op, typeName(xt))
+			}
+			setType(n, TypeInt)
+		case "*":
+			pt, ok := xt.(*Ptr)
+			if !ok {
+				return nil, errAt(n.Pos, "cannot dereference %s", typeName(xt))
+			}
+			setType(n, pt.Elem)
+		case "&":
+			if !isLValue(x) {
+				return nil, errAt(n.Pos, "cannot take address of non-lvalue")
+			}
+			// &array decays to pointer-to-element, the only use in the
+			// RPC sources (&arr used as int*).
+			if at, ok := xt.(*Array); ok {
+				setType(n, &Ptr{Elem: at.Elem})
+			} else {
+				setType(n, &Ptr{Elem: xt})
+			}
+		default:
+			return nil, errAt(n.Pos, "unknown unary operator %s", n.Op)
+		}
+		return n, nil
+	case *Binary:
+		x, err := c.checkExpr(n.X)
+		if err != nil {
+			return nil, err
+		}
+		y, err := c.checkExpr(n.Y)
+		if err != nil {
+			return nil, err
+		}
+		n.X, n.Y = x, y
+		xt, yt := TypeOf(x), TypeOf(y)
+		switch n.Op {
+		case "+", "-":
+			// Pointer arithmetic: ptr ± int keeps the pointer type.
+			if pt, ok := decay(xt).(*Ptr); ok && isIntish(yt) {
+				setType(n, pt)
+				return n, nil
+			}
+			if pt, ok := decay(yt).(*Ptr); ok && isIntish(xt) && n.Op == "+" {
+				setType(n, pt)
+				return n, nil
+			}
+			if isIntish(xt) && isIntish(yt) {
+				setType(n, TypeInt)
+				return n, nil
+			}
+			return nil, errAt(n.Pos, "invalid operands to %s: %s, %s", n.Op, typeName(xt), typeName(yt))
+		case "==", "!=", "<", ">", "<=", ">=":
+			if compatible(xt, yt, x, y) {
+				setType(n, TypeInt)
+				return n, nil
+			}
+			return nil, errAt(n.Pos, "cannot compare %s with %s", typeName(xt), typeName(yt))
+		case "&&", "||":
+			if isScalar(xt) && isScalar(yt) {
+				setType(n, TypeInt)
+				return n, nil
+			}
+			return nil, errAt(n.Pos, "invalid operands to %s", n.Op)
+		default: // * / % << >> & | ^
+			if isIntish(xt) && isIntish(yt) {
+				setType(n, TypeInt)
+				return n, nil
+			}
+			return nil, errAt(n.Pos, "invalid operands to %s: %s, %s", n.Op, typeName(xt), typeName(yt))
+		}
+	case *Assign:
+		lhs, err := c.checkExpr(n.LHS)
+		if err != nil {
+			return nil, err
+		}
+		rhs, err := c.checkExpr(n.RHS)
+		if err != nil {
+			return nil, err
+		}
+		n.LHS, n.RHS = lhs, rhs
+		if !isLValue(lhs) {
+			return nil, errAt(n.Pos, "assignment to non-lvalue")
+		}
+		lt := TypeOf(lhs)
+		if n.Op == "=" {
+			if !assignable(lt, rhs) {
+				return nil, errAt(n.Pos, "cannot assign %s to %s", typeName(TypeOf(rhs)), typeName(lt))
+			}
+		} else {
+			// Compound ops: int op= int, or ptr += int / ptr -= int.
+			rt := TypeOf(rhs)
+			_, isPtr := lt.(*Ptr)
+			okPtr := isPtr && (n.Op == "+=" || n.Op == "-=") && isIntish(rt)
+			okInt := isIntish(lt) && isIntish(rt)
+			if !okPtr && !okInt {
+				return nil, errAt(n.Pos, "invalid compound assignment %s: %s, %s",
+					n.Op, typeName(lt), typeName(rt))
+			}
+		}
+		setType(n, lt)
+		return n, nil
+	case *Call:
+		fun, err := c.checkExpr(n.Fun)
+		if err != nil {
+			return nil, err
+		}
+		n.Fun = fun
+		for i, a := range n.Args {
+			ca, err := c.checkExpr(a)
+			if err != nil {
+				return nil, err
+			}
+			n.Args[i] = ca
+		}
+		switch f := fun.(type) {
+		case *FuncRef:
+			var ret Type
+			var params []Param
+			if def, ok := c.prog.Funcs[f.Name]; ok {
+				ret, params = def.Ret, def.Params
+			} else if ext, ok := c.prog.Externs[f.Name]; ok {
+				ret, params = ext.Ret, ext.Params
+			} else {
+				return nil, errAt(n.Pos, "call of unknown function %s", f.Name)
+			}
+			if len(n.Args) != len(params) {
+				return nil, errAt(n.Pos, "%s expects %d arguments, got %d",
+					f.Name, len(params), len(n.Args))
+			}
+			for i, a := range n.Args {
+				if !assignable(params[i].Type, a) {
+					return nil, errAt(a.Position(), "argument %d of %s: cannot pass %s as %s",
+						i+1, f.Name, typeName(TypeOf(a)), params[i].Type)
+				}
+			}
+			setType(n, ret)
+			return n, nil
+		default:
+			// Indirect call through a funcptr value; signatures are
+			// unchecked (as with K&R C) and the result is int.
+			if ft := TypeOf(fun); ft == nil || !ft.Equal(TypeFuncPtr) {
+				return nil, errAt(n.Pos, "called object is not a function")
+			}
+			setType(n, TypeInt)
+			return n, nil
+		}
+	case *Field:
+		x, err := c.checkExpr(n.X)
+		if err != nil {
+			return nil, err
+		}
+		n.X = x
+		xt := TypeOf(x)
+		var st *Struct
+		if n.Arrow {
+			pt, ok := xt.(*Ptr)
+			if !ok {
+				return nil, errAt(n.Pos, "-> on non-pointer %s", typeName(xt))
+			}
+			st, ok = pt.Elem.(*Struct)
+			if !ok {
+				return nil, errAt(n.Pos, "-> on pointer to non-struct %s", typeName(xt))
+			}
+		} else {
+			var ok bool
+			st, ok = xt.(*Struct)
+			if !ok {
+				return nil, errAt(n.Pos, ". on non-struct %s", typeName(xt))
+			}
+		}
+		idx := st.FieldIndex(n.Name)
+		if idx < 0 {
+			return nil, errAt(n.Pos, "struct %s has no field %s", st.Name, n.Name)
+		}
+		n.Struct = st
+		setType(n, st.Fields[idx].Type)
+		return n, nil
+	case *Index:
+		x, err := c.checkExpr(n.X)
+		if err != nil {
+			return nil, err
+		}
+		i, err := c.checkExpr(n.I)
+		if err != nil {
+			return nil, err
+		}
+		n.X, n.I = x, i
+		if !isIntish(TypeOf(i)) {
+			return nil, errAt(n.Pos, "array index must be integer")
+		}
+		switch t := decay(TypeOf(x)).(type) {
+		case *Ptr:
+			setType(n, t.Elem)
+		default:
+			return nil, errAt(n.Pos, "cannot index %s", typeName(TypeOf(x)))
+		}
+		return n, nil
+	case *FuncRef:
+		setType(n, TypeFuncPtr)
+		return n, nil
+	default:
+		return nil, fmt.Errorf("minic: unknown expression %T", e)
+	}
+}
+
+// decay converts array types to pointer-to-element, as C does in rvalue
+// contexts.
+func decay(t Type) Type {
+	if at, ok := t.(*Array); ok {
+		return &Ptr{Elem: at.Elem}
+	}
+	return t
+}
+
+func isIntish(t Type) bool {
+	p, ok := t.(*Prim)
+	return ok && (p.Kind == Int || p.Kind == Char)
+}
+
+func isScalar(t Type) bool {
+	if isIntish(t) {
+		return true
+	}
+	_, ok := t.(*Ptr)
+	return ok
+}
+
+// compatible reports whether two types may be compared.
+func compatible(xt, yt Type, x, y Expr) bool {
+	if isIntish(xt) && isIntish(yt) {
+		return true
+	}
+	xp, xok := decay(xt).(*Ptr)
+	yp, yok := decay(yt).(*Ptr)
+	if xok && yok {
+		return xp.Elem.Equal(yp.Elem) || isVoidPtr(xp) || isVoidPtr(yp)
+	}
+	// Pointer against the null constant.
+	if xok && isZeroLit(y) {
+		return true
+	}
+	if yok && isZeroLit(x) {
+		return true
+	}
+	return false
+}
+
+func isVoidPtr(p *Ptr) bool { return p.Elem.Equal(TypeVoid) }
+
+func isZeroLit(e Expr) bool {
+	l, ok := e.(*IntLit)
+	return ok && l.Val == 0
+}
+
+// assignable reports whether an expression of e's type may be stored in a
+// target of type t.
+func assignable(t Type, e Expr) bool {
+	et := decay(TypeOf(e))
+	t = decay(t)
+	if t.Equal(et) {
+		return true
+	}
+	if isIntish(t) && isIntish(et) {
+		return true
+	}
+	if tp, ok := t.(*Ptr); ok {
+		if isZeroLit(e) {
+			return true // null constant
+		}
+		if ep, ok := et.(*Ptr); ok {
+			return isVoidPtr(tp) || isVoidPtr(ep)
+		}
+	}
+	if t.Equal(TypeFuncPtr) && et != nil && et.Equal(TypeFuncPtr) {
+		return true
+	}
+	return false
+}
+
+// isLValue reports whether e designates a storage location.
+func isLValue(e Expr) bool {
+	switch n := e.(type) {
+	case *VarRef, *Field, *Index:
+		return true
+	case *Unary:
+		return n.Op == "*"
+	default:
+		return false
+	}
+}
+
+func typeName(t Type) string {
+	if t == nil {
+		return "<unchecked>"
+	}
+	return t.String()
+}

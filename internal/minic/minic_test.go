@@ -1,0 +1,329 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex(`int f(int x) { return x + 0x1f; } // comment`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []TokKind{TokKeyword, TokIdent, TokPunct, TokKeyword, TokIdent,
+		TokPunct, TokPunct, TokKeyword, TokIdent, TokPunct, TokInt, TokPunct, TokPunct, TokEOF}
+	if len(toks) != len(kinds) {
+		t.Fatalf("got %d tokens, want %d", len(toks), len(kinds))
+	}
+	for i, k := range kinds {
+		if toks[i].Kind != k {
+			t.Fatalf("token %d (%q) kind = %d, want %d", i, toks[i].Text, toks[i].Kind, k)
+		}
+	}
+	if toks[10].Val != 0x1f {
+		t.Fatalf("hex literal = %d", toks[10].Val)
+	}
+}
+
+func TestLexSuffixesAndComments(t *testing.T) {
+	toks, err := Lex("4u 10L /* block\ncomment */ 7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Val != 4 || toks[1].Val != 10 || toks[2].Val != 7 {
+		t.Fatalf("vals: %d %d %d", toks[0].Val, toks[1].Val, toks[2].Val)
+	}
+}
+
+func TestLexString(t *testing.T) {
+	toks, err := Lex(`"hi\n"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != TokString || toks[0].Text != "hi\n" {
+		t.Fatalf("string tok = %+v", toks[0])
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{"/* unterminated", `"unterminated`, "@", `"\q"`} {
+		if _, err := Lex(src); err == nil {
+			t.Errorf("Lex(%q) succeeded, want error", src)
+		}
+	}
+}
+
+const exampleSrc = `
+struct pair {
+    int int1;
+    int int2;
+};
+
+struct xdrbuf {
+    int x_op;
+    char* x_private;
+    int x_handy;
+    funcptr x_putlong;
+};
+
+extern int htonl(int v);
+extern void stlong(char* p, int v);
+
+int xdrmem_putlong(struct xdrbuf* xdrs, int* lp)
+{
+    if ((xdrs->x_handy -= sizeof(long)) < 0) {
+        return 0;
+    }
+    stlong(xdrs->x_private, htonl(*lp));
+    xdrs->x_private += sizeof(long);
+    return 1;
+}
+
+int xdr_pair(struct xdrbuf* xdrs, struct pair* objp)
+{
+    if (!xdrmem_putlong(xdrs, &objp->int1)) {
+        return 0;
+    }
+    if (!xdrmem_putlong(xdrs, &objp->int2)) {
+        return 0;
+    }
+    return 1;
+}
+`
+
+func TestParseAndCheckExample(t *testing.T) {
+	p, err := Parse(exampleSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(p); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Structs) != 2 || len(p.Funcs) != 2 || len(p.Externs) != 2 {
+		t.Fatalf("program shape: %s", p)
+	}
+	f := p.Funcs["xdrmem_putlong"]
+	if f == nil || len(f.Params) != 2 {
+		t.Fatalf("xdrmem_putlong = %+v", f)
+	}
+	if !f.Ret.Equal(TypeInt) {
+		t.Fatalf("return type %s", f.Ret)
+	}
+	// sizeof(long) folded to 4 inside the compound assignment.
+	txt := PrintProgram(p)
+	if strings.Contains(txt, "sizeof") {
+		t.Fatalf("sizeof not folded:\n%s", txt)
+	}
+	if !strings.Contains(txt, "x_handy -= 4") {
+		t.Fatalf("missing folded decrement:\n%s", txt)
+	}
+}
+
+func TestParseControlFlow(t *testing.T) {
+	src := `
+int sum(int* a, int n)
+{
+    int s = 0;
+    for (int i = 0; i < n; i = i + 1) {
+        s += a[i];
+        if (s > 100) { break; }
+        while (s < 0) { s = s + 1; continue; }
+    }
+    return s;
+}
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParsePostIncrementSugar(t *testing.T) {
+	src := `int f(int x) { x++; ++x; x--; return x; }`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(p); err != nil {
+		t.Fatal(err)
+	}
+	txt := PrintProgram(p)
+	if !strings.Contains(txt, "x += 1") || !strings.Contains(txt, "x -= 1") {
+		t.Fatalf("increment sugar not rewritten:\n%s", txt)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"int f( { }",
+		"int f() { return }",
+		"struct s { int x; };; extra",
+		"int f() { undefinedcall(; }",
+		"int 3() {}",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestCheckErrors(t *testing.T) {
+	bad := map[string]string{
+		"undefined var":       `int f(void) { return y; }`,
+		"bad field":           `struct s { int a; }; int f(struct s* p) { return p->b; }`,
+		"arrow on non-ptr":    `struct s { int a; }; int f(struct s p) { return p->a; }`,
+		"deref int":           `int f(int x) { return *x; }`,
+		"assign to rvalue":    `int f(int x) { 3 = x; return x; }`,
+		"void return value":   `void f(int x) { return x; }`,
+		"missing return expr": `int f(void) { return; }`,
+		"wrong arity":         `int g(int a) { return a; } int f(void) { return g(1, 2); }`,
+		"call non-function":   `int f(int x) { return x(1); }`,
+		"redeclared":          `int f(void) { int x; int x; return 0; }`,
+		"undefined struct":    `int f(struct nosuch* p) { return 0; }`,
+		"compare ptr int":     `int f(int* p, int x) { return p < x; }`,
+	}
+	for name, src := range bad {
+		p, err := Parse(src)
+		if err != nil {
+			continue // parse error also acceptable for malformed input
+		}
+		if err := Check(p); err == nil {
+			t.Errorf("%s: Check succeeded, want error", name)
+		}
+	}
+}
+
+func TestCheckFuncRefRewrite(t *testing.T) {
+	src := `
+struct ops { funcptr put; };
+int putit(int x) { return x; }
+int call(struct ops* o, int v) { return o->put(v); }
+int setup(struct ops* o) { o->put = putit; return 1; }
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(p); err != nil {
+		t.Fatal(err)
+	}
+	// The assignment RHS must have been rewritten to a FuncRef.
+	setup := p.Funcs["setup"]
+	es := setup.Body.Stmts[0].(*ExprStmt)
+	asg := es.E.(*Assign)
+	if _, ok := asg.RHS.(*FuncRef); !ok {
+		t.Fatalf("RHS is %T, want *FuncRef", asg.RHS)
+	}
+}
+
+func TestPointerArithmeticTypes(t *testing.T) {
+	src := `
+int f(char* p, int* q, int n)
+{
+    char* a = p + 4;
+    int* b = q + n;
+    a += 2;
+    b -= 1;
+    return *b + (a != 0);
+}
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrintRoundTrip(t *testing.T) {
+	p, err := Parse(exampleSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(p); err != nil {
+		t.Fatal(err)
+	}
+	printed := PrintProgram(p)
+	// Re-parse the printed output: pretty-printing must be syntactically
+	// stable (idempotent modulo whitespace).
+	p2, err := Parse(printed)
+	if err != nil {
+		t.Fatalf("reparse failed: %v\nsource:\n%s", err, printed)
+	}
+	if err := Check(p2); err != nil {
+		t.Fatalf("recheck failed: %v", err)
+	}
+	printed2 := PrintProgram(p2)
+	if printed != printed2 {
+		t.Fatalf("printing not idempotent:\n--- first\n%s\n--- second\n%s", printed, printed2)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	p := MustParse(exampleSrc)
+	if err := Check(p); err != nil {
+		t.Fatal(err)
+	}
+	q := p.Clone()
+	// Mutate the clone; the original must be unaffected.
+	f := q.Funcs["xdr_pair"]
+	f.Body.Stmts = nil
+	if len(p.Funcs["xdr_pair"].Body.Stmts) == 0 {
+		t.Fatal("Clone shared statement slices")
+	}
+	q.Structs["pair"].Fields[0].Name = "mutated"
+	if p.Structs["pair"].Fields[0].Name != "int1" {
+		t.Fatal("Clone shared struct fields")
+	}
+}
+
+func TestSizeOfType(t *testing.T) {
+	s := &Struct{Name: "s", Fields: []FieldDef{
+		{Name: "a", Type: TypeInt},
+		{Name: "p", Type: &Ptr{Elem: TypeChar}},
+		{Name: "arr", Type: &Array{Elem: TypeInt, Len: 3}},
+	}}
+	if got := SizeOfType(s); got != 4+4+12 {
+		t.Fatalf("SizeOfType(struct) = %d, want 20", got)
+	}
+	if SizeOfType(TypeChar) != 1 || SizeOfType(TypeVoid) != 0 {
+		t.Fatal("primitive sizes wrong")
+	}
+}
+
+func TestAnnotatedPrinting(t *testing.T) {
+	p := MustParse(`int f(int x) { return x + 1; }`)
+	if err := Check(p); err != nil {
+		t.Fatal(err)
+	}
+	pr := Printer{Annotate: func(n any, text string) string {
+		if _, ok := n.(*Binary); ok {
+			return "«" + text + "»"
+		}
+		return text
+	}}
+	out := pr.Program(p)
+	if !strings.Contains(out, "«") {
+		t.Fatalf("annotation missing:\n%s", out)
+	}
+}
+
+func TestStructForwardReference(t *testing.T) {
+	src := `
+struct a { struct b* next; int v; };
+struct b { struct a* prev; };
+int f(struct a* x) { return x->v; }
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(p); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,257 @@
+package minic
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Printer renders AST nodes back to mini-C source. The zero value prints
+// plain source; Annotate, when set, wraps the rendering of every
+// expression and statement and is how the binding-time visualization
+// marks static/dynamic code (Tempo's colored display, paper §6.1).
+type Printer struct {
+	// Annotate wraps the text of a node; n is the Expr or Stmt.
+	Annotate func(n any, text string) string
+	sb       strings.Builder
+	indent   int
+}
+
+// PrintProgram renders a whole program deterministically (structs, then
+// externs, then functions, in declaration order).
+func PrintProgram(p *Program) string {
+	var pr Printer
+	return pr.Program(p)
+}
+
+// Program renders p.
+func (pr *Printer) Program(p *Program) string {
+	pr.sb.Reset()
+	order := p.Order
+	if len(order) == 0 {
+		// Fall back to sorted names for synthesized programs.
+		for name := range p.Structs {
+			order = append(order, "struct "+name)
+		}
+		for name := range p.Externs {
+			order = append(order, "extern "+name)
+		}
+		for name := range p.Funcs {
+			order = append(order, "func "+name)
+		}
+		sort.Strings(order)
+	}
+	for _, entry := range order {
+		kind, name, _ := strings.Cut(entry, " ")
+		switch kind {
+		case "struct":
+			if s, ok := p.Structs[name]; ok {
+				pr.structDef(s)
+			}
+		case "extern":
+			if e, ok := p.Externs[name]; ok {
+				pr.externDecl(e)
+			}
+		case "func":
+			if f, ok := p.Funcs[name]; ok {
+				pr.Func(f)
+			}
+		}
+	}
+	return pr.sb.String()
+}
+
+func (pr *Printer) structDef(s *Struct) {
+	fmt.Fprintf(&pr.sb, "struct %s {\n", s.Name)
+	for _, f := range s.Fields {
+		if at, ok := f.Type.(*Array); ok {
+			fmt.Fprintf(&pr.sb, "    %s %s[%d];\n", at.Elem, f.Name, at.Len)
+		} else {
+			fmt.Fprintf(&pr.sb, "    %s %s;\n", f.Type, f.Name)
+		}
+	}
+	pr.sb.WriteString("};\n\n")
+}
+
+func (pr *Printer) externDecl(e *ExternDecl) {
+	fmt.Fprintf(&pr.sb, "extern %s %s(%s);\n", e.Ret, e.Name, paramList(e.Params))
+}
+
+// Func renders one function definition.
+func (pr *Printer) Func(f *FuncDef) {
+	fmt.Fprintf(&pr.sb, "%s %s(%s)\n", f.Ret, f.Name, paramList(f.Params))
+	pr.stmt(f.Body)
+	pr.sb.WriteString("\n")
+}
+
+func paramList(ps []Param) string {
+	if len(ps) == 0 {
+		return "void"
+	}
+	parts := make([]string, len(ps))
+	for i, p := range ps {
+		parts[i] = fmt.Sprintf("%s %s", p.Type, p.Name)
+	}
+	return strings.Join(parts, ", ")
+}
+
+func (pr *Printer) line(format string, args ...any) {
+	pr.sb.WriteString(strings.Repeat("    ", pr.indent))
+	fmt.Fprintf(&pr.sb, format, args...)
+	pr.sb.WriteString("\n")
+}
+
+func (pr *Printer) wrap(n any, text string) string {
+	if pr.Annotate != nil {
+		return pr.Annotate(n, text)
+	}
+	return text
+}
+
+// StmtString renders a single statement (top level, no trailing newline
+// guarantees).
+func StmtString(s Stmt) string {
+	var pr Printer
+	pr.stmt(s)
+	return strings.TrimRight(pr.sb.String(), "\n")
+}
+
+func (pr *Printer) stmt(s Stmt) {
+	switch n := s.(type) {
+	case nil:
+		pr.line(";")
+	case *ExprStmt:
+		pr.line("%s;", pr.wrap(n, pr.expr(n.E)))
+	case *VarDecl:
+		var txt string
+		if at, ok := n.Type.(*Array); ok {
+			txt = fmt.Sprintf("%s %s[%d]", at.Elem, n.Name, at.Len)
+		} else {
+			txt = fmt.Sprintf("%s %s", n.Type, n.Name)
+		}
+		if n.Init != nil {
+			txt += " = " + pr.expr(n.Init)
+		}
+		pr.line("%s;", pr.wrap(n, txt))
+	case *If:
+		pr.line("if (%s) {", pr.wrap(n, pr.expr(n.Cond)))
+		pr.indent++
+		pr.stmtInBlock(n.Then)
+		pr.indent--
+		if n.Else != nil {
+			pr.line("} else {")
+			pr.indent++
+			pr.stmtInBlock(n.Else)
+			pr.indent--
+		}
+		pr.line("}")
+	case *While:
+		pr.line("while (%s) {", pr.wrap(n, pr.expr(n.Cond)))
+		pr.indent++
+		pr.stmtInBlock(n.Body)
+		pr.indent--
+		pr.line("}")
+	case *For:
+		init, cond, post := "", "", ""
+		if n.Init != nil {
+			init = strings.TrimSuffix(StmtString(n.Init), ";")
+		}
+		if n.Cond != nil {
+			cond = pr.expr(n.Cond)
+		}
+		if n.Post != nil {
+			post = strings.TrimSuffix(StmtString(n.Post), ";")
+		}
+		pr.line("for (%s; %s; %s) {", init, cond, post)
+		pr.indent++
+		pr.stmtInBlock(n.Body)
+		pr.indent--
+		pr.line("}")
+	case *Return:
+		if n.E == nil {
+			pr.line("%s", pr.wrap(n, "return;"))
+		} else {
+			pr.line("%s", pr.wrap(n, fmt.Sprintf("return %s;", pr.expr(n.E))))
+		}
+	case *Break:
+		pr.line("break;")
+	case *Continue:
+		pr.line("continue;")
+	case *Block:
+		pr.line("{")
+		pr.indent++
+		for _, st := range n.Stmts {
+			pr.stmt(st)
+		}
+		pr.indent--
+		pr.line("}")
+	default:
+		pr.line("/* unknown stmt %T */", s)
+	}
+}
+
+// stmtInBlock flattens a block body one level to avoid double braces.
+func (pr *Printer) stmtInBlock(s Stmt) {
+	if b, ok := s.(*Block); ok {
+		for _, st := range b.Stmts {
+			pr.stmt(st)
+		}
+		return
+	}
+	pr.stmt(s)
+}
+
+// ExprString renders a single expression.
+func ExprString(e Expr) string {
+	var pr Printer
+	return pr.expr(e)
+}
+
+func (pr *Printer) expr(e Expr) string {
+	switch n := e.(type) {
+	case nil:
+		return ""
+	case *IntLit:
+		return pr.wrap(n, fmt.Sprintf("%d", n.Val))
+	case *StrLit:
+		return pr.wrap(n, fmt.Sprintf("%q", n.Val))
+	case *VarRef:
+		return pr.wrap(n, n.Name)
+	case *FuncRef:
+		return pr.wrap(n, n.Name)
+	case *Unary:
+		return pr.wrap(n, n.Op+pr.exprP(n.X))
+	case *Binary:
+		return pr.wrap(n, fmt.Sprintf("%s %s %s", pr.exprP(n.X), n.Op, pr.exprP(n.Y)))
+	case *Assign:
+		return pr.wrap(n, fmt.Sprintf("%s %s %s", pr.expr(n.LHS), n.Op, pr.expr(n.RHS)))
+	case *Call:
+		args := make([]string, len(n.Args))
+		for i, a := range n.Args {
+			args[i] = pr.expr(a)
+		}
+		return pr.wrap(n, fmt.Sprintf("%s(%s)", pr.exprP(n.Fun), strings.Join(args, ", ")))
+	case *Field:
+		op := "."
+		if n.Arrow {
+			op = "->"
+		}
+		return pr.wrap(n, pr.exprP(n.X)+op+n.Name)
+	case *Index:
+		return pr.wrap(n, fmt.Sprintf("%s[%s]", pr.exprP(n.X), pr.expr(n.I)))
+	case *SizeOf:
+		return pr.wrap(n, fmt.Sprintf("sizeof(%s)", n.T))
+	default:
+		return fmt.Sprintf("/* unknown expr %T */", e)
+	}
+}
+
+// exprP parenthesizes compound subexpressions for unambiguous output.
+func (pr *Printer) exprP(e Expr) string {
+	switch e.(type) {
+	case *Binary, *Assign, *Unary:
+		return "(" + pr.expr(e) + ")"
+	default:
+		return pr.expr(e)
+	}
+}

@@ -1,0 +1,76 @@
+// Package minic implements the subject language of the specializer: a
+// small, C-like imperative language rich enough to express the Sun RPC
+// marshaling micro-layers the paper specializes (structs, pointers,
+// function pointers, byte buffers, loops) and small enough to analyze
+// precisely.
+//
+// Differences from C that matter when reading the transliterated RPC code
+// in internal/minic/lib:
+//
+//   - Buffer stores go through builtins (stlong/ldlong/memcopy/bzero)
+//     instead of casted pointer dereferences; `*(long*)p = htonl(v)`
+//     becomes `stlong(p, v)`. The builtins model the same cost (one
+//     memory transfer) and keep the language cast-free.
+//   - Function-pointer fields are declared with the `funcptr` type
+//     keyword rather than C's declarator syntax; calling through one
+//     (`xdrs->x_ops->x_putlong(...)`) works as in C.
+//   - `char*` pointers address byte regions and advance in bytes;
+//     `int*` pointers address word regions and advance in 4-byte words,
+//     matching C semantics for both.
+//
+// The compilation pipeline is Lex → Parse → Check (type resolution and
+// struct layout) → either interpretation/compilation (internal/vm) or
+// binding-time analysis and specialization (internal/tempo).
+package minic
+
+import "fmt"
+
+// TokKind enumerates lexical token kinds.
+type TokKind int
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota + 1
+	TokIdent
+	TokInt
+	TokString
+	TokPunct   // operators and delimiters
+	TokKeyword // reserved words
+)
+
+// Pos is a source position.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// String formats the position as line:col.
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical token.
+type Token struct {
+	Kind TokKind
+	Text string
+	Val  int64 // for TokInt
+	Pos  Pos
+}
+
+var keywords = map[string]bool{
+	"int": true, "char": true, "void": true, "long": true, "unsigned": true,
+	"struct": true, "if": true, "else": true, "while": true, "for": true,
+	"return": true, "extern": true, "sizeof": true, "funcptr": true,
+	"break": true, "continue": true,
+}
+
+// SyntaxError reports a lexing or parsing failure with its position.
+type SyntaxError struct {
+	Pos Pos
+	Msg string
+}
+
+// Error formats the failure.
+func (e *SyntaxError) Error() string { return fmt.Sprintf("minic: %s: %s", e.Pos, e.Msg) }
+
+func errAt(pos Pos, format string, args ...any) error {
+	return &SyntaxError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,305 @@
+// Package netsim provides an in-process datagram network with
+// deterministic fault injection. It stands in for the paper's physical
+// links (100 Mb/s ATM and Fast-Ethernet): integration tests run the full
+// RPC stack over it without sockets, and the fault hooks let tests force
+// the loss, duplication, and delay cases that exercise client retransmit
+// and reply-cache behaviour.
+//
+// Endpoints implement net.PacketConn, so the same client and server code
+// runs over netsim and over real UDP sockets.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"time"
+)
+
+// Verdict is a fault hook's decision about one packet.
+type Verdict int
+
+// Possible verdicts.
+const (
+	// Deliver passes the packet through unchanged.
+	Deliver Verdict = iota + 1
+	// Drop silently discards the packet.
+	Drop
+	// Duplicate delivers the packet twice.
+	Duplicate
+)
+
+// FaultFn inspects one packet in flight and decides its fate. seq is the
+// global 0-based sequence number of packets sent through the network,
+// giving tests a deterministic handle ("drop the first request").
+type FaultFn func(from, to net.Addr, seq int, payload []byte) Verdict
+
+// Addr is a network-simulator endpoint address.
+type Addr string
+
+// Network returns the network name ("sim").
+func (a Addr) Network() string { return "sim" }
+
+// String returns the endpoint name.
+func (a Addr) String() string { return string(a) }
+
+// Network is a collection of named endpoints exchanging datagrams with
+// configurable faults and propagation delay.
+type Network struct {
+	mu        sync.Mutex
+	endpoints map[Addr]*Endpoint
+	fault     FaultFn
+	delay     time.Duration
+	seq       int
+	mtu       int
+}
+
+// Option configures a Network.
+type Option func(*Network)
+
+// WithFaults installs the packet fault hook.
+func WithFaults(f FaultFn) Option { return func(n *Network) { n.fault = f } }
+
+// WithDelay sets a fixed one-way propagation delay for every packet.
+func WithDelay(d time.Duration) Option { return func(n *Network) { n.delay = d } }
+
+// WithMTU caps datagram size; larger sends fail like an oversized UDP
+// datagram would. Zero means unlimited.
+func WithMTU(mtu int) Option { return func(n *Network) { n.mtu = mtu } }
+
+// New creates an empty network.
+func New(opts ...Option) *Network {
+	n := &Network{endpoints: make(map[Addr]*Endpoint)}
+	for _, o := range opts {
+		o(n)
+	}
+	return n
+}
+
+// ErrNoRoute reports a send to an address with no endpoint.
+var ErrNoRoute = errors.New("netsim: no such endpoint")
+
+// ErrTooLarge reports a datagram above the network MTU.
+var ErrTooLarge = errors.New("netsim: datagram exceeds MTU")
+
+// ErrClosed reports use of a closed endpoint.
+var ErrClosed = errors.New("netsim: endpoint closed")
+
+// Endpoint is one attachment point; it implements net.PacketConn.
+type Endpoint struct {
+	net  *Network
+	addr Addr
+
+	mu       sync.Mutex
+	queue    []packet
+	arrived  chan struct{} // pulsed on delivery
+	closed   bool
+	deadline time.Time
+}
+
+type packet struct {
+	from    Addr
+	payload []byte
+}
+
+var _ net.PacketConn = (*Endpoint)(nil)
+
+// Attach creates (or replaces) the endpoint named addr.
+func (n *Network) Attach(addr Addr) *Endpoint {
+	ep := &Endpoint{net: n, addr: addr, arrived: make(chan struct{}, 1)}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.endpoints[addr] = ep
+	return ep
+}
+
+// Packets reports how many datagrams have entered the network so far.
+func (n *Network) Packets() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.seq
+}
+
+// LocalAddr returns the endpoint's address.
+func (e *Endpoint) LocalAddr() net.Addr { return e.addr }
+
+// WriteTo sends one datagram to addr, applying MTU, fault, and delay
+// policies.
+func (e *Endpoint) WriteTo(p []byte, addr net.Addr) (int, error) {
+	to, ok := addr.(Addr)
+	if !ok {
+		to = Addr(addr.String())
+	}
+	n := e.net
+	n.mu.Lock()
+	if e.isClosed() {
+		n.mu.Unlock()
+		return 0, ErrClosed
+	}
+	if n.mtu > 0 && len(p) > n.mtu {
+		n.mu.Unlock()
+		return 0, fmt.Errorf("%w: %d > %d", ErrTooLarge, len(p), n.mtu)
+	}
+	dst, ok := n.endpoints[to]
+	if !ok {
+		n.mu.Unlock()
+		return 0, fmt.Errorf("%w: %s", ErrNoRoute, to)
+	}
+	seq := n.seq
+	n.seq++
+	verdict := Deliver
+	if n.fault != nil {
+		verdict = n.fault(e.addr, to, seq, p)
+	}
+	delay := n.delay
+	n.mu.Unlock()
+
+	if verdict == Drop {
+		return len(p), nil // dropped in flight: sender still succeeds
+	}
+	copies := 1
+	if verdict == Duplicate {
+		copies = 2
+	}
+	payload := append([]byte(nil), p...)
+	deliver := func() {
+		for i := 0; i < copies; i++ {
+			dst.enqueue(packet{from: e.addr, payload: payload})
+		}
+	}
+	if delay > 0 {
+		time.AfterFunc(delay, deliver)
+	} else {
+		deliver()
+	}
+	return len(p), nil
+}
+
+func (e *Endpoint) enqueue(p packet) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.queue = append(e.queue, p)
+	e.mu.Unlock()
+	select {
+	case e.arrived <- struct{}{}:
+	default:
+	}
+}
+
+func (e *Endpoint) isClosed() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.closed
+}
+
+// ReadFrom blocks for the next datagram, honouring the read deadline.
+// Oversized datagrams are truncated to len(p), as with UDP sockets.
+func (e *Endpoint) ReadFrom(p []byte) (int, net.Addr, error) {
+	for {
+		e.mu.Lock()
+		if e.closed {
+			e.mu.Unlock()
+			return 0, nil, ErrClosed
+		}
+		if len(e.queue) > 0 {
+			pkt := e.queue[0]
+			e.queue = e.queue[1:]
+			e.mu.Unlock()
+			n := copy(p, pkt.payload)
+			return n, pkt.from, nil
+		}
+		deadline := e.deadline
+		e.mu.Unlock()
+
+		var timeout <-chan time.Time
+		if !deadline.IsZero() {
+			remain := time.Until(deadline)
+			if remain <= 0 {
+				return 0, nil, os.ErrDeadlineExceeded
+			}
+			timer := time.NewTimer(remain)
+			timeout = timer.C
+			defer timer.Stop()
+		}
+		select {
+		case <-e.arrived:
+		case <-timeout:
+			return 0, nil, os.ErrDeadlineExceeded
+		}
+	}
+}
+
+// Close detaches the endpoint; pending and future reads fail.
+func (e *Endpoint) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	e.mu.Unlock()
+	select {
+	case e.arrived <- struct{}{}:
+	default:
+	}
+	e.net.mu.Lock()
+	delete(e.net.endpoints, e.addr)
+	e.net.mu.Unlock()
+	return nil
+}
+
+// SetDeadline sets the read deadline (writes never block).
+func (e *Endpoint) SetDeadline(t time.Time) error { return e.SetReadDeadline(t) }
+
+// SetReadDeadline sets the read deadline.
+func (e *Endpoint) SetReadDeadline(t time.Time) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.deadline = t
+	// Wake a blocked reader so it re-evaluates the deadline.
+	select {
+	case e.arrived <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+// SetWriteDeadline is a no-op; simulated writes never block.
+func (e *Endpoint) SetWriteDeadline(time.Time) error { return nil }
+
+// DropFirst returns a fault that drops the first k packets and delivers
+// the rest — the canonical retransmission test.
+func DropFirst(k int) FaultFn {
+	return func(_, _ net.Addr, seq int, _ []byte) Verdict {
+		if seq < k {
+			return Drop
+		}
+		return Deliver
+	}
+}
+
+// DropSeq returns a fault that drops exactly the listed global sequence
+// numbers.
+func DropSeq(seqs ...int) FaultFn {
+	set := make(map[int]bool, len(seqs))
+	for _, s := range seqs {
+		set[s] = true
+	}
+	return func(_, _ net.Addr, seq int, _ []byte) Verdict {
+		if set[seq] {
+			return Drop
+		}
+		return Deliver
+	}
+}
+
+// DuplicateAll returns a fault that duplicates every packet, forcing the
+// server's duplicate-request handling.
+func DuplicateAll() FaultFn {
+	return func(_, _ net.Addr, _ int, _ []byte) Verdict { return Duplicate }
+}

@@ -1,0 +1,223 @@
+package netsim
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"testing"
+	"time"
+)
+
+func TestDeliver(t *testing.T) {
+	n := New()
+	a := n.Attach("a")
+	b := n.Attach("b")
+	msg := []byte("hello")
+	if _, err := a.WriteTo(msg, Addr("b")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	got, from, err := b.ReadFrom(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf[:got], msg) {
+		t.Fatalf("payload = %q", buf[:got])
+	}
+	if from.String() != "a" {
+		t.Fatalf("from = %v", from)
+	}
+}
+
+func TestNoRoute(t *testing.T) {
+	n := New()
+	a := n.Attach("a")
+	if _, err := a.WriteTo([]byte("x"), Addr("nowhere")); !errors.Is(err, ErrNoRoute) {
+		t.Fatalf("err = %v, want ErrNoRoute", err)
+	}
+}
+
+func TestMTU(t *testing.T) {
+	n := New(WithMTU(8))
+	a := n.Attach("a")
+	n.Attach("b")
+	if _, err := a.WriteTo(make([]byte, 9), Addr("b")); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+	if _, err := a.WriteTo(make([]byte, 8), Addr("b")); err != nil {
+		t.Fatalf("at-MTU send failed: %v", err)
+	}
+}
+
+func TestTruncationLikeUDP(t *testing.T) {
+	n := New()
+	a := n.Attach("a")
+	b := n.Attach("b")
+	if _, err := a.WriteTo([]byte("0123456789"), Addr("b")); err != nil {
+		t.Fatal(err)
+	}
+	small := make([]byte, 4)
+	got, _, err := b.ReadFrom(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 4 || string(small) != "0123" {
+		t.Fatalf("got %d %q", got, small)
+	}
+}
+
+func TestDropFirst(t *testing.T) {
+	n := New(WithFaults(DropFirst(1)))
+	a := n.Attach("a")
+	b := n.Attach("b")
+	if _, err := a.WriteTo([]byte("first"), Addr("b")); err != nil {
+		t.Fatal(err) // drop is silent for the sender
+	}
+	if _, err := a.WriteTo([]byte("second"), Addr("b")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	got, _, err := b.ReadFrom(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(buf[:got]) != "second" {
+		t.Fatalf("delivered %q, want the second packet", buf[:got])
+	}
+}
+
+func TestDropSeq(t *testing.T) {
+	n := New(WithFaults(DropSeq(1)))
+	a := n.Attach("a")
+	b := n.Attach("b")
+	for _, m := range []string{"p0", "p1", "p2"} {
+		if _, err := a.WriteTo([]byte(m), Addr("b")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	buf := make([]byte, 8)
+	var delivered []string
+	for i := 0; i < 2; i++ {
+		got, _, err := b.ReadFrom(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		delivered = append(delivered, string(buf[:got]))
+	}
+	if delivered[0] != "p0" || delivered[1] != "p2" {
+		t.Fatalf("delivered %v", delivered)
+	}
+}
+
+func TestDuplicate(t *testing.T) {
+	n := New(WithFaults(DuplicateAll()))
+	a := n.Attach("a")
+	b := n.Attach("b")
+	if _, err := a.WriteTo([]byte("x"), Addr("b")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 8)
+	for i := 0; i < 2; i++ {
+		if _, _, err := b.ReadFrom(buf); err != nil {
+			t.Fatalf("copy %d: %v", i, err)
+		}
+	}
+}
+
+func TestReadDeadline(t *testing.T) {
+	n := New()
+	b := n.Attach("b")
+	if err := b.SetReadDeadline(time.Now().Add(20 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 8)
+	_, _, err := b.ReadFrom(buf)
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+}
+
+func TestDeadlineThenDelivery(t *testing.T) {
+	n := New()
+	a := n.Attach("a")
+	b := n.Attach("b")
+	// Expired deadline first…
+	if err := b.SetReadDeadline(time.Now().Add(-time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 8)
+	if _, _, err := b.ReadFrom(buf); !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("err = %v", err)
+	}
+	// …then clearing it allows delivery.
+	if err := b.SetReadDeadline(time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.WriteTo([]byte("late"), Addr("b")); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := b.ReadFrom(buf)
+	if err != nil || string(buf[:got]) != "late" {
+		t.Fatalf("got %q err %v", buf[:got], err)
+	}
+}
+
+func TestDelay(t *testing.T) {
+	n := New(WithDelay(30 * time.Millisecond))
+	a := n.Attach("a")
+	b := n.Attach("b")
+	start := time.Now()
+	if _, err := a.WriteTo([]byte("x"), Addr("b")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 8)
+	if _, _, err := b.ReadFrom(buf); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Fatalf("delivered after %v, want >= ~30ms", elapsed)
+	}
+}
+
+func TestClose(t *testing.T) {
+	n := New()
+	a := n.Attach("a")
+	b := n.Attach("b")
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal("double close should be nil")
+	}
+	buf := make([]byte, 8)
+	if _, _, err := b.ReadFrom(buf); !errors.Is(err, ErrClosed) {
+		t.Fatalf("read err = %v, want ErrClosed", err)
+	}
+	if _, err := a.WriteTo([]byte("x"), Addr("b")); !errors.Is(err, ErrNoRoute) {
+		t.Fatalf("write err = %v, want ErrNoRoute (endpoint detached)", err)
+	}
+	if _, err := b.WriteTo([]byte("x"), Addr("a")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("write from closed err = %v, want ErrClosed", err)
+	}
+}
+
+func TestPacketsCounter(t *testing.T) {
+	n := New()
+	a := n.Attach("a")
+	n.Attach("b")
+	for i := 0; i < 3; i++ {
+		if _, err := a.WriteTo([]byte("x"), Addr("b")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := n.Packets(); got != 3 {
+		t.Fatalf("Packets() = %d, want 3", got)
+	}
+}
+
+func TestAddr(t *testing.T) {
+	a := Addr("ep1")
+	if a.Network() != "sim" || a.String() != "ep1" {
+		t.Fatalf("addr methods: %q %q", a.Network(), a.String())
+	}
+}

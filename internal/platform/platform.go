@@ -1,0 +1,130 @@
+// Package platform models the paper's two measurement platforms — a Sun
+// IPX 4/50 under SunOS with 100 Mb/s ATM, and a 166 MHz Pentium PC under
+// Linux with 100 Mb/s Fast-Ethernet — as calibrated cost models over the
+// virtual machine's execution meters.
+//
+// We cannot fabricate 1997 hardware; what we can do is keep the paper's
+// *shape*: every time is computed from deterministic VM counters
+// (operations, calls, memory bytes) and message sizes through a small
+// linear model with two non-linearities the paper itself identifies:
+//
+//   - a data-cache knee (§5: "program execution time is dominated by
+//     memory accesses"), which makes the IPX marshaling speedup *decrease*
+//     beyond N≈250 while the PC curve only bends;
+//   - an instruction-cache penalty for very large residual code (§5
+//     Table 4), which bounded unrolling avoids.
+//
+// The constants were calibrated once against Tables 1 and 2 and are fixed;
+// EXPERIMENTS.md records paper-vs-model values.
+package platform
+
+import (
+	"specrpc/internal/vm"
+)
+
+// Model converts VM cost counters into milliseconds on a modeled machine.
+type Model struct {
+	// Name identifies the platform in table output.
+	Name string
+	// Network names the link for figure labels.
+	Network string
+
+	// OpNS is the cost of one VM operation (the CPU term).
+	OpNS float64
+	// CallNS is the per-function-call overhead (frame push/pop).
+	CallNS float64
+	// MemFastNS and MemSlowNS bound the per-byte memory cost inside and
+	// beyond the data cache.
+	MemFastNS float64
+	MemSlowNS float64
+	// DCacheBytes is the effective data-cache capacity.
+	DCacheBytes int
+	// ICacheBytes is the effective instruction-cache capacity; code
+	// larger than this pays IMissFactor extra per operation.
+	ICacheBytes int
+	// IMissFactor scales the instruction-fetch penalty.
+	IMissFactor float64
+
+	// StubFixedNS is the fixed per-invocation cost of one marshaling
+	// stage (timer reads, client handle setup, loop overhead of the test
+	// program). The PC's measured Table 1 times carry a large constant —
+	// original 71 µs vs specialized 63 µs at N=20 — which is why its
+	// speedup *rises* with N; this constant models it.
+	StubFixedNS float64
+
+	// SyscallNS is the fixed cost of one send or receive system call.
+	SyscallNS float64
+	// KernelNSPerByte is the kernel copy cost per message byte per
+	// traversal (socket buffer copies).
+	KernelNSPerByte float64
+	// LatencyNS is the one-way wire+adapter latency.
+	LatencyNS float64
+	// Mbps is the link bandwidth.
+	Mbps float64
+	// BzeroNSPerByte is the buffer-clearing cost the paper names as a
+	// round-trip-only overhead.
+	BzeroNSPerByte float64
+}
+
+// IPX is the Sun IPX 4/50 + SunOS 4.1.4 + 100 Mb/s ATM model. The IPX is
+// a ~28 MHz SPARC with a small cache and a slow, write-through memory
+// system: memory traffic dominates early, which is what caps and then
+// erodes its specialization speedup at large arrays.
+func IPX() Model {
+	return Model{
+		Name: "IPX/SunOS", Network: "ATM 100Mbits",
+		OpNS: 30, CallNS: 147,
+		MemFastNS: 6, MemSlowNS: 53, DCacheBytes: 2 * 1024,
+		ICacheBytes: 64 * 1024, IMissFactor: 0.30,
+		StubFixedNS: 6e3,
+		SyscallNS:   400e3, KernelNSPerByte: 450, LatencyNS: 650e3,
+		Mbps: 100, BzeroNSPerByte: 45,
+	}
+}
+
+// PC is the 166 MHz Pentium + Linux + 100 Mb/s Fast-Ethernet model: a
+// much faster CPU, a larger cache, and a lighter protocol stack.
+func PC() Model {
+	return Model{
+		Name: "PC/Linux", Network: "Ethernet 100Mbits",
+		OpNS: 7, CallNS: 33,
+		MemFastNS: 1.2, MemSlowNS: 4, DCacheBytes: 16 * 1024,
+		ICacheBytes: 8 * 1024, IMissFactor: 0.45,
+		StubFixedNS: 60e3,
+		SyscallNS:   60e3, KernelNSPerByte: 150, LatencyNS: 80e3,
+		Mbps: 100, BzeroNSPerByte: 10,
+	}
+}
+
+// Both returns the two paper platforms in presentation order.
+func Both() []Model { return []Model{IPX(), PC()} }
+
+// CPUTimeMS converts an execution's meters to milliseconds of compute.
+// workingSet is the bytes of data the run touches repeatedly (arguments +
+// message buffer); codeBytes is the size of the code it executes.
+func (m Model) CPUTimeMS(c vm.Cost, workingSet, codeBytes int) float64 {
+	opNS := m.OpNS
+	if codeBytes > m.ICacheBytes && m.ICacheBytes > 0 {
+		spill := float64(codeBytes-m.ICacheBytes) / float64(codeBytes)
+		opNS *= 1 + m.IMissFactor*spill
+	}
+	memNS := m.MemFastNS
+	if workingSet > m.DCacheBytes && m.DCacheBytes > 0 {
+		spill := float64(workingSet-m.DCacheBytes) / float64(workingSet)
+		memNS = m.MemFastNS + (m.MemSlowNS-m.MemFastNS)*spill
+	}
+	ns := m.StubFixedNS + float64(c.Ops)*opNS + float64(c.Calls)*m.CallNS + float64(c.MemBytes)*memNS
+	return ns / 1e6
+}
+
+// WireMS models one message traversal: syscall, kernel copies, latency,
+// and serialization delay. At M megabits per second one byte serializes
+// in 8000/M nanoseconds.
+func (m Model) WireMS(msgBytes int) float64 {
+	serializationNS := float64(msgBytes) * 8000 / m.Mbps
+	total := m.SyscallNS + m.LatencyNS + float64(msgBytes)*m.KernelNSPerByte + serializationNS
+	return total / 1e6
+}
+
+// BzeroMS models clearing an n-byte receive buffer.
+func (m Model) BzeroMS(n int) float64 { return float64(n) * m.BzeroNSPerByte / 1e6 }

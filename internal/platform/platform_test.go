@@ -1,0 +1,70 @@
+package platform
+
+import (
+	"testing"
+
+	"specrpc/internal/vm"
+)
+
+func TestCPUTimeScalesWithCost(t *testing.T) {
+	m := PC()
+	small := m.CPUTimeMS(vm.Cost{Ops: 100, Calls: 10, MemBytes: 100}, 1024, 1024)
+	big := m.CPUTimeMS(vm.Cost{Ops: 1000, Calls: 100, MemBytes: 1000}, 1024, 1024)
+	if big <= small {
+		t.Fatalf("cost scaling broken: %f <= %f", big, small)
+	}
+}
+
+func TestDCacheKnee(t *testing.T) {
+	m := IPX()
+	c := vm.Cost{Ops: 1000, MemBytes: 10000}
+	inCache := m.CPUTimeMS(c, m.DCacheBytes/2, 1024)
+	outCache := m.CPUTimeMS(c, m.DCacheBytes*8, 1024)
+	if outCache <= inCache {
+		t.Fatalf("no cache penalty: %f <= %f", outCache, inCache)
+	}
+}
+
+func TestICachePenalty(t *testing.T) {
+	m := PC()
+	c := vm.Cost{Ops: 10000}
+	smallCode := m.CPUTimeMS(c, 1024, m.ICacheBytes/2)
+	bigCode := m.CPUTimeMS(c, 1024, m.ICacheBytes*20)
+	if bigCode <= smallCode {
+		t.Fatalf("no i-cache penalty: %f <= %f", bigCode, smallCode)
+	}
+}
+
+func TestWireScalesWithBytes(t *testing.T) {
+	for _, m := range Both() {
+		small := m.WireMS(100)
+		big := m.WireMS(10000)
+		if big <= small {
+			t.Fatalf("%s: wire scaling broken", m.Name)
+		}
+		// Latency floor: even one byte costs at least the fixed terms.
+		if m.WireMS(1) < (m.SyscallNS+m.LatencyNS)/1e6 {
+			t.Fatalf("%s: missing latency floor", m.Name)
+		}
+	}
+}
+
+func TestPlatformContrast(t *testing.T) {
+	// The PC is strictly faster per operation and has a lighter stack;
+	// the IPX has the higher wire latency. These orderings are what the
+	// figures rely on.
+	ipx, pc := IPX(), PC()
+	if pc.OpNS >= ipx.OpNS {
+		t.Fatal("PC should have a faster CPU")
+	}
+	if pc.WireMS(1000) >= ipx.WireMS(1000) {
+		t.Fatal("PC stack should be lighter")
+	}
+}
+
+func TestBzero(t *testing.T) {
+	m := IPX()
+	if m.BzeroMS(0) != 0 || m.BzeroMS(1000) <= 0 {
+		t.Fatal("bzero model broken")
+	}
+}

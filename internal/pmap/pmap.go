@@ -1,0 +1,254 @@
+// Package pmap implements the portmapper protocol (program 100000,
+// version 2, RFC 1057 appendix A): the registry that lets RPC clients
+// discover which port a (program, version, protocol) triple listens on.
+// It provides both the server-side dispatch (registered onto an
+// internal/server.Server) and client-side helpers (Set, Unset, GetPort,
+// Dump).
+package pmap
+
+import (
+	"errors"
+	"sync"
+
+	"specrpc/internal/client"
+	"specrpc/internal/server"
+	"specrpc/internal/xdr"
+)
+
+// Portmapper protocol identity.
+const (
+	Prog = uint32(100000)
+	Vers = uint32(2)
+)
+
+// Portmapper procedures.
+const (
+	ProcNull    = uint32(0)
+	ProcSet     = uint32(1)
+	ProcUnset   = uint32(2)
+	ProcGetPort = uint32(3)
+	ProcDump    = uint32(4)
+)
+
+// Transport protocol numbers used in mappings.
+const (
+	IPProtoTCP = uint32(6)
+	IPProtoUDP = uint32(17)
+)
+
+// Mapping is one registry entry (struct mapping).
+type Mapping struct {
+	Prog uint32
+	Vers uint32
+	Prot uint32
+	Port uint32
+}
+
+// Marshal encodes or decodes the mapping.
+func (m *Mapping) Marshal(x *xdr.XDR) error {
+	if err := x.Uint32(&m.Prog); err != nil {
+		return err
+	}
+	if err := x.Uint32(&m.Vers); err != nil {
+		return err
+	}
+	if err := x.Uint32(&m.Prot); err != nil {
+		return err
+	}
+	return x.Uint32(&m.Port)
+}
+
+// Registry is the in-memory mapping table.
+type Registry struct {
+	mu sync.RWMutex
+	m  map[Mapping]uint32 // key has Port zeroed; value is the port
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{m: make(map[Mapping]uint32)}
+}
+
+func key(prog, vers, prot uint32) Mapping {
+	return Mapping{Prog: prog, Vers: vers, Prot: prot}
+}
+
+// Set records a mapping; it fails (returns false) if the triple is
+// already bound, matching PMAPPROC_SET semantics.
+func (r *Registry) Set(m Mapping) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	k := key(m.Prog, m.Vers, m.Prot)
+	if _, exists := r.m[k]; exists {
+		return false
+	}
+	r.m[k] = m.Port
+	return true
+}
+
+// Unset removes all protocols bound for (prog, vers), per PMAPPROC_UNSET.
+func (r *Registry) Unset(prog, vers uint32) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	removed := false
+	for _, prot := range []uint32{IPProtoTCP, IPProtoUDP} {
+		k := key(prog, vers, prot)
+		if _, ok := r.m[k]; ok {
+			delete(r.m, k)
+			removed = true
+		}
+	}
+	return removed
+}
+
+// GetPort looks up the port for a triple; 0 means unregistered.
+func (r *Registry) GetPort(prog, vers, prot uint32) uint32 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.m[key(prog, vers, prot)]
+}
+
+// Dump snapshots all mappings.
+func (r *Registry) Dump() []Mapping {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]Mapping, 0, len(r.m))
+	for k, port := range r.m {
+		k.Port = port
+		out = append(out, k)
+	}
+	return out
+}
+
+// RegisterService installs the portmapper procedures on srv, backed by reg.
+func RegisterService(srv *server.Server, reg *Registry) {
+	srv.Register(Prog, Vers, ProcNull, func(dec *xdr.XDR) (server.Marshal, error) {
+		return func(*xdr.XDR) error { return nil }, nil
+	})
+	srv.Register(Prog, Vers, ProcSet, func(dec *xdr.XDR) (server.Marshal, error) {
+		var m Mapping
+		if err := m.Marshal(dec); err != nil {
+			return nil, errors.Join(server.ErrGarbageArgs, err)
+		}
+		ok := reg.Set(m)
+		return boolReply(ok), nil
+	})
+	srv.Register(Prog, Vers, ProcUnset, func(dec *xdr.XDR) (server.Marshal, error) {
+		var m Mapping
+		if err := m.Marshal(dec); err != nil {
+			return nil, errors.Join(server.ErrGarbageArgs, err)
+		}
+		ok := reg.Unset(m.Prog, m.Vers)
+		return boolReply(ok), nil
+	})
+	srv.Register(Prog, Vers, ProcGetPort, func(dec *xdr.XDR) (server.Marshal, error) {
+		var m Mapping
+		if err := m.Marshal(dec); err != nil {
+			return nil, errors.Join(server.ErrGarbageArgs, err)
+		}
+		port := reg.GetPort(m.Prog, m.Vers, m.Prot)
+		return func(enc *xdr.XDR) error { return enc.Uint32(&port) }, nil
+	})
+	srv.Register(Prog, Vers, ProcDump, func(dec *xdr.XDR) (server.Marshal, error) {
+		list := reg.Dump()
+		return func(enc *xdr.XDR) error { return marshalList(enc, &list) }, nil
+	})
+}
+
+func boolReply(v bool) server.Marshal {
+	return func(enc *xdr.XDR) error { return enc.Bool(&v) }
+}
+
+// marshalList (de)serializes the linked pmaplist as XDR optional-data
+// chain: each entry is prefixed by a 1 flag, the list ends with 0.
+func marshalList(x *xdr.XDR, list *[]Mapping) error {
+	switch x.Op {
+	case xdr.Encode:
+		for i := range *list {
+			follows := true
+			if err := x.Bool(&follows); err != nil {
+				return err
+			}
+			if err := (*list)[i].Marshal(x); err != nil {
+				return err
+			}
+		}
+		follows := false
+		return x.Bool(&follows)
+	case xdr.Decode:
+		*list = nil
+		for {
+			var follows bool
+			if err := x.Bool(&follows); err != nil {
+				return err
+			}
+			if !follows {
+				return nil
+			}
+			var m Mapping
+			if err := m.Marshal(x); err != nil {
+				return err
+			}
+			*list = append(*list, m)
+		}
+	case xdr.Free:
+		*list = nil
+		return nil
+	default:
+		return xdr.ErrBadOp
+	}
+}
+
+// Client wraps a generic RPC caller with typed portmapper operations.
+type Client struct {
+	c client.Caller
+}
+
+// NewClient returns a portmapper client over c, which must be configured
+// for Prog/Vers (see ClientConfig).
+func NewClient(c client.Caller) *Client { return &Client{c: c} }
+
+// ClientConfig returns the client.Config identifying the portmapper.
+func ClientConfig() client.Config { return client.Config{Prog: Prog, Vers: Vers} }
+
+// Null pings the portmapper.
+func (p *Client) Null() error {
+	return p.c.Call(ProcNull, client.Void, client.Void)
+}
+
+// Set registers a mapping, reporting whether it was newly bound.
+func (p *Client) Set(m Mapping) (bool, error) {
+	var ok bool
+	err := p.c.Call(ProcSet,
+		func(x *xdr.XDR) error { return m.Marshal(x) },
+		func(x *xdr.XDR) error { return x.Bool(&ok) })
+	return ok, err
+}
+
+// Unset removes the mappings for (prog, vers).
+func (p *Client) Unset(prog, vers uint32) (bool, error) {
+	m := Mapping{Prog: prog, Vers: vers}
+	var ok bool
+	err := p.c.Call(ProcUnset,
+		func(x *xdr.XDR) error { return m.Marshal(x) },
+		func(x *xdr.XDR) error { return x.Bool(&ok) })
+	return ok, err
+}
+
+// GetPort resolves the port for a triple; 0 means unregistered.
+func (p *Client) GetPort(prog, vers, prot uint32) (uint32, error) {
+	m := Mapping{Prog: prog, Vers: vers, Prot: prot}
+	var port uint32
+	err := p.c.Call(ProcGetPort,
+		func(x *xdr.XDR) error { return m.Marshal(x) },
+		func(x *xdr.XDR) error { return x.Uint32(&port) })
+	return port, err
+}
+
+// Dump fetches the whole mapping table.
+func (p *Client) Dump() ([]Mapping, error) {
+	var list []Mapping
+	err := p.c.Call(ProcDump, client.Void,
+		func(x *xdr.XDR) error { return marshalList(x, &list) })
+	return list, err
+}

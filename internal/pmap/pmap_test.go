@@ -1,0 +1,157 @@
+package pmap
+
+import (
+	"sort"
+	"testing"
+	"time"
+
+	"specrpc/internal/client"
+	"specrpc/internal/netsim"
+	"specrpc/internal/server"
+)
+
+func TestRegistrySetGetUnset(t *testing.T) {
+	r := NewRegistry()
+	m := Mapping{Prog: 300, Vers: 1, Prot: IPProtoUDP, Port: 2049}
+	if !r.Set(m) {
+		t.Fatal("first Set failed")
+	}
+	if r.Set(m) {
+		t.Fatal("second Set of the same triple must fail")
+	}
+	if got := r.GetPort(300, 1, IPProtoUDP); got != 2049 {
+		t.Fatalf("GetPort = %d", got)
+	}
+	if got := r.GetPort(300, 1, IPProtoTCP); got != 0 {
+		t.Fatalf("GetPort wrong proto = %d, want 0", got)
+	}
+	if !r.Unset(300, 1) {
+		t.Fatal("Unset failed")
+	}
+	if r.Unset(300, 1) {
+		t.Fatal("second Unset must report nothing removed")
+	}
+	if got := r.GetPort(300, 1, IPProtoUDP); got != 0 {
+		t.Fatalf("GetPort after unset = %d", got)
+	}
+}
+
+func TestRegistryUnsetRemovesBothProtocols(t *testing.T) {
+	r := NewRegistry()
+	r.Set(Mapping{Prog: 7, Vers: 1, Prot: IPProtoUDP, Port: 111})
+	r.Set(Mapping{Prog: 7, Vers: 1, Prot: IPProtoTCP, Port: 112})
+	if !r.Unset(7, 1) {
+		t.Fatal("Unset failed")
+	}
+	if r.GetPort(7, 1, IPProtoUDP) != 0 || r.GetPort(7, 1, IPProtoTCP) != 0 {
+		t.Fatal("mappings survived unset")
+	}
+}
+
+func TestRegistryDump(t *testing.T) {
+	r := NewRegistry()
+	r.Set(Mapping{Prog: 1, Vers: 1, Prot: IPProtoUDP, Port: 10})
+	r.Set(Mapping{Prog: 2, Vers: 1, Prot: IPProtoTCP, Port: 20})
+	got := r.Dump()
+	if len(got) != 2 {
+		t.Fatalf("dump has %d entries", len(got))
+	}
+	sort.Slice(got, func(i, j int) bool { return got[i].Prog < got[j].Prog })
+	if got[0].Port != 10 || got[1].Port != 20 {
+		t.Fatalf("dump = %+v", got)
+	}
+}
+
+// newPmapOverSim wires a portmapper service and client over netsim.
+func newPmapOverSim(t *testing.T) *Client {
+	t.Helper()
+	n := netsim.New()
+	srv := server.New()
+	reg := NewRegistry()
+	RegisterService(srv, reg)
+	ep := n.Attach("pmap")
+	go func() { _ = srv.ServeUDP(ep) }()
+	t.Cleanup(func() { _ = srv.Close() })
+
+	cfg := ClientConfig()
+	cfg.Timeout = 2 * time.Second
+	cfg.FirstXID = 42
+	c := client.NewUDP(n.Attach("c"), netsim.Addr("pmap"), cfg)
+	t.Cleanup(func() { _ = c.Close() })
+	return NewClient(c)
+}
+
+func TestProtocolNull(t *testing.T) {
+	p := newPmapOverSim(t)
+	if err := p.Null(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProtocolSetGetPortUnset(t *testing.T) {
+	p := newPmapOverSim(t)
+	ok, err := p.Set(Mapping{Prog: 200100, Vers: 3, Prot: IPProtoUDP, Port: 3049})
+	if err != nil || !ok {
+		t.Fatalf("Set: ok=%v err=%v", ok, err)
+	}
+	// Duplicate registration is refused over the wire too.
+	ok, err = p.Set(Mapping{Prog: 200100, Vers: 3, Prot: IPProtoUDP, Port: 9999})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("duplicate Set succeeded")
+	}
+	port, err := p.GetPort(200100, 3, IPProtoUDP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if port != 3049 {
+		t.Fatalf("GetPort = %d, want 3049", port)
+	}
+	// Unknown triple resolves to 0, the "not registered" convention.
+	port, err = p.GetPort(999999, 1, IPProtoTCP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if port != 0 {
+		t.Fatalf("GetPort unknown = %d, want 0", port)
+	}
+	ok, err = p.Unset(200100, 3)
+	if err != nil || !ok {
+		t.Fatalf("Unset: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestProtocolDump(t *testing.T) {
+	p := newPmapOverSim(t)
+	for i := uint32(1); i <= 3; i++ {
+		if ok, err := p.Set(Mapping{Prog: 100 + i, Vers: 1, Prot: IPProtoUDP, Port: 5000 + i}); err != nil || !ok {
+			t.Fatalf("Set %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+	list, err := p.Dump()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 3 {
+		t.Fatalf("dump has %d entries, want 3", len(list))
+	}
+	sort.Slice(list, func(i, j int) bool { return list[i].Prog < list[j].Prog })
+	for i, m := range list {
+		if m.Prog != uint32(101+i) || m.Port != uint32(5001+i) {
+			t.Fatalf("entry %d = %+v", i, m)
+		}
+	}
+}
+
+func TestProtocolDumpEmpty(t *testing.T) {
+	p := newPmapOverSim(t)
+	list, err := p.Dump()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 0 {
+		t.Fatalf("dump of empty registry = %+v", list)
+	}
+}

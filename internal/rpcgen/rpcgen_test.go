@@ -1,0 +1,253 @@
+package rpcgen
+
+import (
+	goparser "go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"specrpc/internal/minic"
+	rpclib "specrpc/internal/minic/lib"
+)
+
+const rminX = `
+/* The rmin service of the paper's running example. */
+const RMIN_MAX = 64;
+
+struct pair {
+    int int1;
+    int int2;
+};
+
+program RMIN_PROG {
+    version RMIN_VERS {
+        int RMIN(pair) = 1;
+    } = 1;
+} = 0x20000099;
+`
+
+const richX = `
+const MAXNAME = 255;
+const ARRAY_MAX = 2000;
+
+enum color { RED = 0, GREEN = 1, BLUE = 5 };
+
+typedef int numbers<ARRAY_MAX>;
+typedef opaque blob<1024>;
+
+struct point {
+    int x;
+    int y;
+};
+
+struct shape {
+    color  kind;
+    point  corners[4];
+    string label<MAXNAME>;
+    point* next;
+    unsigned hyper stamp;
+    double weight;
+    bool visible;
+};
+
+union lookup_result switch (int status) {
+case 0:
+    shape s;
+case 1:
+case 2:
+    int errno_val;
+default:
+    void;
+};
+
+program SHAPE_PROG {
+    version SHAPE_VERS {
+        lookup_result LOOKUP(point) = 1;
+        void PING(void) = 2;
+        numbers SCALE(numbers) = 3;
+    } = 2;
+} = 0x20000100;
+`
+
+func TestParseRmin(t *testing.T) {
+	spec, err := Parse(rminX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Structs) != 1 || spec.Structs[0].Name != "pair" {
+		t.Fatalf("structs: %+v", spec.Structs)
+	}
+	if len(spec.Programs) != 1 {
+		t.Fatal("missing program")
+	}
+	p := spec.Programs[0]
+	if p.Num != 0x20000099 || p.Versions[0].Num != 1 {
+		t.Fatalf("program numbers: %+v", p)
+	}
+	proc := p.Versions[0].Procs[0]
+	if proc.Name != "RMIN" || proc.Num != 1 || proc.Arg.Name != "pair" {
+		t.Fatalf("proc: %+v", proc)
+	}
+	if v, ok := spec.LookupConst("RMIN_MAX"); !ok || v != 64 {
+		t.Fatalf("const RMIN_MAX = %d, %v", v, ok)
+	}
+}
+
+func TestParseRich(t *testing.T) {
+	spec, err := Parse(richX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Enums) != 1 || len(spec.Typedefs) != 2 || len(spec.Unions) != 1 {
+		t.Fatalf("decl counts: enums=%d typedefs=%d unions=%d",
+			len(spec.Enums), len(spec.Typedefs), len(spec.Unions))
+	}
+	if v, _ := spec.LookupConst("BLUE"); v != 5 {
+		t.Fatalf("BLUE = %d", v)
+	}
+	if v, _ := spec.LookupConst("GREEN"); v != 1 {
+		t.Fatalf("GREEN = %d", v)
+	}
+	shape := spec.Structs[1]
+	if shape.Name != "shape" {
+		t.Fatalf("struct order: %+v", spec.Structs)
+	}
+	if shape.Fields[1].Type.FixedArray != 4 {
+		t.Fatalf("corners: %+v", shape.Fields[1])
+	}
+	if !shape.Fields[3].Type.Optional {
+		t.Fatalf("next not optional: %+v", shape.Fields[3])
+	}
+	u := spec.Unions[0]
+	if len(u.Arms) != 3 || len(u.Arms[1].CaseValues) != 2 || u.Arms[2].Field != nil {
+		t.Fatalf("union arms: %+v", u.Arms)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		`struct s { int a }`,                    // missing semicolons
+		`const X = ;`,                           // missing value
+		`enum e { A = , B };`,                   // bad enumerator
+		`union u switch int d) { };`,            // malformed switch
+		`program P { version V { } };`,          // missing numbers
+		`struct s { string name; };`,            // unbounded string
+		`typedef int t<10>; typedef int t<20>;`, // redeclaration
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestGenerateGoParses(t *testing.T) {
+	for name, src := range map[string]string{"rmin": rminX, "rich": richX} {
+		spec, err := Parse(src)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		out, err := GenerateGo(spec, GoOptions{Package: "stubs"})
+		if err != nil {
+			t.Fatalf("%s: generate: %v", name, err)
+		}
+		fset := token.NewFileSet()
+		if _, err := goparser.ParseFile(fset, name+".go", out, goparser.AllErrors); err != nil {
+			t.Fatalf("%s: generated Go does not parse: %v\n%s", name, err, out)
+		}
+		for _, want := range []string{"package stubs", "func ", "Marshal"} {
+			if !strings.Contains(out, want) {
+				t.Fatalf("%s: output missing %q", name, want)
+			}
+		}
+	}
+}
+
+func TestGenerateGoClientAndServerShapes(t *testing.T) {
+	spec, err := Parse(richX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := GenerateGo(spec, GoOptions{Package: "stubs"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"type ShapeProgV2Client struct",
+		"type ShapeProgV2Handler interface",
+		"func RegisterShapeProgV2(",
+		"ShapeProgV2ProcPing",
+		"func (c *ShapeProgV2Client) Ping() error",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestGenerateMiniC(t *testing.T) {
+	spec, err := Parse(richX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, skipped, err := GenerateMiniC(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// point is in the subset; shape is not (string, optional, hyper...).
+	if !strings.Contains(out, "int xdr_point(struct xdrbuf* xdrs, struct point* objp)") {
+		t.Fatalf("xdr_point missing:\n%s", out)
+	}
+	if strings.Contains(out, "xdr_shape") {
+		t.Fatalf("xdr_shape should be skipped:\n%s", out)
+	}
+	if len(skipped) == 0 || !strings.Contains(strings.Join(skipped, ";"), "shape") {
+		t.Fatalf("skip report: %v", skipped)
+	}
+
+	// The generated mini-C must parse and type-check when concatenated
+	// with the runtime library it calls into.
+	full := rpclib.Source + "\n" + out
+	prog, err := minic.Parse(full)
+	if err != nil {
+		t.Fatalf("generated mini-C does not parse: %v\n%s", err, out)
+	}
+	if err := minic.Check(prog); err != nil {
+		t.Fatalf("generated mini-C does not check: %v\n%s", err, out)
+	}
+}
+
+func TestGenerateMiniCPairMatchesPaperShape(t *testing.T) {
+	spec, err := Parse(rminX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, skipped, err := GenerateMiniC(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(skipped) != 0 {
+		t.Fatalf("unexpected skips: %v", skipped)
+	}
+	// The generated stub has the paper's Figure 4 structure.
+	for _, want := range []string{
+		"int xdr_pair(struct xdrbuf* xdrs, struct pair* objp)",
+		"if (!xdr_int(xdrs, &objp->int1)) { return 0; }",
+		"if (!xdr_int(xdrs, &objp->int2)) { return 0; }",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestGoNameExport(t *testing.T) {
+	tests := map[string]string{
+		"rmin_prog": "RminProg", "int1": "Int1", "a_b_c": "ABC", "x": "X",
+	}
+	for in, want := range tests {
+		if got := GoName(in); got != want {
+			t.Errorf("GoName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

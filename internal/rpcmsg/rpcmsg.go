@@ -1,0 +1,343 @@
+// Package rpcmsg implements the ONC RPC message protocol of RFC 1057: the
+// call and reply headers, accept/reject statuses, and authentication
+// material that frame every Sun RPC exchange.
+//
+// The package is transport-agnostic: messages marshal against an xdr.XDR
+// handle, so the same code serves UDP datagrams and TCP record streams.
+package rpcmsg
+
+import (
+	"errors"
+	"fmt"
+
+	"specrpc/internal/xdr"
+)
+
+// Version is the RPC protocol version this package speaks (RPCVERS).
+const Version = 2
+
+// MsgType discriminates the two top-level message bodies.
+type MsgType int32
+
+// RPC message types (msg_type).
+const (
+	Call  MsgType = 0
+	Reply MsgType = 1
+)
+
+// ReplyStat discriminates accepted from rejected replies.
+type ReplyStat int32
+
+// Reply statuses (reply_stat).
+const (
+	MsgAccepted ReplyStat = 0
+	MsgDenied   ReplyStat = 1
+)
+
+// AcceptStat reports the outcome of an accepted call (accept_stat).
+type AcceptStat int32
+
+// Accepted-reply statuses.
+const (
+	Success      AcceptStat = 0 // RPC executed successfully
+	ProgUnavail  AcceptStat = 1 // remote has not exported the program
+	ProgMismatch AcceptStat = 2 // remote cannot support this version
+	ProcUnavail  AcceptStat = 3 // program cannot support this procedure
+	GarbageArgs  AcceptStat = 4 // arguments failed to decode
+	SystemErr    AcceptStat = 5 // server internal error
+)
+
+// String returns the RFC name of the status.
+func (s AcceptStat) String() string {
+	switch s {
+	case Success:
+		return "SUCCESS"
+	case ProgUnavail:
+		return "PROG_UNAVAIL"
+	case ProgMismatch:
+		return "PROG_MISMATCH"
+	case ProcUnavail:
+		return "PROC_UNAVAIL"
+	case GarbageArgs:
+		return "GARBAGE_ARGS"
+	case SystemErr:
+		return "SYSTEM_ERR"
+	default:
+		return fmt.Sprintf("accept_stat(%d)", int32(s))
+	}
+}
+
+// RejectStat reports why a call was rejected (reject_stat).
+type RejectStat int32
+
+// Rejected-reply statuses.
+const (
+	RPCMismatch RejectStat = 0 // RPC version number != 2
+	AuthError   RejectStat = 1 // authentication failed
+)
+
+// AuthStat details an authentication failure (auth_stat).
+type AuthStat int32
+
+// Authentication failure reasons.
+const (
+	AuthBadCred      AuthStat = 1
+	AuthRejectedCred AuthStat = 2
+	AuthBadVerf      AuthStat = 3
+	AuthRejectedVerf AuthStat = 4
+	AuthTooWeak      AuthStat = 5
+)
+
+// AuthFlavor identifies a credential scheme.
+type AuthFlavor int32
+
+// Authentication flavors.
+const (
+	AuthNone  AuthFlavor = 0 // AUTH_NULL
+	AuthSys   AuthFlavor = 1 // AUTH_UNIX / AUTH_SYS
+	AuthShort AuthFlavor = 2
+)
+
+// MaxAuthBytes bounds an opaque_auth body (RFC 1057 fixes it at 400).
+const MaxAuthBytes = 400
+
+// Errors surfaced while interpreting messages.
+var (
+	// ErrBadMsgType reports a message that is neither call nor reply.
+	ErrBadMsgType = errors.New("rpcmsg: invalid message type")
+	// ErrRPCVersion reports a call whose rpcvers is not 2.
+	ErrRPCVersion = errors.New("rpcmsg: RPC version mismatch")
+	// ErrAuthTooBig reports an auth body above MaxAuthBytes.
+	ErrAuthTooBig = errors.New("rpcmsg: auth body exceeds 400 bytes")
+)
+
+// OpaqueAuth is the flavor-tagged blob attached to every call (credential
+// and verifier) and every accepted reply (verifier).
+type OpaqueAuth struct {
+	Flavor AuthFlavor
+	Body   []byte
+}
+
+// None is the empty AUTH_NULL blob.
+func None() OpaqueAuth { return OpaqueAuth{Flavor: AuthNone} }
+
+// Marshal encodes or decodes the blob against x.
+func (a *OpaqueAuth) Marshal(x *xdr.XDR) error {
+	f := int32(a.Flavor)
+	if err := x.Enum(&f); err != nil {
+		return fmt.Errorf("auth flavor: %w", err)
+	}
+	a.Flavor = AuthFlavor(f)
+	if err := x.Bytes(&a.Body, MaxAuthBytes); err != nil {
+		if errors.Is(err, xdr.ErrTooBig) {
+			return ErrAuthTooBig
+		}
+		return fmt.Errorf("auth body: %w", err)
+	}
+	return nil
+}
+
+// SysCred is the AUTH_SYS credential body (authsys_parms): the classic
+// UNIX identity sent in clear.
+type SysCred struct {
+	Stamp       uint32
+	MachineName string
+	UID         uint32
+	GID         uint32
+	GIDs        []uint32
+}
+
+// MaxMachineName bounds the machinename field per RFC 1057.
+const MaxMachineName = 255
+
+// MaxGroups bounds the supplementary group list per RFC 1057.
+const MaxGroups = 16
+
+// Marshal encodes or decodes the credential body.
+func (c *SysCred) Marshal(x *xdr.XDR) error {
+	if err := x.Uint32(&c.Stamp); err != nil {
+		return err
+	}
+	if err := x.String(&c.MachineName, MaxMachineName); err != nil {
+		return err
+	}
+	if err := x.Uint32(&c.UID); err != nil {
+		return err
+	}
+	if err := x.Uint32(&c.GID); err != nil {
+		return err
+	}
+	return xdr.Array(x, &c.GIDs, MaxGroups, (*xdr.XDR).Uint32)
+}
+
+// Encode packs the credential into an OpaqueAuth ready to attach to a call.
+func (c *SysCred) Encode() (OpaqueAuth, error) {
+	buf := make([]byte, 4+4+MaxMachineName+4+4+4+4+4*MaxGroups)
+	m := xdr.NewMemEncode(buf)
+	if err := c.Marshal(xdr.NewEncoder(m)); err != nil {
+		return OpaqueAuth{}, fmt.Errorf("encode AUTH_SYS cred: %w", err)
+	}
+	return OpaqueAuth{Flavor: AuthSys, Body: append([]byte(nil), m.Buffer()...)}, nil
+}
+
+// DecodeSysCred unpacks an AUTH_SYS credential body.
+func DecodeSysCred(a OpaqueAuth) (*SysCred, error) {
+	if a.Flavor != AuthSys {
+		return nil, fmt.Errorf("rpcmsg: flavor %d is not AUTH_SYS", a.Flavor)
+	}
+	var c SysCred
+	if err := c.Marshal(xdr.NewDecoder(xdr.NewMemDecode(a.Body))); err != nil {
+		return nil, fmt.Errorf("decode AUTH_SYS cred: %w", err)
+	}
+	return &c, nil
+}
+
+// CallHeader is the fixed prefix of a call message: everything up to (not
+// including) the procedure arguments. Marshaling it is the "write
+// procedure identifier" step of the paper's Figure 1 trace.
+type CallHeader struct {
+	XID  uint32
+	Prog uint32
+	Vers uint32
+	Proc uint32
+	Cred OpaqueAuth
+	Verf OpaqueAuth
+}
+
+// Marshal encodes or decodes the header. On decode it validates the
+// message type and RPC version, returning ErrBadMsgType or ErrRPCVersion.
+func (c *CallHeader) Marshal(x *xdr.XDR) error {
+	if err := x.Uint32(&c.XID); err != nil {
+		return fmt.Errorf("xid: %w", err)
+	}
+	mtype := int32(Call)
+	if err := x.Enum(&mtype); err != nil {
+		return fmt.Errorf("msg type: %w", err)
+	}
+	if MsgType(mtype) != Call {
+		return ErrBadMsgType
+	}
+	rpcvers := uint32(Version)
+	if err := x.Uint32(&rpcvers); err != nil {
+		return fmt.Errorf("rpcvers: %w", err)
+	}
+	if rpcvers != Version {
+		return ErrRPCVersion
+	}
+	if err := x.Uint32(&c.Prog); err != nil {
+		return fmt.Errorf("prog: %w", err)
+	}
+	if err := x.Uint32(&c.Vers); err != nil {
+		return fmt.Errorf("vers: %w", err)
+	}
+	if err := x.Uint32(&c.Proc); err != nil {
+		return fmt.Errorf("proc: %w", err)
+	}
+	if err := c.Cred.Marshal(x); err != nil {
+		return fmt.Errorf("cred: %w", err)
+	}
+	if err := c.Verf.Marshal(x); err != nil {
+		return fmt.Errorf("verf: %w", err)
+	}
+	return nil
+}
+
+// MismatchInfo carries the version range of a PROG_MISMATCH or
+// RPC_MISMATCH reply.
+type MismatchInfo struct {
+	Low  uint32
+	High uint32
+}
+
+// ReplyHeader is a decoded reply up to (not including) the results: the
+// union of accepted and rejected bodies. After DecodeReplyHeader returns
+// with Stat == MsgAccepted and AcceptStat == Success, the caller decodes
+// the results from the same stream.
+type ReplyHeader struct {
+	XID        uint32
+	Stat       ReplyStat
+	Verf       OpaqueAuth   // accepted only
+	AcceptStat AcceptStat   // accepted only
+	RejectStat RejectStat   // denied only
+	AuthStat   AuthStat     // denied + AuthError only
+	Mismatch   MismatchInfo // PROG_MISMATCH / RPC_MISMATCH only
+}
+
+// Marshal encodes or decodes a reply header against x.
+func (r *ReplyHeader) Marshal(x *xdr.XDR) error {
+	if err := x.Uint32(&r.XID); err != nil {
+		return fmt.Errorf("xid: %w", err)
+	}
+	mtype := int32(Reply)
+	if err := x.Enum(&mtype); err != nil {
+		return fmt.Errorf("msg type: %w", err)
+	}
+	if MsgType(mtype) != Reply {
+		return ErrBadMsgType
+	}
+	stat := int32(r.Stat)
+	if err := x.Enum(&stat); err != nil {
+		return fmt.Errorf("reply stat: %w", err)
+	}
+	r.Stat = ReplyStat(stat)
+	switch r.Stat {
+	case MsgAccepted:
+		if err := r.Verf.Marshal(x); err != nil {
+			return fmt.Errorf("verf: %w", err)
+		}
+		astat := int32(r.AcceptStat)
+		if err := x.Enum(&astat); err != nil {
+			return fmt.Errorf("accept stat: %w", err)
+		}
+		r.AcceptStat = AcceptStat(astat)
+		if r.AcceptStat == ProgMismatch {
+			if err := x.Uint32(&r.Mismatch.Low); err != nil {
+				return err
+			}
+			if err := x.Uint32(&r.Mismatch.High); err != nil {
+				return err
+			}
+		}
+		return nil
+	case MsgDenied:
+		rstat := int32(r.RejectStat)
+		if err := x.Enum(&rstat); err != nil {
+			return fmt.Errorf("reject stat: %w", err)
+		}
+		r.RejectStat = RejectStat(rstat)
+		switch r.RejectStat {
+		case RPCMismatch:
+			if err := x.Uint32(&r.Mismatch.Low); err != nil {
+				return err
+			}
+			return x.Uint32(&r.Mismatch.High)
+		case AuthError:
+			astat := int32(r.AuthStat)
+			if err := x.Enum(&astat); err != nil {
+				return err
+			}
+			r.AuthStat = AuthStat(astat)
+			return nil
+		default:
+			return fmt.Errorf("rpcmsg: bad reject stat %d", rstat)
+		}
+	default:
+		return fmt.Errorf("rpcmsg: bad reply stat %d", stat)
+	}
+}
+
+// AcceptedReply returns a success reply header echoing xid.
+func AcceptedReply(xid uint32) ReplyHeader {
+	return ReplyHeader{XID: xid, Stat: MsgAccepted, Verf: None(), AcceptStat: Success}
+}
+
+// ErrorReply returns an accepted-but-failed reply header with the given
+// status (e.g. ProcUnavail, GarbageArgs).
+func ErrorReply(xid uint32, stat AcceptStat) ReplyHeader {
+	return ReplyHeader{XID: xid, Stat: MsgAccepted, Verf: None(), AcceptStat: stat}
+}
+
+// DeniedReply returns an auth-rejection reply header.
+func DeniedReply(xid uint32, stat AuthStat) ReplyHeader {
+	return ReplyHeader{XID: xid, Stat: MsgDenied, RejectStat: AuthError, AuthStat: stat}
+}

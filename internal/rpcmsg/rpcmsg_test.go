@@ -1,0 +1,231 @@
+package rpcmsg
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"specrpc/internal/xdr"
+)
+
+func TestCallHeaderRoundTrip(t *testing.T) {
+	in := CallHeader{
+		XID:  0xcafebabe,
+		Prog: 200100,
+		Vers: 3,
+		Proc: 7,
+		Cred: None(),
+		Verf: None(),
+	}
+	buf := make([]byte, 256)
+	m := xdr.NewMemEncode(buf)
+	if err := in.Marshal(xdr.NewEncoder(m)); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	// Header with empty auth = 10 words.
+	if got := len(m.Buffer()); got != 40 {
+		t.Fatalf("wire length = %d, want 40", got)
+	}
+	var out CallHeader
+	if err := out.Marshal(xdr.NewDecoder(xdr.NewMemDecode(m.Buffer()))); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if out.XID != in.XID || out.Prog != in.Prog || out.Vers != in.Vers || out.Proc != in.Proc {
+		t.Fatalf("round trip mismatch: %+v vs %+v", out, in)
+	}
+}
+
+func TestCallHeaderQuick(t *testing.T) {
+	f := func(xid, prog, vers, proc uint32) bool {
+		in := CallHeader{XID: xid, Prog: prog, Vers: vers, Proc: proc, Cred: None(), Verf: None()}
+		buf := make([]byte, 256)
+		m := xdr.NewMemEncode(buf)
+		if err := in.Marshal(xdr.NewEncoder(m)); err != nil {
+			return false
+		}
+		var out CallHeader
+		if err := out.Marshal(xdr.NewDecoder(xdr.NewMemDecode(m.Buffer()))); err != nil {
+			return false
+		}
+		return out.XID == xid && out.Prog == prog && out.Vers == vers && out.Proc == proc
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCallHeaderRejectsReplyType(t *testing.T) {
+	buf := make([]byte, 64)
+	m := xdr.NewMemEncode(buf)
+	x := xdr.NewEncoder(m)
+	xid := uint32(1)
+	if err := x.Uint32(&xid); err != nil {
+		t.Fatal(err)
+	}
+	mtype := int32(Reply) // wrong type for a call
+	if err := x.Enum(&mtype); err != nil {
+		t.Fatal(err)
+	}
+	var out CallHeader
+	err := out.Marshal(xdr.NewDecoder(xdr.NewMemDecode(m.Buffer())))
+	if !errors.Is(err, ErrBadMsgType) {
+		t.Fatalf("err = %v, want ErrBadMsgType", err)
+	}
+}
+
+func TestCallHeaderRejectsBadVersion(t *testing.T) {
+	buf := make([]byte, 64)
+	m := xdr.NewMemEncode(buf)
+	x := xdr.NewEncoder(m)
+	words := []int32{9 /*xid*/, int32(Call), 3 /*rpcvers != 2*/, 1, 1, 1}
+	for i := range words {
+		if err := x.Long(&words[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var out CallHeader
+	err := out.Marshal(xdr.NewDecoder(xdr.NewMemDecode(m.Buffer())))
+	if !errors.Is(err, ErrRPCVersion) {
+		t.Fatalf("err = %v, want ErrRPCVersion", err)
+	}
+}
+
+func TestSysCredRoundTrip(t *testing.T) {
+	in := SysCred{
+		Stamp:       12345,
+		MachineName: "node-17.cluster",
+		UID:         501,
+		GID:         100,
+		GIDs:        []uint32{100, 101, 102},
+	}
+	blob, err := in.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blob.Flavor != AuthSys {
+		t.Fatalf("flavor = %d, want AUTH_SYS", blob.Flavor)
+	}
+	out, err := DecodeSysCred(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Stamp != in.Stamp || out.MachineName != in.MachineName ||
+		out.UID != in.UID || out.GID != in.GID || len(out.GIDs) != 3 {
+		t.Fatalf("round trip mismatch: %+v", out)
+	}
+}
+
+func TestDecodeSysCredWrongFlavor(t *testing.T) {
+	if _, err := DecodeSysCred(None()); err == nil {
+		t.Fatal("expected error for AUTH_NULL blob")
+	}
+}
+
+func TestSysCredTooManyGroups(t *testing.T) {
+	in := SysCred{GIDs: make([]uint32, MaxGroups+1)}
+	if _, err := in.Encode(); err == nil {
+		t.Fatal("expected error for >16 groups")
+	}
+}
+
+func TestReplyHeaderAcceptedRoundTrip(t *testing.T) {
+	in := AcceptedReply(77)
+	buf := make([]byte, 128)
+	m := xdr.NewMemEncode(buf)
+	if err := in.Marshal(xdr.NewEncoder(m)); err != nil {
+		t.Fatal(err)
+	}
+	var out ReplyHeader
+	if err := out.Marshal(xdr.NewDecoder(xdr.NewMemDecode(m.Buffer()))); err != nil {
+		t.Fatal(err)
+	}
+	if out.XID != 77 || out.Stat != MsgAccepted || out.AcceptStat != Success {
+		t.Fatalf("round trip mismatch: %+v", out)
+	}
+}
+
+func TestReplyHeaderErrorStatuses(t *testing.T) {
+	for _, stat := range []AcceptStat{ProgUnavail, ProcUnavail, GarbageArgs, SystemErr} {
+		in := ErrorReply(5, stat)
+		buf := make([]byte, 128)
+		m := xdr.NewMemEncode(buf)
+		if err := in.Marshal(xdr.NewEncoder(m)); err != nil {
+			t.Fatalf("%v: %v", stat, err)
+		}
+		var out ReplyHeader
+		if err := out.Marshal(xdr.NewDecoder(xdr.NewMemDecode(m.Buffer()))); err != nil {
+			t.Fatalf("%v: %v", stat, err)
+		}
+		if out.AcceptStat != stat {
+			t.Fatalf("got %v, want %v", out.AcceptStat, stat)
+		}
+	}
+}
+
+func TestReplyHeaderProgMismatch(t *testing.T) {
+	in := ErrorReply(5, ProgMismatch)
+	in.Mismatch = MismatchInfo{Low: 2, High: 4}
+	buf := make([]byte, 128)
+	m := xdr.NewMemEncode(buf)
+	if err := in.Marshal(xdr.NewEncoder(m)); err != nil {
+		t.Fatal(err)
+	}
+	var out ReplyHeader
+	if err := out.Marshal(xdr.NewDecoder(xdr.NewMemDecode(m.Buffer()))); err != nil {
+		t.Fatal(err)
+	}
+	if out.Mismatch.Low != 2 || out.Mismatch.High != 4 {
+		t.Fatalf("mismatch info = %+v", out.Mismatch)
+	}
+}
+
+func TestReplyHeaderDenied(t *testing.T) {
+	in := DeniedReply(9, AuthBadCred)
+	buf := make([]byte, 128)
+	m := xdr.NewMemEncode(buf)
+	if err := in.Marshal(xdr.NewEncoder(m)); err != nil {
+		t.Fatal(err)
+	}
+	var out ReplyHeader
+	if err := out.Marshal(xdr.NewDecoder(xdr.NewMemDecode(m.Buffer()))); err != nil {
+		t.Fatal(err)
+	}
+	if out.Stat != MsgDenied || out.RejectStat != AuthError || out.AuthStat != AuthBadCred {
+		t.Fatalf("round trip mismatch: %+v", out)
+	}
+}
+
+func TestReplyHeaderRPCMismatch(t *testing.T) {
+	in := ReplyHeader{XID: 3, Stat: MsgDenied, RejectStat: RPCMismatch,
+		Mismatch: MismatchInfo{Low: 2, High: 2}}
+	buf := make([]byte, 128)
+	m := xdr.NewMemEncode(buf)
+	if err := in.Marshal(xdr.NewEncoder(m)); err != nil {
+		t.Fatal(err)
+	}
+	var out ReplyHeader
+	if err := out.Marshal(xdr.NewDecoder(xdr.NewMemDecode(m.Buffer()))); err != nil {
+		t.Fatal(err)
+	}
+	if out.RejectStat != RPCMismatch || out.Mismatch.Low != 2 || out.Mismatch.High != 2 {
+		t.Fatalf("round trip mismatch: %+v", out)
+	}
+}
+
+func TestAuthBodyTooBig(t *testing.T) {
+	a := OpaqueAuth{Flavor: AuthSys, Body: make([]byte, MaxAuthBytes+1)}
+	buf := make([]byte, 1024)
+	err := a.Marshal(xdr.NewEncoder(xdr.NewMemEncode(buf)))
+	if !errors.Is(err, ErrAuthTooBig) {
+		t.Fatalf("err = %v, want ErrAuthTooBig", err)
+	}
+}
+
+func TestAcceptStatString(t *testing.T) {
+	if Success.String() != "SUCCESS" || ProcUnavail.String() != "PROC_UNAVAIL" {
+		t.Fatal("unexpected status names")
+	}
+	if AcceptStat(42).String() != "accept_stat(42)" {
+		t.Fatalf("got %q", AcceptStat(42).String())
+	}
+}

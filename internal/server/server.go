@@ -1,0 +1,338 @@
+// Package server implements the service half of Sun RPC: the Go rendering
+// of svc.c, svc_udp.c, and svc_tcp.c. A Server holds a dispatch table
+// keyed by (program, version, procedure), serves datagram and stream
+// transports, enforces the RFC 1057 error replies (PROG_UNAVAIL,
+// PROG_MISMATCH, PROC_UNAVAIL, GARBAGE_ARGS), and keeps a bounded
+// duplicate-request cache so retransmitted datagram calls are answered
+// from memory instead of re-executed (svcudp_enablecache).
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"specrpc/internal/rpcmsg"
+	"specrpc/internal/xdr"
+)
+
+// Marshal serializes or deserializes one value against an XDR handle.
+type Marshal func(x *xdr.XDR) error
+
+// Proc handles one procedure: it decodes arguments from dec and returns
+// the marshaler producing the results. Returning ErrGarbageArgs (or any
+// error wrapping it) yields a GARBAGE_ARGS reply; any other error yields
+// SYSTEM_ERR.
+type Proc func(dec *xdr.XDR) (reply Marshal, err error)
+
+// ErrGarbageArgs signals that the arguments failed to decode.
+var ErrGarbageArgs = errors.New("server: garbage args")
+
+type procKey struct {
+	prog, vers, proc uint32
+}
+
+// Server dispatches RPC calls to registered procedures.
+type Server struct {
+	mu       sync.RWMutex
+	procs    map[procKey]Proc
+	versions map[uint32][2]uint32 // prog -> [low, high] registered versions
+	cache    *replyCache
+	bufSize  int
+
+	wg      sync.WaitGroup
+	closeMu sync.Mutex
+	closers []func() error
+	closed  bool
+}
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithCacheSize sets the duplicate-request cache capacity in entries
+// (default 128; 0 disables the cache).
+func WithCacheSize(n int) Option {
+	return func(s *Server) {
+		if n <= 0 {
+			s.cache = nil
+			return
+		}
+		s.cache = newReplyCache(n)
+	}
+}
+
+// WithBufSize sets the datagram receive/reply buffer size (default 8900).
+func WithBufSize(n int) Option { return func(s *Server) { s.bufSize = n } }
+
+// New returns an empty server.
+func New(opts ...Option) *Server {
+	s := &Server{
+		procs:    make(map[procKey]Proc),
+		versions: make(map[uint32][2]uint32),
+		cache:    newReplyCache(128),
+		bufSize:  8900,
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Register installs the handler for (prog, vers, proc), the svc_register
+// step. Registering the same triple twice replaces the handler.
+func (s *Server) Register(prog, vers, proc uint32, h Proc) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.procs[procKey{prog, vers, proc}] = h
+	r, ok := s.versions[prog]
+	if !ok {
+		s.versions[prog] = [2]uint32{vers, vers}
+		return
+	}
+	if vers < r[0] {
+		r[0] = vers
+	}
+	if vers > r[1] {
+		r[1] = vers
+	}
+	s.versions[prog] = r
+}
+
+// dispatch resolves a call header to a handler or an error reply status.
+func (s *Server) dispatch(h *rpcmsg.CallHeader) (Proc, rpcmsg.ReplyHeader) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	vers, ok := s.versions[h.Prog]
+	if !ok {
+		return nil, rpcmsg.ErrorReply(h.XID, rpcmsg.ProgUnavail)
+	}
+	if h.Vers < vers[0] || h.Vers > vers[1] {
+		r := rpcmsg.ErrorReply(h.XID, rpcmsg.ProgMismatch)
+		r.Mismatch = rpcmsg.MismatchInfo{Low: vers[0], High: vers[1]}
+		return nil, r
+	}
+	proc, ok := s.procs[procKey{h.Prog, h.Vers, h.Proc}]
+	if !ok {
+		return nil, rpcmsg.ErrorReply(h.XID, rpcmsg.ProcUnavail)
+	}
+	return proc, rpcmsg.AcceptedReply(h.XID)
+}
+
+// handleCall decodes one request from req and produces the reply bytes
+// using replyBuf as scratch. It is shared by the UDP and TCP loops.
+func (s *Server) handleCall(req []byte, replyBuf []byte) ([]byte, error) {
+	dec := xdr.NewDecoder(xdr.NewMemDecode(req))
+	var hdr rpcmsg.CallHeader
+	if err := hdr.Marshal(dec); err != nil {
+		// Undecodable header: no XID to reply to; drop, as svc_udp did.
+		return nil, fmt.Errorf("server: bad call header: %w", err)
+	}
+
+	proc, rh := s.dispatch(&hdr)
+	var results Marshal
+	if proc != nil {
+		var err error
+		results, err = proc(dec)
+		switch {
+		case err == nil:
+		case errors.Is(err, ErrGarbageArgs):
+			rh = rpcmsg.ErrorReply(hdr.XID, rpcmsg.GarbageArgs)
+			results = nil
+		default:
+			rh = rpcmsg.ErrorReply(hdr.XID, rpcmsg.SystemErr)
+			results = nil
+		}
+	}
+
+	mem := xdr.NewMemEncode(replyBuf)
+	enc := xdr.NewEncoder(mem)
+	if err := rh.Marshal(enc); err != nil {
+		return nil, fmt.Errorf("server: marshal reply header: %w", err)
+	}
+	if results != nil {
+		if err := results(enc); err != nil {
+			// Results failed to encode: restart with SYSTEM_ERR.
+			mem = xdr.NewMemEncode(replyBuf)
+			enc = xdr.NewEncoder(mem)
+			se := rpcmsg.ErrorReply(hdr.XID, rpcmsg.SystemErr)
+			if err2 := se.Marshal(enc); err2 != nil {
+				return nil, fmt.Errorf("server: marshal error reply: %w", err2)
+			}
+		}
+	}
+	return mem.Buffer(), nil
+}
+
+// ServeUDP answers datagram calls on conn until the connection or server
+// is closed. It blocks; run it on its own goroutine when serving multiple
+// transports.
+func (s *Server) ServeUDP(conn net.PacketConn) error {
+	s.track(conn.Close)
+	s.wg.Add(1)
+	defer s.wg.Done()
+
+	req := make([]byte, s.bufSize)
+	reply := make([]byte, s.bufSize)
+	for {
+		n, from, err := conn.ReadFrom(req)
+		if err != nil {
+			if s.isClosed() {
+				return nil
+			}
+			return fmt.Errorf("server: read: %w", err)
+		}
+		s.answerDatagram(conn, from, req[:n], reply)
+	}
+}
+
+func (s *Server) answerDatagram(conn net.PacketConn, from net.Addr, req, replyBuf []byte) {
+	// Duplicate-request cache: a retransmission of a call we already
+	// executed is answered with the cached bytes, preserving the
+	// "execute at most once per XID while cached" behaviour.
+	var xid uint32
+	if len(req) >= 4 {
+		xid = uint32(req[0])<<24 | uint32(req[1])<<16 | uint32(req[2])<<8 | uint32(req[3])
+		if s.cache != nil {
+			if cached, ok := s.cache.get(from.String(), xid); ok {
+				_, _ = conn.WriteTo(cached, from)
+				return
+			}
+		}
+	}
+	out, err := s.handleCall(req, replyBuf)
+	if err != nil {
+		return // undecodable datagram: drop silently
+	}
+	if s.cache != nil {
+		s.cache.put(from.String(), xid, out)
+	}
+	_, _ = conn.WriteTo(out, from)
+}
+
+// ServeTCP accepts stream connections and answers record-marked calls on
+// each, one goroutine per connection. It blocks until the listener or
+// server is closed.
+func (s *Server) ServeTCP(ln net.Listener) error {
+	s.track(ln.Close)
+	s.wg.Add(1)
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if s.isClosed() {
+				return nil
+			}
+			return fmt.Errorf("server: accept: %w", err)
+		}
+		s.track(conn.Close)
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	rec := xdr.NewRecStream(conn, 0)
+	req := make([]byte, 0, s.bufSize)
+	replyBuf := make([]byte, 0, s.bufSize)
+	for {
+		// Read the full request record via the record layer; unlike a
+		// datagram, a TCP record may exceed the datagram buffer size,
+		// so the buffer grows as needed.
+		var err error
+		req, err = rec.ReadRecord(req[:0])
+		if err != nil {
+			return // connection closed or broken framing
+		}
+		if cap(replyBuf) < len(req)+s.bufSize {
+			replyBuf = make([]byte, 0, len(req)+s.bufSize)
+		}
+		out, err := s.handleCall(req, replyBuf[:cap(replyBuf)])
+		if err != nil {
+			return
+		}
+		if err := rec.PutBytes(out); err != nil {
+			return
+		}
+		if err := rec.EndRecord(); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) track(close func() error) {
+	s.closeMu.Lock()
+	defer s.closeMu.Unlock()
+	s.closers = append(s.closers, close)
+}
+
+func (s *Server) isClosed() bool {
+	s.closeMu.Lock()
+	defer s.closeMu.Unlock()
+	return s.closed
+}
+
+// Close stops all transports and waits for the service loops to drain.
+func (s *Server) Close() error {
+	s.closeMu.Lock()
+	if s.closed {
+		s.closeMu.Unlock()
+		return nil
+	}
+	s.closed = true
+	closers := s.closers
+	s.closeMu.Unlock()
+	var firstErr error
+	for _, c := range closers {
+		if err := c(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	s.wg.Wait()
+	return firstErr
+}
+
+// replyCache is a bounded FIFO map from (peer, xid) to reply bytes.
+type replyCache struct {
+	mu    sync.Mutex
+	cap   int
+	order []cacheKey
+	m     map[cacheKey][]byte
+}
+
+type cacheKey struct {
+	peer string
+	xid  uint32
+}
+
+func newReplyCache(capacity int) *replyCache {
+	return &replyCache{cap: capacity, m: make(map[cacheKey][]byte, capacity)}
+}
+
+func (c *replyCache) get(peer string, xid uint32) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	b, ok := c.m[cacheKey{peer, xid}]
+	return b, ok
+}
+
+func (c *replyCache) put(peer string, xid uint32, reply []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := cacheKey{peer, xid}
+	if _, exists := c.m[k]; exists {
+		c.m[k] = append([]byte(nil), reply...)
+		return
+	}
+	if len(c.order) >= c.cap {
+		oldest := c.order[0]
+		c.order = c.order[1:]
+		delete(c.m, oldest)
+	}
+	c.order = append(c.order, k)
+	c.m[k] = append([]byte(nil), reply...)
+}

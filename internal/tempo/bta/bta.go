@@ -1,0 +1,113 @@
+// Package bta exposes the binding-time division of a specialization as an
+// annotated ("two-level") view of the source program — the reproduction
+// of Tempo's visualization interface the paper describes in §6.1:
+// "Different colors are used to display the static and dynamic parts of a
+// program, thus helping the user to follow the propagation of the inputs
+// declared as known and assess the degree of specialization".
+//
+// The division is context-sensitive: a node specialized under several
+// contexts (e.g. xdr_int marshaling a static procedure identifier in one
+// call and dynamic arguments in another) accumulates observations from
+// each; the rendered view joins them (any dynamic observation renders
+// dynamic), while Counts preserves the per-context tallies.
+package bta
+
+import (
+	"fmt"
+	"strings"
+
+	"specrpc/internal/minic"
+	"specrpc/internal/tempo"
+)
+
+// Division records, per AST node, how often the specializer evaluated it
+// statically versus residualized it.
+type Division struct {
+	static  map[any]int
+	dynamic map[any]int
+}
+
+// Analyze runs the specialization described by ctx purely for its
+// binding-time division; the residual program is returned too (it is a
+// by-product). Any Observer already present in ctx is preserved.
+func Analyze(prog *minic.Program, ctx *tempo.Context) (*Division, *tempo.Result, error) {
+	d := &Division{static: make(map[any]int), dynamic: make(map[any]int)}
+	prev := ctx.Observer
+	ctx.Observer = func(node any, static bool) {
+		if static {
+			d.static[node]++
+		} else {
+			d.dynamic[node]++
+		}
+		if prev != nil {
+			prev(node, static)
+		}
+	}
+	defer func() { ctx.Observer = prev }()
+	res, err := tempo.Specialize(prog, ctx)
+	if err != nil {
+		return nil, nil, err
+	}
+	return d, res, nil
+}
+
+// Counts reports how often node was observed static and dynamic.
+func (d *Division) Counts(node any) (static, dynamic int) {
+	return d.static[node], d.dynamic[node]
+}
+
+// Dynamic reports whether node was ever residualized (the join of all
+// contexts, which is what the two-level view displays).
+func (d *Division) Dynamic(node any) bool { return d.dynamic[node] > 0 }
+
+// Observed reports whether the specializer reached node at all;
+// unobserved code is dead under the declared division.
+func (d *Division) Observed(node any) bool {
+	return d.static[node] > 0 || d.dynamic[node] > 0
+}
+
+// Summary totals the observations.
+func (d *Division) Summary() (static, dynamic int) {
+	for _, c := range d.static {
+		static += c
+	}
+	for _, c := range d.dynamic {
+		dynamic += c
+	}
+	return static, dynamic
+}
+
+// Render prints the named function with its two-level annotations:
+// dynamic (residualized) code is wrapped in «…», code never reached under
+// the division is wrapped in ⟦…⟧ (dead), and static code is plain — the
+// textual equivalent of Tempo's color display.
+func (d *Division) Render(prog *minic.Program, fnName string) (string, error) {
+	f, ok := prog.Funcs[fnName]
+	if !ok {
+		return "", fmt.Errorf("bta: no function %s", fnName)
+	}
+	pr := minic.Printer{Annotate: func(n any, text string) string {
+		// Statements render by reachability (unreached code is dead
+		// under this division); expressions render by binding time.
+		if _, isStmt := n.(minic.Stmt); isStmt {
+			if !d.Observed(n) {
+				return "⟦" + text + "⟧"
+			}
+			if d.Dynamic(n) {
+				return "«" + text + "»"
+			}
+			return text
+		}
+		if d.Dynamic(n) {
+			return "«" + text + "»"
+		}
+		return text
+	}}
+	var sb strings.Builder
+	sub := &minic.Program{
+		Funcs: map[string]*minic.FuncDef{fnName: f},
+		Order: []string{"func " + fnName},
+	}
+	sb.WriteString(pr.Program(sub))
+	return sb.String(), nil
+}

@@ -1,0 +1,167 @@
+package bta
+
+import (
+	"strings"
+	"testing"
+
+	"specrpc/internal/minic"
+	rpclib "specrpc/internal/minic/lib"
+	"specrpc/internal/tempo"
+)
+
+func analyzePutlongPath(t *testing.T) (*Division, *minic.Program) {
+	t.Helper()
+	prog := rpclib.MustProgram()
+	d, _, err := Analyze(prog, &tempo.Context{
+		Entry: "xdr_pair",
+		Params: []tempo.ParamSpec{
+			tempo.Object(rpclib.XDRSpec(rpclib.OpEncode, 64)),
+			tempo.Dynamic(),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, prog
+}
+
+func TestDivisionSummary(t *testing.T) {
+	d, _ := analyzePutlongPath(t)
+	static, dynamic := d.Summary()
+	if static == 0 || dynamic == 0 {
+		t.Fatalf("summary: static=%d dynamic=%d", static, dynamic)
+	}
+	if static <= dynamic {
+		t.Fatalf("encode path should be mostly static (s=%d d=%d)", static, dynamic)
+	}
+}
+
+func TestRenderMarksDynamicParts(t *testing.T) {
+	d, prog := analyzePutlongPath(t)
+	out, err := d.Render(prog, "xdrmem_putlong")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The store into the buffer is dynamic.
+	if !strings.Contains(out, "«") {
+		t.Fatalf("no dynamic marks:\n%s", out)
+	}
+	// The overflow check folds: the decrement of x_handy must NOT be
+	// inside dynamic marks. Find its line and check.
+	var handyLine string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "x_handy") {
+			handyLine = line
+			break
+		}
+	}
+	if handyLine == "" {
+		t.Fatalf("x_handy line not found:\n%s", out)
+	}
+	if strings.Contains(handyLine, "«") {
+		t.Fatalf("overflow check rendered dynamic: %q", handyLine)
+	}
+}
+
+func TestRenderMarksDeadCode(t *testing.T) {
+	d, prog := analyzePutlongPath(t)
+	// xdr_long's decode and free arms are never reached under the encode
+	// division: they render as dead.
+	out, err := d.Render(prog, "xdr_long")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "⟦") {
+		t.Fatalf("no dead marks in dispatch:\n%s", out)
+	}
+	if !strings.Contains(out, "XDR_GETLONG") {
+		t.Fatalf("decode arm missing:\n%s", out)
+	}
+}
+
+func TestCountsContextSensitivity(t *testing.T) {
+	// marshal_callhdr marshals static header words and marshal_call then
+	// marshals dynamic array elements — the same xdr_int body sees both
+	// contexts, so *lp inside putlong is observed static (procedure id)
+	// and dynamic (arguments).
+	prog := rpclib.MustProgram()
+	d, _, err := Analyze(prog, &tempo.Context{
+		Entry: "marshal_call",
+		Params: []tempo.ParamSpec{
+			tempo.Object(rpclib.XDRSpec(rpclib.OpEncode, 1024)),
+			tempo.Dynamic(),      // xid
+			tempo.StaticInt(200), // prog
+			tempo.StaticInt(1),   // vers
+			tempo.StaticInt(7),   // proc
+			tempo.Dynamic(),      // args
+			tempo.StaticInt(8),   // nargs
+			tempo.StaticInt(8),   // maxargs
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	putlong := prog.Funcs["xdrmem_putlong"]
+	// Find the stlong argument *lp inside putlong's body.
+	var starLP minic.Expr
+	var walk func(s minic.Stmt)
+	var walkE func(e minic.Expr)
+	walkE = func(e minic.Expr) {
+		if u, ok := e.(*minic.Unary); ok && u.Op == "*" {
+			if v, ok := u.X.(*minic.VarRef); ok && v.Name == "lp" {
+				starLP = u
+			}
+		}
+		switch n := e.(type) {
+		case *minic.Call:
+			for _, a := range n.Args {
+				walkE(a)
+			}
+		case *minic.Assign:
+			walkE(n.LHS)
+			walkE(n.RHS)
+		case *minic.Binary:
+			walkE(n.X)
+			walkE(n.Y)
+		case *minic.Unary:
+			walkE(n.X)
+		}
+	}
+	walk = func(s minic.Stmt) {
+		switch n := s.(type) {
+		case *minic.ExprStmt:
+			walkE(n.E)
+		case *minic.If:
+			walkE(n.Cond)
+			walk(n.Then)
+			walk(n.Else)
+		case *minic.Block:
+			for _, st := range n.Stmts {
+				walk(st)
+			}
+		case *minic.Return:
+			walkE(n.E)
+		}
+	}
+	walk(putlong.Body)
+	if starLP == nil {
+		t.Fatal("*lp not found in putlong")
+	}
+	static, dynamic := d.Counts(starLP)
+	if static == 0 || dynamic == 0 {
+		t.Fatalf("*lp contexts: static=%d dynamic=%d, want both > 0 "+
+			"(header words static, array elements dynamic)", static, dynamic)
+	}
+	// 9 static header words after the dynamic xid, 8 dynamic (xid + array).
+	if static != 9 || dynamic != 9 {
+		t.Logf("note: *lp observed static=%d dynamic=%d", static, dynamic)
+	}
+}
+
+func TestAnalyzePropagatesErrors(t *testing.T) {
+	prog := rpclib.MustProgram()
+	_, _, err := Analyze(prog, &tempo.Context{Entry: "nosuch"})
+	if err == nil {
+		t.Fatal("expected error for unknown entry")
+	}
+}

@@ -1,0 +1,200 @@
+package tempo
+
+import (
+	"fmt"
+
+	"specrpc/internal/minic"
+)
+
+// ParamKind classifies how an entry-point parameter is declared to the
+// specializer — Tempo's "description of the inputs" (§4).
+type ParamKind int
+
+// Parameter binding-time declarations.
+const (
+	// ParamDynamic is an unknown input, kept as a residual parameter.
+	ParamDynamic ParamKind = iota + 1
+	// ParamStaticInt is a known integer input, folded into the code.
+	ParamStaticInt
+	// ParamStaticFunc is a known function value.
+	ParamStaticFunc
+	// ParamObject is a pointer to a (possibly partially static) object
+	// described by Obj.
+	ParamObject
+)
+
+// ParamSpec declares one entry parameter's binding time.
+type ParamSpec struct {
+	Kind ParamKind
+	// Int is the value for ParamStaticInt.
+	Int int64
+	// Func is the function name for ParamStaticFunc.
+	Func string
+	// Obj describes the pointee for ParamObject.
+	Obj *ObjSpec
+}
+
+// StaticInt declares a known integer parameter.
+func StaticInt(v int64) ParamSpec { return ParamSpec{Kind: ParamStaticInt, Int: v} }
+
+// StaticFunc declares a known function-value parameter.
+func StaticFunc(name string) ParamSpec { return ParamSpec{Kind: ParamStaticFunc, Func: name} }
+
+// Dynamic declares an unknown parameter.
+func Dynamic() ParamSpec { return ParamSpec{Kind: ParamDynamic} }
+
+// Object declares a pointer parameter to the described object.
+func Object(o *ObjSpec) ParamSpec { return ParamSpec{Kind: ParamObject, Obj: o} }
+
+// ObjSpec describes a partially-static object a parameter points to: which
+// fields are static (and their values) and which are dynamic. Dynamic
+// fields are accessed at run time through the residual parameter; the
+// object must therefore exist at run time with the same layout.
+type ObjSpec struct {
+	// StructName names the object's struct type.
+	StructName string
+	// Fields maps field names to their static values: int64, string
+	// (function name), *ObjSpec (pointer to a nested static object), or
+	// nil for the null pointer. Fields absent from the map are dynamic.
+	Fields map[string]any
+}
+
+// Context is one specialization request: the entry point, the binding
+// times of its inputs, and engine options.
+type Context struct {
+	// Entry is the function to specialize.
+	Entry string
+	// Params declares each entry parameter, in order.
+	Params []ParamSpec
+	// UnrollLimit bounds static loop unrolling: a static loop with more
+	// iterations than the limit is residualized as a loop instead of
+	// unrolled. 0 means unroll fully (the paper's default behaviour,
+	// §5 "the default specialized code unrolls the array
+	// encoding/decoding loops completely").
+	UnrollLimit int
+	// MaxDepth bounds call unfolding depth (default 256).
+	MaxDepth int
+	// SuffixNames, when set, renames the entry point in the residual
+	// program to Entry+Suffix (default "_spec").
+	Suffix string
+	// Observer, when set, receives the binding-time division as the
+	// specializer discovers it: each original AST node is reported as
+	// static (evaluated away) or dynamic (residualized). A node observed
+	// under several contexts reports each observation.
+	Observer func(node any, static bool)
+	// KeepDeadStores disables the residual cleanup passes (copy
+	// propagation and dead-store elimination); used by tests and the
+	// ablation benchmarks.
+	KeepDeadStores bool
+}
+
+// Result is the outcome of a specialization.
+type Result struct {
+	// Program is the residual program: all structs and externs of the
+	// original plus the specialized entry (and any residual variants).
+	Program *minic.Program
+	// Entry is the residual entry function's name.
+	Entry string
+	// Params lists the residual entry's parameter names in call order:
+	// the dynamic (and object) parameters that survived specialization.
+	Params []string
+	// StaticReturn, when non-nil, is the entry's statically known return
+	// value: the residual function was made void (§3.3) and every caller
+	// may use this constant instead of a runtime test.
+	StaticReturn *int64
+}
+
+// buildObject instantiates an ObjSpec as a specialization-time object
+// rooted at the residual expression base (e.g. the parameter name).
+func buildObject(prog *minic.Program, spec *ObjSpec, base minic.Expr, name string) (*SObj, error) {
+	st, ok := prog.Structs[spec.StructName]
+	if !ok {
+		return nil, fmt.Errorf("tempo: object spec references unknown struct %s", spec.StructName)
+	}
+	layout, slots, err := structLayout(st)
+	if err != nil {
+		return nil, err
+	}
+	obj := &SObj{
+		Name:    name,
+		Struct:  st,
+		Slots:   make([]PVal, slots),
+		Div:     make([]bool, slots),
+		Runtime: base,
+	}
+	for i := range obj.Slots {
+		obj.Slots[i] = Dyn{Expr: nil} // placeholder; dynamic slots rebuilt from paths
+	}
+	for fi, f := range st.Fields {
+		v, static := spec.Fields[f.Name]
+		slot := layout[fi]
+		if !static {
+			continue
+		}
+		obj.Div[slot] = true
+		switch val := v.(type) {
+		case int64:
+			obj.Slots[slot] = KInt{val}
+		case int:
+			obj.Slots[slot] = KInt{int64(val)}
+		case string:
+			obj.Slots[slot] = KFunc{val}
+		case nil:
+			obj.Slots[slot] = KNull{}
+		case *ObjSpec:
+			var fieldBase minic.Expr
+			if base != nil {
+				fieldBase = &minic.Field{X: minic.CloneExpr(base), Name: f.Name, Arrow: true, Struct: st}
+			}
+			nested, err := buildObject(prog, val, fieldBase, name+"."+f.Name)
+			if err != nil {
+				return nil, err
+			}
+			obj.Slots[slot] = KPtr{Obj: nested}
+		default:
+			return nil, fmt.Errorf("tempo: unsupported static field value %T for %s.%s",
+				v, spec.StructName, f.Name)
+		}
+	}
+	return obj, nil
+}
+
+// structLayout computes per-field slot offsets and the total slot count,
+// mirroring internal/vm's layout so residual programs and the original
+// agree on memory shape.
+func structLayout(st *minic.Struct) (offsets []int, total int, err error) {
+	offsets = make([]int, len(st.Fields))
+	off := 0
+	for i, f := range st.Fields {
+		offsets[i] = off
+		n, err := slotCount(f.Type)
+		if err != nil {
+			return nil, 0, fmt.Errorf("tempo: struct %s field %s: %w", st.Name, f.Name, err)
+		}
+		off += n
+	}
+	return offsets, off, nil
+}
+
+func slotCount(t minic.Type) (int, error) {
+	switch n := t.(type) {
+	case *minic.Prim:
+		if n.Kind == minic.Void {
+			return 0, fmt.Errorf("void has no storage")
+		}
+		return 1, nil
+	case *minic.Ptr:
+		return 1, nil
+	case *minic.Struct:
+		_, total, err := structLayout(n)
+		return total, err
+	case *minic.Array:
+		if n.Elem.Equal(minic.TypeChar) {
+			return 0, fmt.Errorf("char arrays unsupported in word objects")
+		}
+		k, err := slotCount(n.Elem)
+		return n.Len * k, err
+	default:
+		return 0, fmt.Errorf("unsupported type %s", t)
+	}
+}

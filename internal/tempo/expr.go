@@ -1,0 +1,1020 @@
+package tempo
+
+import (
+	"errors"
+	"fmt"
+
+	"specrpc/internal/minic"
+)
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+func (s *specializer) expr(e *env, x minic.Expr) (PVal, error) {
+	switch n := x.(type) {
+	case *minic.IntLit:
+		s.observe(n, true)
+		return KInt{n.Val}, nil
+	case *minic.StrLit:
+		s.observe(n, false)
+		return Dyn{Expr: minic.CloneExpr(n)}, nil
+	case *minic.FuncRef:
+		s.observe(n, true)
+		return KFunc{n.Name}, nil
+	case *minic.VarRef:
+		b, ok := e.lookup(n.Name)
+		if !ok {
+			return nil, specErr(n.Pos, "unbound variable %s", n.Name)
+		}
+		if b.obj != nil {
+			switch b.typ.(type) {
+			case *minic.Array, *minic.Struct:
+				s.observe(n, true)
+				return KPtr{Obj: b.obj}, nil
+			default:
+				// Address-taken scalar: read through its object slot.
+				return s.locRead(e, sloc{obj: b.obj, slot: 0,
+					dynExpr: &minic.VarRef{Name: b.resName}}, n.Position())
+			}
+		}
+		s.observe(n, IsKnown(b.val))
+		return b.val, nil
+	case *minic.SizeOf:
+		return KInt{int64(minic.SizeOfType(n.T))}, nil
+	case *minic.Unary:
+		return s.unary(e, n)
+	case *minic.Binary:
+		return s.binary(e, n)
+	case *minic.Assign:
+		return s.assign(e, n)
+	case *minic.Call:
+		return s.callExpr(e, n)
+	case *minic.Field, *minic.Index:
+		l, err := s.loc(e, x)
+		if err != nil {
+			return nil, err
+		}
+		// Aggregate-typed results decay to their address.
+		switch minic.TypeOf(x).(type) {
+		case *minic.Array, *minic.Struct:
+			if l.obj != nil {
+				s.observe(x, true)
+				return KPtr{Obj: l.obj, Off: l.slot}, nil
+			}
+			s.observe(x, false)
+			return Dyn{Expr: l.dynExpr}, nil
+		}
+		v, err := s.locRead(e, l, x.Position())
+		if err != nil {
+			return nil, err
+		}
+		s.observe(x, IsKnown(v))
+		return v, nil
+	default:
+		return nil, specErr(x.Position(), "unsupported expression %T", x)
+	}
+}
+
+func (s *specializer) unary(e *env, n *minic.Unary) (PVal, error) {
+	switch n.Op {
+	case "!", "-", "~":
+		v, err := s.expr(e, n.X)
+		if err != nil {
+			return nil, err
+		}
+		if IsKnown(v) {
+			s.observe(n, true)
+			switch n.Op {
+			case "!":
+				return boolPV(!truthyPV(v)), nil
+			case "-":
+				ki, ok := v.(KInt)
+				if !ok {
+					return nil, specErr(n.Pos, "unary - on non-integer")
+				}
+				return KInt{int64(int32(-ki.V))}, nil
+			default:
+				ki, ok := v.(KInt)
+				if !ok {
+					return nil, specErr(n.Pos, "unary ~ on non-integer")
+				}
+				return KInt{int64(int32(^ki.V))}, nil
+			}
+		}
+		s.observe(n, false)
+		return Dyn{Expr: &minic.Unary{Op: n.Op, X: v.(Dyn).Expr}}, nil
+	case "*":
+		l, err := s.loc(e, n)
+		if err != nil {
+			return nil, err
+		}
+		v, err := s.locRead(e, l, n.Pos)
+		if err != nil {
+			return nil, err
+		}
+		s.observe(n, IsKnown(v))
+		return v, nil
+	case "&":
+		l, err := s.loc(e, n.X)
+		if err != nil {
+			return nil, err
+		}
+		if l.obj != nil {
+			s.observe(n, true)
+			return KPtr{Obj: l.obj, Off: l.slot}, nil
+		}
+		if l.dynExpr != nil {
+			s.observe(n, false)
+			return Dyn{Expr: simplify(&minic.Unary{Op: "&", X: l.dynExpr})}, nil
+		}
+		return nil, specErr(n.Pos, "cannot take address of register-allocated value")
+	default:
+		return nil, specErr(n.Pos, "unsupported unary %s", n.Op)
+	}
+}
+
+func (s *specializer) binary(e *env, n *minic.Binary) (PVal, error) {
+	if n.Op == "&&" || n.Op == "||" {
+		return s.shortCircuit(e, n)
+	}
+	x, err := s.expr(e, n.X)
+	if err != nil {
+		return nil, err
+	}
+	y, err := s.expr(e, n.Y)
+	if err != nil {
+		return nil, err
+	}
+	// Static pointer arithmetic stays at specialization time.
+	if kp, ok := x.(KPtr); ok && (n.Op == "+" || n.Op == "-") {
+		ki, known := y.(KInt)
+		if known {
+			step, serr := ptrStepFor(minic.TypeOf(n.X), n.Pos)
+			if serr != nil {
+				return nil, serr
+			}
+			s.observe(n, true)
+			sign := 1
+			if n.Op == "-" {
+				sign = -1
+			}
+			return KPtr{Obj: kp.Obj, Off: kp.Off + sign*step*int(ki.V)}, nil
+		}
+	}
+	if IsKnown(x) && IsKnown(y) {
+		v, err := evalBinary(n.Pos, n.Op, x, y)
+		if err != nil {
+			return nil, err
+		}
+		s.observe(n, true)
+		return v, nil
+	}
+	s.observe(n, false)
+	lx, err := lift(n.Pos, x)
+	if err != nil {
+		return nil, err
+	}
+	ly, err := lift(n.Pos, y)
+	if err != nil {
+		return nil, err
+	}
+	return Dyn{Expr: simplify(&minic.Binary{Op: n.Op, X: lx, Y: ly})}, nil
+}
+
+// shortCircuit specializes && and ||, requiring the right operand to be
+// effect-free when the left is dynamic (C's conditional evaluation).
+func (s *specializer) shortCircuit(e *env, n *minic.Binary) (PVal, error) {
+	x, err := s.expr(e, n.X)
+	if err != nil {
+		return nil, err
+	}
+	if IsKnown(x) {
+		s.observe(n.X, true)
+		tx := truthyPV(x)
+		if (n.Op == "&&" && !tx) || (n.Op == "||" && tx) {
+			return boolPV(tx), nil
+		}
+		y, err := s.expr(e, n.Y)
+		if err != nil {
+			return nil, err
+		}
+		if IsKnown(y) {
+			return boolPV(truthyPV(y)), nil
+		}
+		return Dyn{Expr: simplify(&minic.Binary{Op: "!=", X: y.(Dyn).Expr, Y: &minic.IntLit{}})}, nil
+	}
+	// Dynamic left: the right side must specialize without emitting code.
+	e.fs.pushOut()
+	y, err := s.expr(e, n.Y)
+	side := e.fs.popOut()
+	if err != nil {
+		return nil, err
+	}
+	if len(side) > 0 {
+		return nil, specErr(n.Pos, "side effects on the right of %s with a dynamic left operand", n.Op)
+	}
+	s.observe(n, false)
+	ly, err := lift(n.Pos, y)
+	if err != nil {
+		return nil, err
+	}
+	return Dyn{Expr: &minic.Binary{Op: n.Op, X: x.(Dyn).Expr, Y: ly}}, nil
+}
+
+func ptrStepFor(t minic.Type, pos minic.Pos) (int, error) {
+	var elem minic.Type
+	switch n := t.(type) {
+	case *minic.Ptr:
+		elem = n.Elem
+	case *minic.Array:
+		elem = n.Elem
+	default:
+		return 0, specErr(pos, "pointer arithmetic on non-pointer %v", t)
+	}
+	n, err := slotCount(elem)
+	if err != nil {
+		return 0, specErr(pos, "pointer arithmetic: %v", err)
+	}
+	return n, nil
+}
+
+// ---------------------------------------------------------------------------
+// Locations
+
+// sloc is a specialization-time storage location.
+type sloc struct {
+	b       *binding   // plain scalar binding, or
+	obj     *SObj      // object slot, with
+	slot    int        //   its index, or
+	dynExpr minic.Expr // a runtime lvalue (also the runtime path for obj slots)
+}
+
+func (s *specializer) loc(e *env, x minic.Expr) (sloc, error) {
+	switch n := x.(type) {
+	case *minic.VarRef:
+		b, ok := e.lookup(n.Name)
+		if !ok {
+			return sloc{}, specErr(n.Pos, "unbound variable %s", n.Name)
+		}
+		if b.obj != nil {
+			return sloc{obj: b.obj, slot: 0, dynExpr: &minic.VarRef{Name: b.resName}}, nil
+		}
+		return sloc{b: b}, nil
+	case *minic.Unary:
+		if n.Op != "*" {
+			return sloc{}, specErr(n.Pos, "not an lvalue: unary %s", n.Op)
+		}
+		v, err := s.expr(e, n.X)
+		if err != nil {
+			return sloc{}, err
+		}
+		switch p := v.(type) {
+		case KPtr:
+			var path minic.Expr
+			if le, lerr := lift(n.Pos, v); lerr == nil {
+				path = simplify(&minic.Unary{Op: "*", X: le})
+			} else if re := rebuildSlotExpr(p.Obj, p.Off); re != nil {
+				path = re
+			}
+			return sloc{obj: p.Obj, slot: p.Off, dynExpr: path}, nil
+		case KNull:
+			return sloc{}, specErr(n.Pos, "static null pointer dereference")
+		case Dyn:
+			return sloc{dynExpr: simplify(&minic.Unary{Op: "*", X: p.Expr})}, nil
+		default:
+			return sloc{}, specErr(n.Pos, "dereference of %s", v)
+		}
+	case *minic.Field:
+		return s.fieldLoc(e, n)
+	case *minic.Index:
+		xv, err := s.expr(e, n.X)
+		if err != nil {
+			return sloc{}, err
+		}
+		iv, err := s.expr(e, n.I)
+		if err != nil {
+			return sloc{}, err
+		}
+		step, serr := ptrStepFor(minic.TypeOf(n.X), n.Pos)
+		if serr != nil {
+			return sloc{}, serr
+		}
+		switch p := xv.(type) {
+		case KPtr:
+			if ki, known := iv.(KInt); known {
+				slot := p.Off + step*int(ki.V)
+				var path minic.Expr
+				if p.Obj.Runtime != nil {
+					path = rebuildSlotExpr(p.Obj, slot)
+				}
+				return sloc{obj: p.Obj, slot: slot, dynExpr: path}, nil
+			}
+			base, lerr := lift(n.Pos, xv)
+			if lerr != nil {
+				return sloc{}, specErr(n.Pos, "dynamic index into specialization-time object %s", p.Obj.Name)
+			}
+			ie, _ := lift(n.Pos, iv)
+			return sloc{dynExpr: &minic.Index{X: base, I: ie}}, nil
+		case Dyn:
+			ie, lerr := lift(n.Pos, iv)
+			if lerr != nil {
+				return sloc{}, lerr
+			}
+			return sloc{dynExpr: &minic.Index{X: p.Expr, I: ie}}, nil
+		default:
+			return sloc{}, specErr(n.Pos, "indexing %s", xv)
+		}
+	default:
+		return sloc{}, specErr(x.Position(), "not an lvalue: %T", x)
+	}
+}
+
+func (s *specializer) fieldLoc(e *env, n *minic.Field) (sloc, error) {
+	if n.Struct == nil {
+		return sloc{}, specErr(n.Pos, "unresolved field %s (run minic.Check)", n.Name)
+	}
+	offsets, _, err := structLayout(n.Struct)
+	if err != nil {
+		return sloc{}, specErr(n.Pos, "%v", err)
+	}
+	fi := n.Struct.FieldIndex(n.Name)
+	off := offsets[fi]
+
+	if n.Arrow {
+		v, err := s.expr(e, n.X)
+		if err != nil {
+			return sloc{}, err
+		}
+		switch p := v.(type) {
+		case KPtr:
+			var path minic.Expr
+			if le, lerr := lift(n.Pos, v); lerr == nil {
+				path = &minic.Field{X: le, Name: n.Name, Arrow: true, Struct: n.Struct}
+			}
+			return sloc{obj: p.Obj, slot: p.Off + off, dynExpr: path}, nil
+		case KNull:
+			return sloc{}, specErr(n.Pos, "static null -> %s", n.Name)
+		case Dyn:
+			return sloc{dynExpr: &minic.Field{X: p.Expr, Name: n.Name, Arrow: true, Struct: n.Struct}}, nil
+		default:
+			return sloc{}, specErr(n.Pos, "-> on %s", v)
+		}
+	}
+	base, err := s.loc(e, n.X)
+	if err != nil {
+		return sloc{}, err
+	}
+	if base.obj != nil {
+		var path minic.Expr
+		if base.dynExpr != nil {
+			path = &minic.Field{X: base.dynExpr, Name: n.Name, Struct: n.Struct}
+		}
+		return sloc{obj: base.obj, slot: base.slot + off, dynExpr: path}, nil
+	}
+	if base.dynExpr != nil {
+		return sloc{dynExpr: &minic.Field{X: base.dynExpr, Name: n.Name, Struct: n.Struct}}, nil
+	}
+	return sloc{}, specErr(n.Pos, "field access on register value")
+}
+
+// rebuildSlotExpr reconstructs a runtime lvalue expression for a slot of
+// a runtime-backed object (scalar, array element, or struct field chain).
+func rebuildSlotExpr(obj *SObj, slot int) minic.Expr {
+	if obj.Runtime == nil {
+		return nil
+	}
+	base := minic.CloneExpr(obj.Runtime)
+	if obj.Struct != nil {
+		return fieldPath(obj.Struct, base, slot, true)
+	}
+	if obj.Struct == nil && len(obj.Slots) == 1 && slot == 0 {
+		// Address-taken scalar: *(&x) simplifies back to x.
+		return simplify(&minic.Unary{Op: "*", X: base})
+	}
+	return &minic.Index{X: base, I: &minic.IntLit{Val: int64(slot)}}
+}
+
+// fieldPath renders the field chain reaching `slot` within st.
+func fieldPath(st *minic.Struct, base minic.Expr, slot int, arrow bool) minic.Expr {
+	offsets, _, err := structLayout(st)
+	if err != nil {
+		return nil
+	}
+	for i := len(st.Fields) - 1; i >= 0; i-- {
+		if offsets[i] > slot {
+			continue
+		}
+		f := st.Fields[i]
+		fe := &minic.Field{X: base, Name: f.Name, Arrow: arrow, Struct: st}
+		rest := slot - offsets[i]
+		switch ft := f.Type.(type) {
+		case *minic.Struct:
+			return fieldPath(ft, fe, rest, false)
+		case *minic.Array:
+			step, serr := slotCount(ft.Elem)
+			if serr != nil || step == 0 {
+				return nil
+			}
+			return &minic.Index{X: fe, I: &minic.IntLit{Val: int64(rest / step)}}
+		default:
+			if rest != 0 {
+				return nil
+			}
+			return fe
+		}
+	}
+	return nil
+}
+
+// locRead reads a location as a partial value.
+func (s *specializer) locRead(e *env, l sloc, pos minic.Pos) (PVal, error) {
+	if l.b != nil {
+		s.observe(l.b, IsKnown(l.b.val))
+		return l.b.val, nil
+	}
+	if l.obj != nil {
+		if l.slot < 0 || l.slot >= len(l.obj.Slots) {
+			return nil, specErr(pos, "slot %d out of range in %s", l.slot, l.obj.Name)
+		}
+		if l.obj.Div != nil && l.obj.Div[l.slot] {
+			v := l.obj.Slots[l.slot]
+			if !IsKnown(v) {
+				return nil, specErr(pos, "static field of %s read after divergent dynamic branches; declare it dynamic", l.obj.Name)
+			}
+			return v, nil
+		}
+		if l.obj.Div != nil {
+			// Declared-dynamic field: always a runtime access.
+			path := l.dynExpr
+			if path == nil {
+				path = rebuildSlotExpr(l.obj, l.slot)
+			}
+			if path == nil {
+				return nil, specErr(pos, "dynamic field of %s has no runtime path", l.obj.Name)
+			}
+			return Dyn{Expr: path}, nil
+		}
+		// Local object: fold when the slot is known.
+		v := l.obj.Slots[l.slot]
+		if IsKnown(v) {
+			return v, nil
+		}
+		path := l.dynExpr
+		if path == nil {
+			path = rebuildSlotExpr(l.obj, l.slot)
+		}
+		if path == nil {
+			return nil, specErr(pos, "value in %s slot %d is unknown and has no runtime location", l.obj.Name, l.slot)
+		}
+		return Dyn{Expr: path}, nil
+	}
+	if l.dynExpr != nil {
+		return Dyn{Expr: minic.CloneExpr(l.dynExpr)}, nil
+	}
+	return nil, specErr(pos, "unreadable location")
+}
+
+// locWrite stores a partial value into a location, emitting residual code
+// as the binding-time division requires.
+func (s *specializer) locWrite(e *env, l sloc, v PVal, pos minic.Pos) error {
+	switch {
+	case l.b != nil:
+		b := l.b
+		if IsKnown(v) {
+			b.val = v
+			if b.declared {
+				// Keep the runtime copy fresh; dead stores are cleaned
+				// by the post pass when never observed.
+				le, err := lift(pos, v)
+				if err != nil {
+					return err
+				}
+				e.fs.emit(&minic.ExprStmt{E: &minic.Assign{Op: "=",
+					LHS: &minic.VarRef{Name: b.resName}, RHS: le}})
+			}
+			return nil
+		}
+		d := v.(Dyn)
+		if !b.declared {
+			// First dynamic write doubles as the residual declaration
+			// (legal: bindings assigned across dynamic-control boundaries
+			// were materialized by materializeAssigned beforehand).
+			e.fs.emit(&minic.VarDecl{Name: b.resName, Type: b.typ, Init: d.Expr})
+			b.declared = true
+		} else {
+			e.fs.emit(&minic.ExprStmt{E: &minic.Assign{Op: "=",
+				LHS: &minic.VarRef{Name: b.resName}, RHS: d.Expr}})
+		}
+		b.val = Dyn{Expr: &minic.VarRef{Name: b.resName}}
+		return nil
+
+	case l.obj != nil:
+		obj := l.obj
+		if l.slot < 0 || l.slot >= len(obj.Slots) {
+			return specErr(pos, "slot %d out of range in %s", l.slot, obj.Name)
+		}
+		if obj.Div != nil && obj.Div[l.slot] {
+			// Static field: the write happens at specialization time and
+			// vanishes from the residual program (§3.2's x_handy).
+			//
+			// Under a dynamic *branch* this is allowed: the branch runs
+			// at most once, and if the branches leave the field with
+			// divergent values the join poisons it (reads after the join
+			// fail). Inside a *residual loop* the body runs an unknown
+			// number of times, so a static mutation is always unsound.
+			if e.fs.residualLoop > 0 || e.taint {
+				return specErr(pos, "field of %s declared static but written inside a residual loop; declare it dynamic", obj.Name)
+			}
+			if !IsKnown(v) {
+				return specErr(pos, "field of %s declared static but assigned a dynamic value; declare it dynamic", obj.Name)
+			}
+			obj.Slots[l.slot] = v
+			return nil
+		}
+		// Dynamic field or local object slot: residualize the store.
+		path := l.dynExpr
+		if path == nil {
+			path = rebuildSlotExpr(obj, l.slot)
+		}
+		le, lerr := lift(pos, v)
+		if lerr == nil && path != nil {
+			e.fs.emit(&minic.ExprStmt{E: &minic.Assign{Op: "=", LHS: path, RHS: le}})
+		} else if obj.Div != nil {
+			// Declared-dynamic fields must be runtime-writable.
+			return specErr(pos, "cannot residualize write to dynamic field of %s: %v", obj.Name, lerr)
+		}
+		if obj.Div == nil {
+			if IsKnown(v) {
+				obj.Slots[l.slot] = v
+			} else {
+				obj.Slots[l.slot] = Dyn{Expr: nil}
+			}
+		}
+		return nil
+
+	case l.dynExpr != nil:
+		le, err := lift(pos, v)
+		if err != nil {
+			return err
+		}
+		e.fs.emit(&minic.ExprStmt{E: &minic.Assign{Op: "=", LHS: minic.CloneExpr(l.dynExpr), RHS: le}})
+		return nil
+	default:
+		return specErr(pos, "unwritable location")
+	}
+}
+
+func (s *specializer) assign(e *env, n *minic.Assign) (PVal, error) {
+	l, err := s.loc(e, n.LHS)
+	if err != nil {
+		return nil, err
+	}
+	if n.Op == "=" {
+		v, err := s.expr(e, n.RHS)
+		if err != nil {
+			return nil, err
+		}
+		s.observe(n, IsKnown(v))
+		if err := s.locWrite(e, l, v, n.Pos); err != nil {
+			return nil, err
+		}
+		if IsKnown(v) {
+			return v, nil
+		}
+		// The assignment's value is the stored location, not the RHS
+		// expression: re-reading prevents duplicated side effects when
+		// the value is consumed (the if ((x = recv()) > 0) idiom).
+		return s.locRead(e, l, n.Pos)
+	}
+	// Compound assignment: read, combine, write.
+	binOp := n.Op[:len(n.Op)-1]
+	cur, err := s.locRead(e, l, n.Pos)
+	if err != nil {
+		return nil, err
+	}
+	rhs, err := s.expr(e, n.RHS)
+	if err != nil {
+		return nil, err
+	}
+	// Static pointer stepping (x_private += 4 over a tracked object).
+	if kp, ok := cur.(KPtr); ok {
+		ki, known := rhs.(KInt)
+		if !known {
+			return nil, specErr(n.Pos, "dynamic pointer step on static pointer")
+		}
+		step, serr := ptrStepFor(minic.TypeOf(n.LHS), n.Pos)
+		if serr != nil {
+			return nil, serr
+		}
+		sign := 1
+		if binOp == "-" {
+			sign = -1
+		}
+		v := KPtr{Obj: kp.Obj, Off: kp.Off + sign*step*int(ki.V)}
+		s.observe(n, true)
+		return v, s.locWrite(e, l, v, n.Pos)
+	}
+	if IsKnown(cur) && IsKnown(rhs) {
+		v, err := evalBinary(n.Pos, binOp, cur, rhs)
+		if err != nil {
+			return nil, err
+		}
+		s.observe(n, true)
+		return v, s.locWrite(e, l, v, n.Pos)
+	}
+	// Residual compound assignment against the runtime location.
+	s.observe(n, false)
+	path := l.dynExpr
+	if l.b != nil {
+		if !l.b.declared {
+			// Materialize the current known value, then mutate at runtime.
+			le, lerr := lift(n.Pos, cur)
+			if lerr != nil {
+				return nil, lerr
+			}
+			e.fs.emit(&minic.VarDecl{Name: l.b.resName, Type: l.b.typ, Init: le})
+			l.b.declared = true
+		}
+		path = &minic.VarRef{Name: l.b.resName}
+		l.b.val = Dyn{Expr: &minic.VarRef{Name: l.b.resName}}
+	}
+	if path == nil && l.obj != nil {
+		path = rebuildSlotExpr(l.obj, l.slot)
+	}
+	if path == nil {
+		return nil, specErr(n.Pos, "compound assignment to unlocatable value")
+	}
+	if l.obj != nil && l.obj.Div == nil {
+		l.obj.Slots[l.slot] = Dyn{Expr: nil}
+	}
+	le, err := lift(n.Pos, rhs)
+	if err != nil {
+		return nil, err
+	}
+	e.fs.emit(&minic.ExprStmt{E: &minic.Assign{Op: n.Op, LHS: minic.CloneExpr(path), RHS: le}})
+	return Dyn{Expr: minic.CloneExpr(path)}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Calls: unfolding and polyvariant residual functions
+
+func (s *specializer) callExpr(e *env, n *minic.Call) (PVal, error) {
+	// Resolve the callee.
+	var name string
+	switch f := n.Fun.(type) {
+	case *minic.FuncRef:
+		name = f.Name
+		s.observe(f, true)
+	default:
+		fv, err := s.expr(e, n.Fun)
+		if err != nil {
+			return nil, err
+		}
+		kf, ok := fv.(KFunc)
+		if !ok {
+			return nil, specErr(n.Pos, "indirect call through dynamic function value is not supported")
+		}
+		// Indirect-call elimination: the function-pointer dispatch of the
+		// XDR ops table folds to a direct call.
+		s.observe(n.Fun, true)
+		name = kf.Name
+	}
+
+	args := make([]PVal, len(n.Args))
+	for i, a := range n.Args {
+		v, err := s.expr(e, a)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = v
+	}
+
+	if _, isExtern := s.prog.Externs[name]; isExtern {
+		// Externs are opaque: always residualized (the dynamic network
+		// and buffer primitives).
+		s.observe(n, false)
+		lifted := make([]minic.Expr, len(args))
+		for i, a := range args {
+			le, err := lift(n.Args[i].Position(), a)
+			if err != nil {
+				return nil, err
+			}
+			lifted[i] = le
+		}
+		return Dyn{Expr: &minic.Call{Fun: &minic.VarRef{Name: name}, Args: lifted}}, nil
+	}
+
+	def, ok := s.prog.Funcs[name]
+	if !ok {
+		return nil, specErr(n.Pos, "call of unknown function %s", name)
+	}
+	if len(args) != len(def.Params) {
+		return nil, specErr(n.Pos, "%s expects %d args, got %d", name, len(def.Params), len(args))
+	}
+	if s.depth >= s.ctx.MaxDepth {
+		return nil, specErr(n.Pos, "call unfolding exceeded depth %d (recursive specialization?)", s.ctx.MaxDepth)
+	}
+
+	// First try unfolding (inlining) — the fate of xdr_long and
+	// xdrmem_putlong in the paper. If the callee needs residual early
+	// returns, fall back to a polyvariant residual function.
+	s.depth++
+	v, err := s.unfold(e, def, args, n)
+	s.depth--
+	if err == nil {
+		return v, nil
+	}
+	if !errors.Is(err, errNeedVariant) {
+		return nil, err
+	}
+	s.depth++
+	v, err = s.makeVariant(e, def, args, n)
+	s.depth--
+	return v, err
+}
+
+// unfold inlines a call: the callee's body is specialized in place.
+func (s *specializer) unfold(e *env, def *minic.FuncDef, args []PVal, call *minic.Call) (PVal, error) {
+	snap := e.fs.snapshot()
+	e.fs.pushOut()
+	callee := &env{fs: e.fs, def: def, dynDepth: e.dynDepth, baseDyn: e.dynDepth,
+		unfolded: true, taint: e.taint}
+	callee.push()
+	if err := s.bindParams(callee, def, args, call, false); err != nil {
+		e.fs.popOut()
+		e.fs.restore(snap)
+		return nil, err
+	}
+	fl, ret, err := s.stmt(callee, def.Body)
+	stmts := e.fs.popOut()
+	if err != nil {
+		e.fs.restore(snap)
+		return nil, err
+	}
+	if fl == fStopped || fl == fBreak || fl == fCont {
+		e.fs.restore(snap)
+		return nil, errNeedVariant
+	}
+	// The callee's locals are out of scope: stop tracking their objects
+	// (their mutations stand, but future snapshots need not copy them —
+	// this keeps deep unfolding linear instead of quadratic).
+	e.fs.objs = e.fs.objs[:len(snap)]
+	for _, st := range stmts {
+		e.fs.emit(st)
+	}
+	s.observe(call, fl == fReturn && ret != nil && IsKnown(ret))
+	if fl != fReturn || ret == nil {
+		return KInt{0}, nil // void fallthrough
+	}
+	if d, ok := ret.(Dyn); ok && !isAtomic(d.Expr) {
+		// Bind a non-trivial dynamic result once, so the caller cannot
+		// duplicate its evaluation.
+		tmp := e.fs.fresh("t")
+		e.fs.emit(&minic.VarDecl{Name: tmp, Type: def.Ret, Init: d.Expr})
+		return Dyn{Expr: &minic.VarRef{Name: tmp}}, nil
+	}
+	return ret, nil
+}
+
+func isAtomic(e minic.Expr) bool {
+	switch e.(type) {
+	case *minic.VarRef, *minic.IntLit, *minic.FuncRef:
+		return true
+	default:
+		return false
+	}
+}
+
+// bindParams binds callee parameters to argument partial values. In
+// variant mode (asParams) dynamic arguments become residual parameters.
+func (s *specializer) bindParams(callee *env, def *minic.FuncDef, args []PVal, call *minic.Call, asParams bool) error {
+	addr := s.addrTakenIn(def)
+	for i, p := range def.Params {
+		b := &binding{name: p.Name, typ: p.Type}
+		b.resName = callee.fs.fresh(p.Name)
+		arg := args[i]
+		if addr[p.Name] {
+			// Address-taken parameter: spill to a runtime local.
+			b.obj = callee.fs.trackObj(&SObj{Name: b.resName, Slots: []PVal{arg},
+				Runtime: &minic.Unary{Op: "&", X: &minic.VarRef{Name: b.resName}}})
+			b.declared = true
+			var init minic.Expr
+			if le, lerr := lift(call.Pos, arg); lerr == nil {
+				init = le
+			}
+			callee.fs.emit(&minic.VarDecl{Name: b.resName, Type: p.Type, Init: init})
+			b.val = KPtr{Obj: b.obj}
+			callee.bind(b)
+			continue
+		}
+		if d, ok := arg.(Dyn); ok && !isAtomic(d.Expr) && !asParams {
+			// Evaluate a compound dynamic argument once into a local.
+			callee.fs.emit(&minic.VarDecl{Name: b.resName, Type: p.Type, Init: d.Expr})
+			b.declared = true
+			b.val = Dyn{Expr: &minic.VarRef{Name: b.resName}}
+			callee.bind(b)
+			continue
+		}
+		b.val = arg
+		if d, ok := arg.(Dyn); ok {
+			b.declared = true
+			if asParams {
+				b.val = Dyn{Expr: &minic.VarRef{Name: b.resName}}
+			} else {
+				b.val = d
+			}
+		}
+		callee.bind(b)
+	}
+	return nil
+}
+
+// makeVariant creates a residual function specialized to the call's
+// binding times (Tempo's context-sensitive "binding-time instances", §4)
+// and emits a call to it.
+func (s *specializer) makeVariant(e *env, def *minic.FuncDef, args []PVal, call *minic.Call) (PVal, error) {
+	s.nfn++
+	vname := fmt.Sprintf("%s%s%d", def.Name, s.ctx.Suffix, s.nfn)
+
+	fs := &fnSpec{s: s, def: def, name: vname, asFunction: true, used: map[string]bool{}}
+	fs.objs = append(fs.objs, e.fs.objs...) // shared objects stay visible
+	callee := &env{fs: fs, def: def, taint: e.taint || e.fs.residualLoop > 0}
+	callee.push()
+
+	var params []minic.Param
+	var callArgs []minic.Expr
+	var restores []func()
+	defer func() {
+		for _, r := range restores {
+			r()
+		}
+	}()
+	addr := s.addrTakenIn(def)
+	for i, p := range def.Params {
+		arg := args[i]
+		b := &binding{name: p.Name, resName: p.Name, typ: p.Type}
+		fs.used[p.Name] = true
+		switch a := arg.(type) {
+		case KInt, KFunc, KNull:
+			b.val = arg
+		case Dyn:
+			params = append(params, minic.Param{Name: p.Name, Type: p.Type})
+			callArgs = append(callArgs, a.Expr)
+			b.val = Dyn{Expr: &minic.VarRef{Name: p.Name}}
+			b.declared = true
+		case KPtr:
+			if a.Obj.Runtime != nil && a.Off == 0 {
+				params = append(params, minic.Param{Name: p.Name, Type: p.Type})
+				origExpr, err := lift(call.Pos, arg)
+				if err != nil {
+					return nil, err
+				}
+				callArgs = append(callArgs, origExpr)
+				// Rebase the object's runtime path onto the parameter
+				// for the duration of the variant's specialization.
+				saved := a.Obj.Runtime
+				obj := a.Obj
+				obj.Runtime = &minic.VarRef{Name: p.Name}
+				restores = append(restores, func() { obj.Runtime = saved })
+				b.val = arg
+				b.declared = true
+			} else {
+				// Specialization-time object: fully static, not passed.
+				b.val = arg
+			}
+		default:
+			return nil, specErr(call.Pos, "unsupported argument value %v", arg)
+		}
+		if addr[p.Name] && b.obj == nil {
+			if _, isDyn := arg.(Dyn); isDyn {
+				// &param inside the callee on a dynamic argument: the
+				// parameter itself is runtime storage.
+				b.obj = fs.trackObj(&SObj{Name: p.Name, Slots: []PVal{Dyn{Expr: nil}},
+					Runtime: &minic.Unary{Op: "&", X: &minic.VarRef{Name: p.Name}}})
+			}
+		}
+		callee.bind(b)
+	}
+
+	fs.pushOut()
+	fl, ret, err := s.stmt(callee, def.Body)
+	if err != nil {
+		return nil, err
+	}
+	body := fs.popOut()
+
+	retType := def.Ret
+	var staticRet PVal
+	switch {
+	case fs.hasResidualReturn:
+		if fl == fReturn && ret != nil {
+			le, lerr := lift(def.Pos, ret)
+			if lerr != nil {
+				return nil, lerr
+			}
+			body = append(body, &minic.Return{E: le})
+		}
+	case fl == fReturn && ret != nil && IsKnown(ret):
+		// Static return (§3.3): the variant becomes void.
+		staticRet = ret
+		retType = minic.TypeVoid
+	case fl == fReturn && ret != nil:
+		le, lerr := lift(def.Pos, ret)
+		if lerr != nil {
+			return nil, lerr
+		}
+		body = append(body, &minic.Return{E: le})
+	default:
+		retType = minic.TypeVoid
+		staticRet = KInt{0}
+	}
+
+	s.res.Funcs[vname] = &minic.FuncDef{Name: vname, Ret: retType, Params: params,
+		Body: &minic.Block{Stmts: body}}
+	s.res.Order = append(s.res.Order, "func "+vname)
+
+	callNode := &minic.Call{Fun: &minic.VarRef{Name: vname}, Args: callArgs}
+	if staticRet != nil {
+		// The call happens for its effects; the caller folds the result.
+		e.fs.emit(&minic.ExprStmt{E: callNode})
+		s.observe(call, true)
+		return staticRet, nil
+	}
+	s.observe(call, false)
+	return Dyn{Expr: callNode}, nil
+}
+
+// addrTakenIn caches the address-taken analysis per function.
+func (s *specializer) addrTakenIn(def *minic.FuncDef) map[string]bool {
+	if s.addrCache == nil {
+		s.addrCache = make(map[*minic.FuncDef]map[string]bool)
+	}
+	if m, ok := s.addrCache[def]; ok {
+		return m
+	}
+	m := make(map[string]bool)
+	collectAddrTaken(def.Body, m)
+	s.addrCache[def] = m
+	return m
+}
+
+func collectAddrTaken(st minic.Stmt, out map[string]bool) {
+	var walkExpr func(e minic.Expr)
+	walkExpr = func(e minic.Expr) {
+		switch n := e.(type) {
+		case nil:
+		case *minic.Unary:
+			if n.Op == "&" {
+				if v, ok := n.X.(*minic.VarRef); ok {
+					out[v.Name] = true
+				}
+			}
+			walkExpr(n.X)
+		case *minic.Binary:
+			walkExpr(n.X)
+			walkExpr(n.Y)
+		case *minic.Assign:
+			walkExpr(n.LHS)
+			walkExpr(n.RHS)
+		case *minic.Call:
+			walkExpr(n.Fun)
+			for _, a := range n.Args {
+				walkExpr(a)
+			}
+		case *minic.Field:
+			walkExpr(n.X)
+		case *minic.Index:
+			walkExpr(n.X)
+			walkExpr(n.I)
+		}
+	}
+	var walk func(s minic.Stmt)
+	walk = func(s minic.Stmt) {
+		switch n := s.(type) {
+		case nil:
+		case *minic.ExprStmt:
+			walkExpr(n.E)
+		case *minic.VarDecl:
+			walkExpr(n.Init)
+		case *minic.If:
+			walkExpr(n.Cond)
+			walk(n.Then)
+			walk(n.Else)
+		case *minic.While:
+			walkExpr(n.Cond)
+			walk(n.Body)
+		case *minic.For:
+			walk(n.Init)
+			walkExpr(n.Cond)
+			walk(n.Post)
+			walk(n.Body)
+		case *minic.Return:
+			walkExpr(n.E)
+		case *minic.Block:
+			for _, inner := range n.Stmts {
+				walk(inner)
+			}
+		}
+	}
+	walk(st)
+}

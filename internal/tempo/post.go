@@ -1,0 +1,444 @@
+package tempo
+
+import (
+	"specrpc/internal/minic"
+)
+
+// This file holds the residual-code cleanup passes that stand in for the
+// trivial simplifications a C compiler's front end performed on Tempo's
+// output: peephole identities (*(&x) → x), constant folding, copy
+// propagation of single-use temporaries, and dead-store elimination. They
+// make the residual code match the paper's Figure 5 shape instead of
+// carrying inlining residue.
+
+// simplify applies local identities to a residual expression.
+func simplify(e minic.Expr) minic.Expr {
+	switch n := e.(type) {
+	case *minic.Unary:
+		switch n.Op {
+		case "*":
+			// *(&x) == x
+			if u, ok := n.X.(*minic.Unary); ok && u.Op == "&" {
+				return u.X
+			}
+		case "&":
+			// &(*p) == p
+			if u, ok := n.X.(*minic.Unary); ok && u.Op == "*" {
+				return u.X
+			}
+		case "!":
+			if lit, ok := n.X.(*minic.IntLit); ok {
+				return &minic.IntLit{Val: b2i(lit.Val == 0)}
+			}
+		case "-":
+			if lit, ok := n.X.(*minic.IntLit); ok {
+				return &minic.IntLit{Val: int64(int32(-lit.Val))}
+			}
+		}
+		return n
+	case *minic.Binary:
+		lx, lok := n.X.(*minic.IntLit)
+		ly, yok := n.Y.(*minic.IntLit)
+		if lok && yok {
+			if v, err := evalBinary(n.Pos, n.Op, KInt{lx.Val}, KInt{ly.Val}); err == nil {
+				if ki, ok := v.(KInt); ok {
+					return &minic.IntLit{Val: ki.V}
+				}
+			}
+		}
+		// x + 0, x - 0 identities (common after offset folding).
+		if yok && ly.Val == 0 && (n.Op == "+" || n.Op == "-") {
+			return n.X
+		}
+		return n
+	default:
+		return e
+	}
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// cleanupProgram runs the cleanup passes over every residual function.
+func cleanupProgram(p *minic.Program) {
+	for _, f := range p.Funcs {
+		for i := 0; i < 4; i++ { // passes enable each other; fixpoint-ish
+			changed := copyPropagate(f)
+			changed = deadStoreElim(f) || changed
+			if !changed {
+				break
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Use counting
+
+type useCount struct {
+	reads     map[string]int
+	writes    map[string]int
+	addressed map[string]bool
+}
+
+func countUses(f *minic.FuncDef) *useCount {
+	u := &useCount{reads: map[string]int{}, writes: map[string]int{}, addressed: map[string]bool{}}
+	var walkExpr func(e minic.Expr, asLHS bool)
+	walkExpr = func(e minic.Expr, asLHS bool) {
+		switch n := e.(type) {
+		case nil:
+		case *minic.VarRef:
+			if asLHS {
+				u.writes[n.Name]++
+			} else {
+				u.reads[n.Name]++
+			}
+		case *minic.Unary:
+			if n.Op == "&" {
+				if v, ok := n.X.(*minic.VarRef); ok {
+					u.addressed[v.Name] = true
+				}
+			}
+			walkExpr(n.X, false)
+		case *minic.Binary:
+			walkExpr(n.X, false)
+			walkExpr(n.Y, false)
+		case *minic.Assign:
+			// The base variable of a compound LHS is also read.
+			if n.Op != "=" {
+				walkExpr(n.LHS, false)
+			}
+			if v, ok := n.LHS.(*minic.VarRef); ok {
+				u.writes[v.Name]++
+			} else {
+				walkExpr(n.LHS, false)
+			}
+			walkExpr(n.RHS, false)
+		case *minic.Call:
+			walkExpr(n.Fun, false)
+			for _, a := range n.Args {
+				walkExpr(a, false)
+			}
+		case *minic.Field:
+			walkExpr(n.X, false)
+		case *minic.Index:
+			walkExpr(n.X, false)
+			walkExpr(n.I, false)
+		}
+	}
+	var walk func(s minic.Stmt)
+	walk = func(s minic.Stmt) {
+		switch n := s.(type) {
+		case nil:
+		case *minic.ExprStmt:
+			walkExpr(n.E, false)
+		case *minic.VarDecl:
+			u.writes[n.Name]++
+			walkExpr(n.Init, false)
+		case *minic.If:
+			walkExpr(n.Cond, false)
+			walk(n.Then)
+			walk(n.Else)
+		case *minic.While:
+			walkExpr(n.Cond, false)
+			walk(n.Body)
+		case *minic.For:
+			walk(n.Init)
+			walkExpr(n.Cond, false)
+			walk(n.Post)
+			walk(n.Body)
+		case *minic.Return:
+			walkExpr(n.E, false)
+		case *minic.Block:
+			for _, inner := range n.Stmts {
+				walk(inner)
+			}
+		}
+	}
+	walk(f.Body)
+	return u
+}
+
+// ---------------------------------------------------------------------------
+// Dead-store elimination
+
+// deadStoreElim removes declarations and assignments to variables that
+// are never read (and never address-taken), plus pure expression
+// statements. Returns whether anything changed.
+func deadStoreElim(f *minic.FuncDef) bool {
+	changed := false
+	for {
+		u := countUses(f)
+		dead := func(name string) bool {
+			return u.reads[name] == 0 && !u.addressed[name]
+		}
+		pass := false
+		var filter func(stmts []minic.Stmt) []minic.Stmt
+		filter = func(stmts []minic.Stmt) []minic.Stmt {
+			out := stmts[:0]
+			for _, st := range stmts {
+				switch n := st.(type) {
+				case *minic.VarDecl:
+					if dead(n.Name) && isPure(n.Init) {
+						pass = true
+						continue
+					}
+				case *minic.ExprStmt:
+					if a, ok := n.E.(*minic.Assign); ok {
+						if v, isVar := a.LHS.(*minic.VarRef); isVar && dead(v.Name) && isPure(a.RHS) {
+							pass = true
+							continue
+						}
+					}
+					if isPure(n.E) {
+						pass = true
+						continue
+					}
+				case *minic.If:
+					n.Then = filterStmt(n.Then, filter)
+					n.Else = filterStmt(n.Else, filter)
+					if emptyStmt(n.Then) && emptyStmt(n.Else) && isPure(n.Cond) {
+						pass = true
+						continue
+					}
+				case *minic.While:
+					n.Body = filterStmt(n.Body, filter)
+				case *minic.For:
+					n.Body = filterStmt(n.Body, filter)
+				case *minic.Block:
+					n.Stmts = filter(n.Stmts)
+				}
+				out = append(out, st)
+			}
+			return out
+		}
+		f.Body.Stmts = filter(f.Body.Stmts)
+		if !pass {
+			break
+		}
+		changed = true
+	}
+	return changed
+}
+
+func filterStmt(s minic.Stmt, filter func([]minic.Stmt) []minic.Stmt) minic.Stmt {
+	if b, ok := s.(*minic.Block); ok {
+		b.Stmts = filter(b.Stmts)
+		return b
+	}
+	return s
+}
+
+func emptyStmt(s minic.Stmt) bool {
+	if s == nil {
+		return true
+	}
+	b, ok := s.(*minic.Block)
+	return ok && len(b.Stmts) == 0
+}
+
+// isPure reports whether evaluating e has no side effects.
+func isPure(e minic.Expr) bool {
+	switch n := e.(type) {
+	case nil:
+		return true
+	case *minic.IntLit, *minic.StrLit, *minic.VarRef, *minic.FuncRef, *minic.SizeOf:
+		return true
+	case *minic.Unary:
+		return isPure(n.X)
+	case *minic.Binary:
+		return isPure(n.X) && isPure(n.Y)
+	case *minic.Field:
+		return isPure(n.X)
+	case *minic.Index:
+		return isPure(n.X) && isPure(n.I)
+	default: // Assign, Call
+		return false
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Copy propagation
+
+// copyPropagate substitutes single-use, never-reassigned temporaries
+// whose initializer is a pure address expression, turning
+//
+//	int l = arr[5]; stlong(p, l);
+//
+// into `stlong(p, arr[5])`, the paper's Figure 5 shape.
+func copyPropagate(f *minic.FuncDef) bool {
+	u := countUses(f)
+	// Candidate temps: declared once, read once, never written again,
+	// never addressed, with a substitutable initializer whose roots are
+	// never written in this function.
+	subst := map[string]minic.Expr{}
+	var collect func(stmts []minic.Stmt)
+	collect = func(stmts []minic.Stmt) {
+		for _, st := range stmts {
+			switch n := st.(type) {
+			case *minic.VarDecl:
+				if n.Init == nil || !isAddressExpr(n.Init) {
+					continue
+				}
+				if u.reads[n.Name] != 1 || u.writes[n.Name] != 1 || u.addressed[n.Name] {
+					continue
+				}
+				stable := true
+				for _, root := range exprRoots(n.Init) {
+					if u.writes[root] > 0 || u.addressed[root] {
+						stable = false
+						break
+					}
+				}
+				if stable {
+					subst[n.Name] = n.Init
+				}
+			case *minic.If:
+				collectInner(n.Then, collect)
+				collectInner(n.Else, collect)
+			case *minic.While:
+				collectInner(n.Body, collect)
+			case *minic.For:
+				collectInner(n.Body, collect)
+			case *minic.Block:
+				collect(n.Stmts)
+			}
+		}
+	}
+	collect(f.Body.Stmts)
+	if len(subst) == 0 {
+		return false
+	}
+	replaceVarRefs(f, subst)
+	return true
+}
+
+func collectInner(s minic.Stmt, collect func([]minic.Stmt)) {
+	if b, ok := s.(*minic.Block); ok {
+		collect(b.Stmts)
+	}
+}
+
+// isAddressExpr reports whether e is a pure chain of variable, field, and
+// constant-index accesses (safe to move to its use site).
+func isAddressExpr(e minic.Expr) bool {
+	switch n := e.(type) {
+	case *minic.IntLit, *minic.VarRef:
+		return true
+	case *minic.Field:
+		return isAddressExpr(n.X)
+	case *minic.Index:
+		return isAddressExpr(n.X) && isAddressExpr(n.I)
+	case *minic.Unary:
+		return (n.Op == "*" || n.Op == "&" || n.Op == "-") && isAddressExpr(n.X)
+	default:
+		return false
+	}
+}
+
+func exprRoots(e minic.Expr) []string {
+	var roots []string
+	var walk func(e minic.Expr)
+	walk = func(e minic.Expr) {
+		switch n := e.(type) {
+		case nil:
+		case *minic.VarRef:
+			roots = append(roots, n.Name)
+		case *minic.Field:
+			walk(n.X)
+		case *minic.Index:
+			walk(n.X)
+			walk(n.I)
+		case *minic.Unary:
+			walk(n.X)
+		case *minic.Binary:
+			walk(n.X)
+			walk(n.Y)
+		}
+	}
+	walk(e)
+	return roots
+}
+
+// replaceVarRefs substitutes reads of the mapped variables and deletes
+// their (now dead) declarations.
+func replaceVarRefs(f *minic.FuncDef, subst map[string]minic.Expr) {
+	var rewriteExpr func(e minic.Expr) minic.Expr
+	rewriteExpr = func(e minic.Expr) minic.Expr {
+		switch n := e.(type) {
+		case nil:
+			return nil
+		case *minic.VarRef:
+			if repl, ok := subst[n.Name]; ok {
+				return minic.CloneExpr(repl)
+			}
+			return n
+		case *minic.Unary:
+			n.X = rewriteExpr(n.X)
+			return simplify(n)
+		case *minic.Binary:
+			n.X = rewriteExpr(n.X)
+			n.Y = rewriteExpr(n.Y)
+			return simplify(n)
+		case *minic.Assign:
+			// Never rewrite a substituted temp's own assignment LHS; the
+			// decl is removed below and candidates have exactly one write.
+			n.LHS = rewriteExpr(n.LHS)
+			n.RHS = rewriteExpr(n.RHS)
+			return n
+		case *minic.Call:
+			n.Fun = rewriteExpr(n.Fun)
+			for i := range n.Args {
+				n.Args[i] = rewriteExpr(n.Args[i])
+			}
+			return n
+		case *minic.Field:
+			n.X = rewriteExpr(n.X)
+			return n
+		case *minic.Index:
+			n.X = rewriteExpr(n.X)
+			n.I = rewriteExpr(n.I)
+			return n
+		default:
+			return e
+		}
+	}
+	var rewrite func(stmts []minic.Stmt) []minic.Stmt
+	rewrite = func(stmts []minic.Stmt) []minic.Stmt {
+		out := stmts[:0]
+		for _, st := range stmts {
+			switch n := st.(type) {
+			case *minic.VarDecl:
+				if _, gone := subst[n.Name]; gone {
+					continue
+				}
+				n.Init = rewriteExpr(n.Init)
+			case *minic.ExprStmt:
+				n.E = rewriteExpr(n.E)
+			case *minic.If:
+				n.Cond = rewriteExpr(n.Cond)
+				n.Then = filterStmt(n.Then, rewrite)
+				n.Else = filterStmt(n.Else, rewrite)
+			case *minic.While:
+				n.Cond = rewriteExpr(n.Cond)
+				n.Body = filterStmt(n.Body, rewrite)
+			case *minic.For:
+				if n.Cond != nil {
+					n.Cond = rewriteExpr(n.Cond)
+				}
+				n.Body = filterStmt(n.Body, rewrite)
+			case *minic.Return:
+				n.E = rewriteExpr(n.E)
+			case *minic.Block:
+				n.Stmts = rewrite(n.Stmts)
+			}
+			out = append(out, st)
+		}
+		return out
+	}
+	f.Body.Stmts = rewrite(f.Body.Stmts)
+}

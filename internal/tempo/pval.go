@@ -1,0 +1,299 @@
+// Package tempo implements the paper's program specializer for mini-C: a
+// partial evaluator in the style of Tempo (Consel et al.) with the four
+// refinements the paper credits for making specialization of system code
+// work (§4):
+//
+//   - partially-static structures: a struct like the XDR handle can have
+//     static fields (x_op, x_handy, x_ops) and dynamic fields (x_private)
+//     at the same time; static fields fold away, dynamic fields remain
+//     runtime accesses;
+//   - flow sensitivity: a variable's binding time is a property of the
+//     program point, not the program — a local may be dynamic before a
+//     guard and static inside it (the expected_inlen idiom of §6.2);
+//   - context sensitivity: each call is specialized for its own argument
+//     binding times; the procedure-identifier marshaling (static int) and
+//     argument marshaling (dynamic int) get different instances;
+//   - static returns: a call whose side effects are dynamic can still
+//     have a statically known result, which folds the caller's exit-status
+//     tests and turns residual functions void (§3.3, Figure 5).
+//
+// The specializer is online: it interprets static computations over
+// partial values and emits residual code for dynamic ones. The binding-
+// time division it discovers is observable through Context.Observer,
+// which internal/tempo/bta uses to render the two-level program the
+// Tempo UI showed its users (§6.1).
+package tempo
+
+import (
+	"fmt"
+
+	"specrpc/internal/minic"
+)
+
+// PVal is a partial value: either known at specialization time (static)
+// or a residual expression evaluated at run time (dynamic).
+type PVal interface {
+	pval()
+	String() string
+}
+
+// KInt is a known integer.
+type KInt struct{ V int64 }
+
+func (KInt) pval() {}
+
+// String renders the value.
+func (k KInt) String() string { return fmt.Sprintf("static %d", k.V) }
+
+// KFunc is a known function value.
+type KFunc struct{ Name string }
+
+func (KFunc) pval() {}
+
+// String renders the value.
+func (k KFunc) String() string { return "static fn:" + k.Name }
+
+// KNull is the known null pointer.
+type KNull struct{}
+
+func (KNull) pval() {}
+
+// String renders the value.
+func (KNull) String() string { return "static null" }
+
+// KPtr is a known pointer to a specialization-time object.
+type KPtr struct {
+	Obj *SObj
+	Off int // slot offset into Obj
+}
+
+func (KPtr) pval() {}
+
+// String renders the value.
+func (k KPtr) String() string { return fmt.Sprintf("static &%s+%d", k.Obj.Name, k.Off) }
+
+// Dyn is a dynamic value: Expr computes it in the residual program.
+type Dyn struct{ Expr minic.Expr }
+
+func (Dyn) pval() {}
+
+// String renders the residual expression.
+func (d Dyn) String() string { return "dynamic " + minic.ExprString(d.Expr) }
+
+// IsKnown reports whether v is static.
+func IsKnown(v PVal) bool {
+	_, dyn := v.(Dyn)
+	return v != nil && !dyn
+}
+
+// SObj is a specialization-time memory object: a struct instance or word
+// array whose slots hold partial values. Objects may be backed by runtime
+// storage (Runtime names the base pointer in residual code, e.g. the
+// `xdrs` parameter) or exist only at specialization time (an address-
+// taken static local).
+type SObj struct {
+	Name   string
+	Struct *minic.Struct // nil for plain word arrays
+	Slots  []PVal
+	// Div gives the binding time of each slot for struct-backed objects:
+	// true = static (reads fold, writes update Slots, no residual code),
+	// false = dynamic (reads/writes residualize against Runtime).
+	// For non-struct objects every slot's division follows its value.
+	Div []bool
+	// Runtime, when non-nil, is the residual expression for the object's
+	// base pointer.
+	Runtime minic.Expr
+}
+
+// slotPV reads a slot.
+func (o *SObj) slotPV(i int) (PVal, error) {
+	if i < 0 || i >= len(o.Slots) {
+		return nil, fmt.Errorf("tempo: slot %d out of range in object %s (size %d)", i, o.Name, len(o.Slots))
+	}
+	return o.Slots[i], nil
+}
+
+// Error is a specialization failure: an unsound binding-time division, an
+// unsupported construct, or resource exhaustion during unfolding.
+type Error struct {
+	Pos minic.Pos
+	Msg string
+}
+
+// Error formats the failure.
+func (e *Error) Error() string {
+	if e.Pos.Line == 0 {
+		return "tempo: " + e.Msg
+	}
+	return fmt.Sprintf("tempo: %s: %s", e.Pos, e.Msg)
+}
+
+func specErr(pos minic.Pos, format string, args ...any) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// evalBinary folds a binary operator over known values with the subject
+// language's 32-bit integer semantics.
+func evalBinary(pos minic.Pos, op string, a, b PVal) (PVal, error) {
+	// Pointer and function comparisons.
+	if isPtrPV(a) || isPtrPV(b) {
+		eq, err := ptrPVEq(pos, a, b)
+		if err != nil {
+			return nil, err
+		}
+		switch op {
+		case "==":
+			return boolPV(eq), nil
+		case "!=":
+			return boolPV(!eq), nil
+		default:
+			return nil, specErr(pos, "invalid static pointer operation %s", op)
+		}
+	}
+	if fa, ok := a.(KFunc); ok {
+		fb, ok2 := b.(KFunc)
+		if !ok2 {
+			return nil, specErr(pos, "comparing function with non-function")
+		}
+		switch op {
+		case "==":
+			return boolPV(fa.Name == fb.Name), nil
+		case "!=":
+			return boolPV(fa.Name != fb.Name), nil
+		default:
+			return nil, specErr(pos, "invalid static funcptr operation %s", op)
+		}
+	}
+	ia, ok := a.(KInt)
+	ib, ok2 := b.(KInt)
+	if !ok || !ok2 {
+		return nil, specErr(pos, "static evaluation of %s on non-integers", op)
+	}
+	x, y := ia.V, ib.V
+	switch op {
+	case "+":
+		return KInt{int64(int32(x + y))}, nil
+	case "-":
+		return KInt{int64(int32(x - y))}, nil
+	case "*":
+		return KInt{int64(int32(x * y))}, nil
+	case "/":
+		if y == 0 {
+			return nil, specErr(pos, "static division by zero")
+		}
+		return KInt{int64(int32(x / y))}, nil
+	case "%":
+		if y == 0 {
+			return nil, specErr(pos, "static modulo by zero")
+		}
+		return KInt{int64(int32(x % y))}, nil
+	case "&":
+		return KInt{x & y}, nil
+	case "|":
+		return KInt{x | y}, nil
+	case "^":
+		return KInt{int64(int32(x ^ y))}, nil
+	case "<<":
+		return KInt{int64(int32(x << (uint(y) & 31)))}, nil
+	case ">>":
+		return KInt{int64(int32(x) >> (uint(y) & 31))}, nil
+	case "==":
+		return boolPV(x == y), nil
+	case "!=":
+		return boolPV(x != y), nil
+	case "<":
+		return boolPV(x < y), nil
+	case ">":
+		return boolPV(x > y), nil
+	case "<=":
+		return boolPV(x <= y), nil
+	case ">=":
+		return boolPV(x >= y), nil
+	default:
+		return nil, specErr(pos, "unknown operator %s", op)
+	}
+}
+
+func boolPV(b bool) PVal {
+	if b {
+		return KInt{1}
+	}
+	return KInt{0}
+}
+
+func isPtrPV(v PVal) bool {
+	switch v.(type) {
+	case KPtr, KNull:
+		return true
+	default:
+		return false
+	}
+}
+
+func ptrPVEq(pos minic.Pos, a, b PVal) (bool, error) {
+	norm := func(v PVal) (obj *SObj, off int, null bool, err error) {
+		switch n := v.(type) {
+		case KPtr:
+			return n.Obj, n.Off, false, nil
+		case KNull:
+			return nil, 0, true, nil
+		case KInt:
+			if n.V == 0 {
+				return nil, 0, true, nil
+			}
+			return nil, 0, false, specErr(pos, "comparing pointer with nonzero integer")
+		default:
+			return nil, 0, false, specErr(pos, "comparing pointer with %s", v)
+		}
+	}
+	ao, aoff, anull, err := norm(a)
+	if err != nil {
+		return false, err
+	}
+	bo, boff, bnull, err := norm(b)
+	if err != nil {
+		return false, err
+	}
+	if anull || bnull {
+		return anull == bnull, nil
+	}
+	return ao == bo && aoff == boff, nil
+}
+
+// truthyPV reports C truthiness of a known value.
+func truthyPV(v PVal) bool {
+	switch n := v.(type) {
+	case KInt:
+		return n.V != 0
+	case KNull:
+		return false
+	case KPtr:
+		return true
+	case KFunc:
+		return n.Name != ""
+	default:
+		return false
+	}
+}
+
+// lift converts a known value to a residual expression; pointers to
+// specialization-time objects cannot be lifted.
+func lift(pos minic.Pos, v PVal) (minic.Expr, error) {
+	switch n := v.(type) {
+	case KInt:
+		return &minic.IntLit{Val: n.V}, nil
+	case KNull:
+		return &minic.IntLit{Val: 0}, nil
+	case Dyn:
+		return n.Expr, nil
+	case KFunc:
+		return &minic.VarRef{Name: n.Name}, nil
+	case KPtr:
+		if n.Obj.Runtime != nil && n.Off == 0 {
+			return minic.CloneExpr(n.Obj.Runtime), nil
+		}
+		return nil, specErr(pos, "cannot lift pointer to specialization-time object %s", n.Obj.Name)
+	default:
+		return nil, specErr(pos, "cannot lift %v", v)
+	}
+}

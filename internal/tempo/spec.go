@@ -1,0 +1,1002 @@
+package tempo
+
+import (
+	"errors"
+	"fmt"
+
+	"specrpc/internal/minic"
+)
+
+// Specialize partially evaluates ctx.Entry of prog (which must have
+// passed minic.Check) with respect to the declared inputs and returns the
+// residual program.
+func Specialize(prog *minic.Program, ctx *Context) (*Result, error) {
+	if ctx.MaxDepth == 0 {
+		ctx.MaxDepth = 256
+	}
+	if ctx.Suffix == "" {
+		ctx.Suffix = "_spec"
+	}
+	entry, ok := prog.Funcs[ctx.Entry]
+	if !ok {
+		return nil, fmt.Errorf("tempo: entry function %s not found", ctx.Entry)
+	}
+	if len(ctx.Params) != len(entry.Params) {
+		return nil, fmt.Errorf("tempo: entry %s has %d parameters, %d binding times declared",
+			ctx.Entry, len(entry.Params), len(ctx.Params))
+	}
+
+	s := &specializer{prog: prog, ctx: ctx, res: minic.NewProgram()}
+	// The residual program shares the original's type and extern world.
+	for name, st := range prog.Structs {
+		s.res.Structs[name] = st
+		s.res.Order = append(s.res.Order, "struct "+name)
+	}
+	for name, ext := range prog.Externs {
+		s.res.Externs[name] = ext
+		s.res.Order = append(s.res.Order, "extern "+name)
+	}
+
+	resName := ctx.Entry + ctx.Suffix
+	ret, err := s.specializeEntry(entry, resName)
+	if err != nil {
+		return nil, err
+	}
+	if !ctx.KeepDeadStores {
+		cleanupProgram(s.res)
+	}
+	if err := minic.Check(s.res); err != nil {
+		return nil, fmt.Errorf("tempo: residual program fails type check: %w\n%s",
+			err, minic.PrintProgram(s.res))
+	}
+	resFn := s.res.Funcs[resName]
+	params := make([]string, len(resFn.Params))
+	for i, p := range resFn.Params {
+		params[i] = p.Name
+	}
+	return &Result{Program: s.res, Entry: resName, Params: params, StaticReturn: ret}, nil
+}
+
+type specializer struct {
+	prog      *minic.Program
+	res       *minic.Program
+	ctx       *Context
+	depth     int
+	nfn       int
+	addrCache map[*minic.FuncDef]map[string]bool
+}
+
+// Sentinels driving the unfold-vs-variant and unroll-vs-loop fallbacks.
+var (
+	errNeedVariant      = errors.New("unfold impossible: residual return under dynamic control")
+	errDynamicLoopState = errors.New("loop cannot be unrolled")
+)
+
+func (s *specializer) observe(node any, static bool) {
+	if s.ctx.Observer != nil {
+		s.ctx.Observer(node, static)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Function-level specialization
+
+// fnSpec builds one residual function.
+type fnSpec struct {
+	s    *specializer
+	def  *minic.FuncDef // original function
+	name string         // residual name
+	// asFunction: residual returns are allowed (variant/entry mode);
+	// otherwise returns must fold statically (unfold mode).
+	asFunction bool
+
+	used              map[string]bool
+	nextSfx           map[string]int
+	outs              []*[]minic.Stmt
+	objs              []*SObj // every object created or reachable, for snapshots
+	retVals           []PVal  // static return values observed (asFunction mode)
+	hasResidualReturn bool
+	// staticLoopDepth counts enclosing statically-unrolled loops;
+	// residualLoop counts enclosing residual loops.
+	staticLoops  int
+	residualLoop int
+}
+
+func (fs *fnSpec) emit(st minic.Stmt) {
+	top := fs.outs[len(fs.outs)-1]
+	*top = append(*top, st)
+}
+
+func (fs *fnSpec) pushOut() *[]minic.Stmt {
+	buf := &[]minic.Stmt{}
+	fs.outs = append(fs.outs, buf)
+	return buf
+}
+
+func (fs *fnSpec) popOut() []minic.Stmt {
+	top := fs.outs[len(fs.outs)-1]
+	fs.outs = fs.outs[:len(fs.outs)-1]
+	return *top
+}
+
+func (fs *fnSpec) fresh(base string) string {
+	if !fs.used[base] {
+		fs.used[base] = true
+		return base
+	}
+	if fs.nextSfx == nil {
+		fs.nextSfx = make(map[string]int)
+	}
+	i := fs.nextSfx[base]
+	if i < 2 {
+		i = 2
+	}
+	for {
+		name := fmt.Sprintf("%s_%d", base, i)
+		i++
+		if !fs.used[name] {
+			fs.used[name] = true
+			fs.nextSfx[base] = i
+			return name
+		}
+	}
+}
+
+func (fs *fnSpec) trackObj(o *SObj) *SObj {
+	fs.objs = append(fs.objs, o)
+	return o
+}
+
+// snapshot copies every tracked object's slots for rollback.
+func (fs *fnSpec) snapshot() [][]PVal {
+	snap := make([][]PVal, len(fs.objs))
+	for i, o := range fs.objs {
+		snap[i] = append([]PVal(nil), o.Slots...)
+	}
+	return snap
+}
+
+func (fs *fnSpec) restore(snap [][]PVal) {
+	for i := range snap {
+		copy(fs.objs[i].Slots, snap[i])
+	}
+	fs.objs = fs.objs[:len(snap)]
+}
+
+// env is the flow-sensitive specialization environment.
+type env struct {
+	fs     *fnSpec
+	scopes []*scope
+	// def is the original function whose body this environment is
+	// specializing (the unfolded callee's, not the residual host's);
+	// it scopes the address-taken analysis for local declarations.
+	def      *minic.FuncDef
+	dynDepth int
+	// baseDyn is the dynamic depth at the enclosing function-body entry;
+	// control is "statically placed" when dynDepth == baseDyn.
+	baseDyn int
+	// unfolded marks the body of an inlined callee: returns under dynamic
+	// control there force the variant fallback instead of residualizing.
+	unfolded bool
+	// taint marks a residual-variant body generated from inside a
+	// residual loop: static-field writes there would apply once at
+	// specialization time but once per iteration at run time, so they
+	// are division violations even though the variant's own residualLoop
+	// counter is zero.
+	taint bool
+}
+
+type scope struct {
+	names map[string]*binding
+}
+
+type binding struct {
+	name     string
+	resName  string
+	typ      minic.Type
+	val      PVal  // current partial value (scalars)
+	obj      *SObj // aggregate or address-taken locals
+	declared bool  // residual declaration emitted
+}
+
+func (e *env) push() { e.scopes = append(e.scopes, &scope{names: make(map[string]*binding)}) }
+func (e *env) pop()  { e.scopes = e.scopes[:len(e.scopes)-1] }
+
+func (e *env) bind(b *binding) { e.scopes[len(e.scopes)-1].names[b.name] = b }
+
+func (e *env) lookup(name string) (*binding, bool) {
+	for i := len(e.scopes) - 1; i >= 0; i-- {
+		if b, ok := e.scopes[i].names[name]; ok {
+			return b, true
+		}
+	}
+	return nil, false
+}
+
+// fork deep-copies bindings (values fork per branch; objects stay shared
+// and are reconciled by snapshot comparison).
+func (e *env) fork() *env {
+	c := &env{fs: e.fs, def: e.def, dynDepth: e.dynDepth, baseDyn: e.baseDyn,
+		unfolded: e.unfolded, taint: e.taint}
+	for _, sc := range e.scopes {
+		ns := &scope{names: make(map[string]*binding, len(sc.names))}
+		for k, b := range sc.names {
+			cb := *b
+			ns.names[k] = &cb
+		}
+		c.scopes = append(c.scopes, ns)
+	}
+	return c
+}
+
+// flow is the static control-flow outcome of specializing a statement.
+type flow int
+
+const (
+	fNext flow = iota + 1
+	fBreak
+	fCont
+	fReturn  // static return: ret holds the value
+	fStopped // a residual terminator (return/break/continue) was emitted
+)
+
+// specializeEntry builds the residual entry function.
+func (s *specializer) specializeEntry(def *minic.FuncDef, resName string) (*int64, error) {
+	fs := &fnSpec{s: s, def: def, name: resName, asFunction: true, used: map[string]bool{}}
+	e := &env{fs: fs, def: def}
+	e.push()
+
+	var params []minic.Param
+	for i, p := range def.Params {
+		spec := s.ctx.Params[i]
+		b := &binding{name: p.Name, resName: p.Name, typ: p.Type}
+		switch spec.Kind {
+		case ParamStaticInt:
+			b.val = KInt{spec.Int}
+		case ParamStaticFunc:
+			b.val = KFunc{spec.Func}
+		case ParamDynamic:
+			fs.used[p.Name] = true
+			b.val = Dyn{Expr: &minic.VarRef{Name: p.Name}}
+			b.declared = true
+			params = append(params, minic.Param{Name: p.Name, Type: p.Type})
+		case ParamObject:
+			fs.used[p.Name] = true
+			obj, err := buildObject(s.prog, spec.Obj, &minic.VarRef{Name: p.Name}, p.Name)
+			if err != nil {
+				return nil, err
+			}
+			fs.trackObj(obj)
+			b.val = KPtr{Obj: obj}
+			b.declared = true
+			params = append(params, minic.Param{Name: p.Name, Type: p.Type})
+		default:
+			return nil, fmt.Errorf("tempo: parameter %s has no binding time", p.Name)
+		}
+		e.bind(b)
+	}
+
+	fs.pushOut()
+	fl, ret, err := s.stmt(e, def.Body)
+	if err != nil {
+		return nil, err
+	}
+	body := fs.popOut()
+
+	// Decide the residual return shape (§3.3): if no residual return was
+	// needed and the static exit value is known, the function becomes
+	// void and the value is reported to callers.
+	var staticRet *int64
+	retType := def.Ret
+	switch {
+	case fs.hasResidualReturn:
+		// Keep the return type; a trailing static return lifts.
+		if fl == fReturn && ret != nil {
+			le, lerr := lift(def.Pos, ret)
+			if lerr != nil {
+				return nil, lerr
+			}
+			body = append(body, &minic.Return{E: le})
+		}
+	case fl == fReturn && ret != nil:
+		if ki, ok := ret.(KInt); ok {
+			v := ki.V
+			staticRet = &v
+			retType = minic.TypeVoid
+		} else {
+			le, lerr := lift(def.Pos, ret)
+			if lerr != nil {
+				return nil, lerr
+			}
+			body = append(body, &minic.Return{E: le})
+		}
+	default:
+		retType = minic.TypeVoid
+	}
+
+	s.res.Funcs[resName] = &minic.FuncDef{
+		Name: resName, Ret: retType, Params: params,
+		Body: &minic.Block{Stmts: body},
+	}
+	s.res.Order = append(s.res.Order, "func "+resName)
+	return staticRet, nil
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+
+func (s *specializer) stmt(e *env, st minic.Stmt) (flow, PVal, error) {
+	switch n := st.(type) {
+	case nil:
+		return fNext, nil, nil
+	case *minic.Block:
+		e.push()
+		nobjs := len(e.fs.objs)
+		defer func() {
+			e.pop()
+			// Objects for block-scoped locals die with the scope; stop
+			// tracking them so snapshots stay proportional to live state.
+			if len(e.fs.objs) > nobjs {
+				e.fs.objs = e.fs.objs[:nobjs]
+			}
+		}()
+		for _, inner := range n.Stmts {
+			fl, ret, err := s.stmt(e, inner)
+			if err != nil {
+				return fl, nil, err
+			}
+			if fl != fNext {
+				return fl, ret, nil
+			}
+		}
+		return fNext, nil, nil
+	case *minic.ExprStmt:
+		s.observe(n, true) // reached; expression-level detail follows
+		return s.exprStmt(e, n)
+	case *minic.VarDecl:
+		return s.varDecl(e, n)
+	case *minic.If:
+		return s.ifStmt(e, n)
+	case *minic.While:
+		s.observe(n, true)
+		return s.loop(e, nil, n.Cond, nil, n.Body, n.Position())
+	case *minic.For:
+		s.observe(n, true)
+		e.push()
+		defer e.pop()
+		if n.Init != nil {
+			fl, ret, err := s.stmt(e, n.Init)
+			if err != nil || fl != fNext {
+				return fl, ret, err
+			}
+		}
+		return s.loop(e, nil, n.Cond, n.Post, n.Body, n.Position())
+	case *minic.Return:
+		return s.returnStmt(e, n)
+	case *minic.Break:
+		return s.breakCont(e, n, true)
+	case *minic.Continue:
+		return s.breakCont(e, n, false)
+	default:
+		return fNext, nil, specErr(st.Position(), "unsupported statement %T", st)
+	}
+}
+
+func (s *specializer) exprStmt(e *env, n *minic.ExprStmt) (flow, PVal, error) {
+	v, err := s.expr(e, n.E)
+	if err != nil {
+		return fNext, nil, err
+	}
+	// Assignments emit their effects during s.expr; a bare call used for
+	// effect must be emitted as a statement. Pure leftovers drop.
+	if _, isAssign := n.E.(*minic.Assign); isAssign {
+		return fNext, nil, nil
+	}
+	if d, ok := v.(Dyn); ok {
+		if call, isCall := d.Expr.(*minic.Call); isCall {
+			s.observe(n, false)
+			e.fs.emit(&minic.ExprStmt{E: call})
+			return fNext, nil, nil
+		}
+	}
+	return fNext, nil, nil
+}
+
+func (s *specializer) varDecl(e *env, n *minic.VarDecl) (flow, PVal, error) {
+	addrTaken := s.addrTakenIn(e.def)[n.Name]
+	b := &binding{name: n.Name, typ: n.Type}
+	b.resName = e.fs.fresh(n.Name)
+
+	switch t := n.Type.(type) {
+	case *minic.Array:
+		if t.Elem.Equal(minic.TypeChar) {
+			// Residual-only byte buffer: dynamic content.
+			b.declared = true
+			e.fs.emit(&minic.VarDecl{Name: b.resName, Type: n.Type})
+			b.val = Dyn{Expr: &minic.VarRef{Name: b.resName}}
+			e.bind(b)
+			s.observe(n, false)
+			return fNext, nil, nil
+		}
+		slots, err := slotCount(t)
+		if err != nil {
+			return fNext, nil, specErr(n.Pos, "array %s: %v", n.Name, err)
+		}
+		b.obj = e.fs.trackObj(&SObj{Name: b.resName, Slots: make([]PVal, slots),
+			Runtime: &minic.VarRef{Name: b.resName}})
+		b.declared = true
+		b.val = KPtr{Obj: b.obj}
+		e.fs.emit(&minic.VarDecl{Name: b.resName, Type: n.Type})
+		e.bind(b)
+		s.observe(n, false)
+		return fNext, nil, nil
+	case *minic.Struct:
+		_, slots, err := structLayout(t)
+		if err != nil {
+			return fNext, nil, specErr(n.Pos, "struct local %s: %v", n.Name, err)
+		}
+		b.obj = e.fs.trackObj(&SObj{Name: b.resName, Struct: t, Slots: make([]PVal, slots),
+			Runtime: &minic.VarRef{Name: b.resName}})
+		b.declared = true
+		b.val = KPtr{Obj: b.obj}
+		e.fs.emit(&minic.VarDecl{Name: b.resName, Type: n.Type})
+		e.bind(b)
+		s.observe(n, false)
+		return fNext, nil, nil
+	default:
+		if addrTaken {
+			// Address-taken scalar: a one-slot runtime-backed object.
+			b.obj = e.fs.trackObj(&SObj{Name: b.resName, Slots: make([]PVal, 1),
+				Runtime: &minic.Unary{Op: "&", X: &minic.VarRef{Name: b.resName}}})
+			b.declared = true
+			var declInit minic.Expr
+			if n.Init != nil {
+				v, err := s.expr(e, n.Init)
+				if err != nil {
+					return fNext, nil, err
+				}
+				b.obj.Slots[0] = v
+				le, lerr := lift(n.Pos, v)
+				if lerr == nil {
+					declInit = le
+				}
+				s.observe(n, IsKnown(v))
+			} else {
+				s.observe(n, false)
+			}
+			e.fs.emit(&minic.VarDecl{Name: b.resName, Type: n.Type, Init: declInit})
+			b.val = KPtr{Obj: b.obj}
+			e.bind(b)
+			return fNext, nil, nil
+		}
+		// Plain scalar: fully tracked, residualized lazily.
+		if n.Init != nil {
+			v, err := s.expr(e, n.Init)
+			if err != nil {
+				return fNext, nil, err
+			}
+			if IsKnown(v) {
+				b.val = v
+				s.observe(n, true)
+			} else {
+				d := v.(Dyn)
+				b.declared = true
+				e.fs.emit(&minic.VarDecl{Name: b.resName, Type: n.Type, Init: d.Expr})
+				b.val = Dyn{Expr: &minic.VarRef{Name: b.resName}}
+				s.observe(n, false)
+			}
+		} else {
+			b.val = KInt{0}
+			s.observe(n, true)
+		}
+		e.bind(b)
+		return fNext, nil, nil
+	}
+}
+
+func (s *specializer) returnStmt(e *env, n *minic.Return) (flow, PVal, error) {
+	var v PVal
+	if n.E != nil {
+		var err error
+		v, err = s.expr(e, n.E)
+		if err != nil {
+			return fNext, nil, err
+		}
+	} else {
+		v = KInt{0}
+	}
+	if e.dynDepth == e.baseDyn {
+		s.observe(n, IsKnown(v))
+		return fReturn, v, nil
+	}
+	// Return under dynamic control: residualize if we are building a
+	// residual function body; inside an unfolded callee, fall back to
+	// the polyvariant variant mechanism instead.
+	if e.unfolded || !e.fs.asFunction {
+		return fNext, nil, errNeedVariant
+	}
+	s.observe(n, false)
+	e.fs.hasResidualReturn = true
+	if n.E == nil {
+		e.fs.emit(&minic.Return{})
+		return fStopped, nil, nil
+	}
+	le, err := lift(n.Pos, v)
+	if err != nil {
+		return fNext, nil, err
+	}
+	e.fs.emit(&minic.Return{E: le})
+	return fStopped, nil, nil
+}
+
+func (s *specializer) breakCont(e *env, st minic.Stmt, isBreak bool) (flow, PVal, error) {
+	s.observe(st, e.dynDepth == e.baseDyn)
+	if e.dynDepth == e.baseDyn {
+		if isBreak {
+			return fBreak, nil, nil
+		}
+		return fCont, nil, nil
+	}
+	// Under dynamic control: the jump must target a residual loop.
+	if e.fs.residualLoop == 0 {
+		// Inside a statically unrolled loop but conditionally at run
+		// time: the unroll is unsound; fall back to a residual loop.
+		return fNext, nil, errDynamicLoopState
+	}
+	if isBreak {
+		e.fs.emit(&minic.Break{})
+	} else {
+		e.fs.emit(&minic.Continue{})
+	}
+	return fStopped, nil, nil
+}
+
+// ---------------------------------------------------------------------------
+// Conditionals
+
+func (s *specializer) ifStmt(e *env, n *minic.If) (flow, PVal, error) {
+	cond, err := s.expr(e, n.Cond)
+	if err != nil {
+		return fNext, nil, err
+	}
+	if IsKnown(cond) {
+		// Static dispatch elimination (§3.1): only the taken branch is
+		// specialized; the test disappears.
+		s.observe(n, true)
+		s.observe(n.Cond, true)
+		if truthyPV(cond) {
+			return s.stmt(e, n.Then)
+		}
+		if n.Else != nil {
+			return s.stmt(e, n.Else)
+		}
+		return fNext, nil, nil
+	}
+	s.observe(n, false)
+	s.observe(n.Cond, false)
+	condExpr := cond.(Dyn).Expr
+
+	// Materialize bindings the branches may assign, so both branches and
+	// the join see one runtime variable.
+	if err := s.materializeAssigned(e, []minic.Stmt{n.Then, n.Else}); err != nil {
+		return fNext, nil, err
+	}
+
+	snap := e.fs.snapshot()
+	thenEnv := e.fork()
+	thenEnv.dynDepth++
+	thenOut := e.fs.pushOut()
+	thenFlow, _, err := s.stmt(thenEnv, n.Then)
+	_ = thenOut
+	thenStmts := e.fs.popOut()
+	if err != nil {
+		return fNext, nil, err
+	}
+	if thenFlow == fBreak || thenFlow == fCont || thenFlow == fReturn {
+		return fNext, nil, specErr(n.Pos, "internal: static flow escaped dynamic branch")
+	}
+	thenSnap := e.fs.snapshot()
+	e.fs.restore(snap[:len(snap)]) // rewind objects for the else branch
+	// Objects created inside the then branch are dropped by restore.
+
+	elseEnv := e.fork()
+	elseEnv.dynDepth++
+	e.fs.pushOut()
+	var elseFlow flow = fNext
+	if n.Else != nil {
+		elseFlow, _, err = s.stmt(elseEnv, n.Else)
+		if err != nil {
+			return fNext, nil, err
+		}
+		if elseFlow == fBreak || elseFlow == fCont || elseFlow == fReturn {
+			return fNext, nil, specErr(n.Pos, "internal: static flow escaped dynamic branch")
+		}
+	}
+	elseStmts := e.fs.popOut()
+
+	// Reconcile object state between branches: slots that diverged (or
+	// changed in a surviving branch) generalize to their runtime values.
+	s.joinObjects(e, snap, thenSnap, thenFlow == fStopped, elseFlow == fStopped, n.Pos)
+	// Join scalar bindings flow-sensitively.
+	s.joinBindings(e, thenEnv, elseEnv, thenFlow == fStopped, elseFlow == fStopped)
+
+	out := &minic.If{Cond: condExpr, Then: &minic.Block{Stmts: thenStmts}}
+	if len(elseStmts) > 0 {
+		out.Else = &minic.Block{Stmts: elseStmts}
+	}
+	e.fs.emit(out)
+	if thenFlow == fStopped && elseFlow == fStopped && n.Else != nil {
+		return fStopped, nil, nil
+	}
+	return fNext, nil, nil
+}
+
+// materializeAssigned emits residual declarations for currently-known
+// scalar bindings that the given statements may assign, so that branch
+// and loop bodies can residualize writes to them.
+func (s *specializer) materializeAssigned(e *env, stmts []minic.Stmt) error {
+	names := map[string]bool{}
+	for _, st := range stmts {
+		collectAssigned(st, names)
+	}
+	for name := range names {
+		b, ok := e.lookup(name)
+		if !ok || b.obj != nil || b.declared {
+			continue
+		}
+		le, err := lift(minic.Pos{}, b.val)
+		if err != nil {
+			return specErr(minic.Pos{}, "cannot materialize %s before dynamic control: %v", name, err)
+		}
+		e.fs.emit(&minic.VarDecl{Name: b.resName, Type: b.typ, Init: le})
+		b.declared = true
+		// The value stays known inside straight-line reasoning; writes
+		// under dynamic control will residualize and re-generalize.
+		s.propagateDeclared(e, name, b.resName)
+	}
+	return nil
+}
+
+// propagateDeclared marks every visible binding of name as declared (the
+// binding structs are per-scope copies after forks).
+func (s *specializer) propagateDeclared(e *env, name, resName string) {
+	for _, sc := range e.scopes {
+		if b, ok := sc.names[name]; ok && b.resName == resName {
+			b.declared = true
+		}
+	}
+}
+
+// collectAssigned gathers local names syntactically assigned in st,
+// including names whose address escapes into calls.
+func collectAssigned(st minic.Stmt, out map[string]bool) {
+	var walkExpr func(e minic.Expr)
+	walkExpr = func(e minic.Expr) {
+		switch n := e.(type) {
+		case nil:
+		case *minic.Assign:
+			if v, ok := rootVar(n.LHS); ok {
+				out[v] = true
+			}
+			walkExpr(n.LHS)
+			walkExpr(n.RHS)
+		case *minic.Unary:
+			if n.Op == "&" {
+				if v, ok := rootVar(n.X); ok {
+					out[v] = true
+				}
+			}
+			walkExpr(n.X)
+		case *minic.Binary:
+			walkExpr(n.X)
+			walkExpr(n.Y)
+		case *minic.Call:
+			walkExpr(n.Fun)
+			for _, a := range n.Args {
+				walkExpr(a)
+			}
+		case *minic.Field:
+			walkExpr(n.X)
+		case *minic.Index:
+			walkExpr(n.X)
+			walkExpr(n.I)
+		}
+	}
+	var walk func(s minic.Stmt)
+	walk = func(s minic.Stmt) {
+		switch n := s.(type) {
+		case nil:
+		case *minic.ExprStmt:
+			walkExpr(n.E)
+		case *minic.VarDecl:
+			walkExpr(n.Init)
+		case *minic.If:
+			walkExpr(n.Cond)
+			walk(n.Then)
+			walk(n.Else)
+		case *minic.While:
+			walkExpr(n.Cond)
+			walk(n.Body)
+		case *minic.For:
+			walk(n.Init)
+			walkExpr(n.Cond)
+			walk(n.Post)
+			walk(n.Body)
+		case *minic.Return:
+			walkExpr(n.E)
+		case *minic.Block:
+			for _, inner := range n.Stmts {
+				walk(inner)
+			}
+		}
+	}
+	walk(st)
+}
+
+// rootVar finds the base variable of an lvalue expression.
+func rootVar(e minic.Expr) (string, bool) {
+	switch n := e.(type) {
+	case *minic.VarRef:
+		return n.Name, true
+	case *minic.Field:
+		return rootVar(n.X)
+	case *minic.Index:
+		return rootVar(n.X)
+	case *minic.Unary:
+		if n.Op == "*" || n.Op == "&" {
+			return rootVar(n.X)
+		}
+	}
+	return "", false
+}
+
+// joinBindings merges scalar binding states after a dynamic conditional.
+func (s *specializer) joinBindings(e *env, thenEnv, elseEnv *env, thenStopped, elseStopped bool) {
+	for si, sc := range e.scopes {
+		for name, b := range sc.names {
+			tb := thenEnv.scopes[si].names[name]
+			eb := elseEnv.scopes[si].names[name]
+			if tb == nil || eb == nil {
+				continue
+			}
+			var joined PVal
+			switch {
+			case thenStopped && elseStopped:
+				joined = b.val
+			case thenStopped:
+				joined = eb.val
+			case elseStopped:
+				joined = tb.val
+			case pvalEqual(tb.val, eb.val):
+				joined = tb.val
+			default:
+				joined = Dyn{Expr: &minic.VarRef{Name: b.resName}}
+			}
+			b.val = joined
+			b.declared = b.declared || tb.declared || eb.declared
+		}
+	}
+}
+
+// joinObjects generalizes object slots that changed during the branches.
+func (s *specializer) joinObjects(e *env, pre, thenSnap [][]PVal, thenStopped, elseStopped bool, pos minic.Pos) {
+	for i := range pre {
+		if i >= len(e.fs.objs) {
+			break
+		}
+		obj := e.fs.objs[i]
+		for slot := range pre[i] {
+			preV := pre[i][slot]
+			var thenV PVal
+			if i < len(thenSnap) && slot < len(thenSnap[i]) {
+				thenV = thenSnap[i][slot]
+			}
+			elseV := obj.Slots[slot] // current state = after else branch
+			tv, ev := thenV, elseV
+			if thenStopped {
+				tv = preV
+			}
+			if elseStopped {
+				ev = preV
+			}
+			if pvalEqual(tv, ev) {
+				obj.Slots[slot] = tv
+				continue
+			}
+			// Divergent: the runtime copy is authoritative.
+			obj.Slots[slot] = Dyn{Expr: nil}
+		}
+	}
+}
+
+func pvalEqual(a, b PVal) bool {
+	switch av := a.(type) {
+	case KInt:
+		bv, ok := b.(KInt)
+		return ok && av.V == bv.V
+	case KFunc:
+		bv, ok := b.(KFunc)
+		return ok && av.Name == bv.Name
+	case KNull:
+		_, ok := b.(KNull)
+		return ok
+	case KPtr:
+		bv, ok := b.(KPtr)
+		return ok && av.Obj == bv.Obj && av.Off == bv.Off
+	case Dyn:
+		bv, ok := b.(Dyn)
+		if !ok {
+			return false
+		}
+		if av.Expr == nil || bv.Expr == nil {
+			return av.Expr == nil && bv.Expr == nil
+		}
+		return minic.ExprString(av.Expr) == minic.ExprString(bv.Expr)
+	case nil:
+		return b == nil
+	default:
+		return false
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Loops
+
+const hardUnrollCap = 1 << 20
+
+// loop specializes while/for loops: static conditions unroll (§5, loop
+// unrolling); dynamic conditions (or unrolls past UnrollLimit) produce a
+// residual loop over a generalized environment.
+func (s *specializer) loop(e *env, _ minic.Stmt, cond minic.Expr, post minic.Stmt, body minic.Stmt, pos minic.Pos) (flow, PVal, error) {
+	// Attempt static unrolling against a rollback point.
+	snap := e.fs.snapshot()
+	attempt := e.fork()
+	out := e.fs.pushOut()
+	fl, ret, iters, err := s.unrollLoop(attempt, cond, post, body)
+	stmts := e.fs.popOut()
+	_ = out
+	switch {
+	case err == nil && (s.ctx.UnrollLimit == 0 || iters <= s.ctx.UnrollLimit):
+		// Success: splice the unrolled statements and adopt the attempt
+		// environment's bindings.
+		for _, st := range stmts {
+			e.fs.emit(st)
+		}
+		adoptBindings(e, attempt)
+		return fl, ret, nil
+	case err != nil && !errors.Is(err, errDynamicLoopState):
+		return fNext, nil, err
+	}
+	// Fall back: residual loop. Roll back object state and generalize.
+	e.fs.restore(snap)
+	return s.residualLoop(e, cond, post, body, pos)
+}
+
+func adoptBindings(dst, src *env) {
+	for si := range dst.scopes {
+		for name, b := range dst.scopes[si].names {
+			if sb, ok := src.scopes[si].names[name]; ok {
+				*b = *sb
+			}
+		}
+	}
+}
+
+// unrollLoop iterates the loop with static conditions, emitting each
+// iteration's residual code.
+func (s *specializer) unrollLoop(e *env, cond minic.Expr, post, body minic.Stmt) (flow, PVal, int, error) {
+	e.fs.staticLoops++
+	defer func() { e.fs.staticLoops-- }()
+	iters := 0
+	for {
+		cv, err := s.expr(e, cond)
+		if err != nil {
+			return fNext, nil, iters, err
+		}
+		if !IsKnown(cv) {
+			return fNext, nil, iters, errDynamicLoopState
+		}
+		s.observe(cond, true)
+		if !truthyPV(cv) {
+			return fNext, nil, iters, nil
+		}
+		iters++
+		if iters > hardUnrollCap {
+			return fNext, nil, iters, specErr(cond.Position(), "loop unrolled past %d iterations; diverging?", hardUnrollCap)
+		}
+		if s.ctx.UnrollLimit > 0 && iters > s.ctx.UnrollLimit {
+			return fNext, nil, iters, errDynamicLoopState
+		}
+		fl, ret, err := s.stmt(e, body)
+		if err != nil {
+			return fNext, nil, iters, err
+		}
+		switch fl {
+		case fReturn:
+			return fReturn, ret, iters, nil
+		case fBreak:
+			return fNext, nil, iters, nil
+		case fStopped:
+			// A residual terminator ended this iteration's code at run
+			// time but specialization cannot know the loop exited.
+			return fNext, nil, iters, errDynamicLoopState
+		}
+		if post != nil {
+			fl, ret, err := s.stmt(e, post)
+			if err != nil || fl == fReturn {
+				return fl, ret, iters, err
+			}
+		}
+	}
+}
+
+// residualLoop emits a runtime loop with a generalized environment.
+func (s *specializer) residualLoop(e *env, cond minic.Expr, post, body minic.Stmt, pos minic.Pos) (flow, PVal, error) {
+	stmts := []minic.Stmt{body}
+	if post != nil {
+		stmts = append(stmts, post)
+	}
+	if err := s.materializeAssigned(e, stmts); err != nil {
+		return fNext, nil, err
+	}
+	// Generalize: every binding and object slot the body may write loses
+	// its static value for the whole loop region.
+	assigned := map[string]bool{}
+	for _, st := range stmts {
+		collectAssigned(st, assigned)
+	}
+	collectAssignedExpr(cond, assigned)
+	for name := range assigned {
+		if b, ok := e.lookup(name); ok {
+			if b.obj != nil {
+				for i := range b.obj.Slots {
+					b.obj.Slots[i] = Dyn{Expr: nil}
+				}
+				continue
+			}
+			if !b.declared {
+				// Assigned but never materialized (e.g. declared inside
+				// the loop); leave it.
+				continue
+			}
+			b.val = Dyn{Expr: &minic.VarRef{Name: b.resName}}
+		}
+	}
+
+	e.dynDepth++
+	e.fs.residualLoop++
+	defer func() { e.dynDepth--; e.fs.residualLoop-- }()
+
+	cv, err := s.expr(e, cond)
+	if err != nil {
+		return fNext, nil, err
+	}
+	s.observe(cond, false)
+	condExpr, err := lift(pos, cv)
+	if err != nil {
+		return fNext, nil, err
+	}
+
+	loopEnv := e.fork()
+	e.fs.pushOut()
+	fl, _, err := s.stmt(loopEnv, body)
+	if err == nil && fl != fNext && fl != fStopped {
+		err = specErr(pos, "internal: static flow %d escaped residual loop", fl)
+	}
+	if err == nil && post != nil && fl != fStopped {
+		_, _, err = s.stmt(loopEnv, post)
+	}
+	bodyStmts := e.fs.popOut()
+	if err != nil {
+		return fNext, nil, err
+	}
+	e.fs.emit(&minic.While{Cond: condExpr, Body: &minic.Block{Stmts: bodyStmts}})
+	return fNext, nil, nil
+}
+
+func collectAssignedExpr(e minic.Expr, out map[string]bool) {
+	if e == nil {
+		return
+	}
+	collectAssigned(&minic.ExprStmt{E: e}, out)
+}

@@ -1,0 +1,742 @@
+package tempo
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"specrpc/internal/minic"
+	"specrpc/internal/vm"
+)
+
+// xdrSrc is a faithful transliteration of the paper's running example:
+// the micro-layered encode path of Figures 1-4.
+const xdrSrc = `
+struct xdrops {
+    funcptr x_putlong;
+    funcptr x_getlong;
+};
+struct xdrbuf {
+    int x_op;
+    struct xdrops* x_ops;
+    char* x_private;
+    int x_handy;
+};
+struct pair {
+    int int1;
+    int int2;
+};
+extern void stlong(char* p, int v);
+extern int ldlong(char* p);
+
+int xdrmem_putlong(struct xdrbuf* xdrs, int* lp)
+{
+    if ((xdrs->x_handy -= 4) < 0) {
+        return 0;
+    }
+    stlong(xdrs->x_private, *lp);
+    xdrs->x_private += 4;
+    return 1;
+}
+
+int xdrmem_getlong(struct xdrbuf* xdrs, int* lp)
+{
+    if ((xdrs->x_handy -= 4) < 0) {
+        return 0;
+    }
+    *lp = ldlong(xdrs->x_private);
+    xdrs->x_private += 4;
+    return 1;
+}
+
+int xdr_long(struct xdrbuf* xdrs, int* lp)
+{
+    if (xdrs->x_op == 1) { return xdrs->x_ops->x_putlong(xdrs, lp); }
+    if (xdrs->x_op == 2) { return xdrs->x_ops->x_getlong(xdrs, lp); }
+    if (xdrs->x_op == 3) { return 1; }
+    return 0;
+}
+
+int xdr_int(struct xdrbuf* xdrs, int* ip)
+{
+    return xdr_long(xdrs, ip);
+}
+
+int xdr_pair(struct xdrbuf* xdrs, struct pair* objp)
+{
+    if (!xdr_int(xdrs, &objp->int1)) {
+        return 0;
+    }
+    if (!xdr_int(xdrs, &objp->int2)) {
+        return 0;
+    }
+    return 1;
+}
+
+int xdr_intarray(struct xdrbuf* xdrs, int* arr, int n)
+{
+    int i;
+    for (i = 0; i < n; i++) {
+        if (!xdr_int(xdrs, &arr[i])) {
+            return 0;
+        }
+    }
+    return 1;
+}
+`
+
+const (
+	opEncode = 1
+	opDecode = 2
+)
+
+func parseXDR(t *testing.T) *minic.Program {
+	t.Helper()
+	p, err := minic.Parse(xdrSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := minic.Check(p); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// xdrObjSpec builds the paper's binding-time division of the XDR handle:
+// x_op, x_ops, x_handy static; x_private dynamic.
+func xdrObjSpec(op int64, handy int64) *ObjSpec {
+	return &ObjSpec{
+		StructName: "xdrbuf",
+		Fields: map[string]any{
+			"x_op":    op,
+			"x_handy": handy,
+			"x_ops": &ObjSpec{
+				StructName: "xdrops",
+				Fields: map[string]any{
+					"x_putlong": "xdrmem_putlong",
+					"x_getlong": "xdrmem_getlong",
+				},
+			},
+		},
+	}
+}
+
+// xdrObjSpecDynHandy is the division with x_handy left dynamic: overflow
+// checks stay in the residual code (used when loops stay residual).
+func xdrObjSpecDynHandy(op int64) *ObjSpec {
+	return &ObjSpec{
+		StructName: "xdrbuf",
+		Fields: map[string]any{
+			"x_op": op,
+			"x_ops": &ObjSpec{
+				StructName: "xdrops",
+				Fields: map[string]any{
+					"x_putlong": "xdrmem_putlong",
+					"x_getlong": "xdrmem_getlong",
+				},
+			},
+		},
+	}
+}
+
+// funcsText prints only the residual functions (no struct/extern decls),
+// so tests can assert on generated code without matching declarations.
+func funcsText(p *minic.Program) string {
+	var sb strings.Builder
+	for _, entry := range p.Order {
+		if name, ok := strings.CutPrefix(entry, "func "); ok {
+			var pr minic.Printer
+			pr.Func(p.Funcs[name])
+			sb.WriteString(pr.Program(&minic.Program{
+				Funcs: map[string]*minic.FuncDef{name: p.Funcs[name]},
+				Order: []string{"func " + name},
+			}))
+		}
+	}
+	return sb.String()
+}
+
+func specialize(t *testing.T, prog *minic.Program, ctx *Context) *Result {
+	t.Helper()
+	res, err := Specialize(prog, ctx)
+	if err != nil {
+		t.Fatalf("specialize %s: %v", ctx.Entry, err)
+	}
+	return res
+}
+
+// newXDRMachineState allocates the runtime XDR handle and buffer.
+func newXDRMachineState(t *testing.T, m *vm.Machine, op int64, bufSize int) (*vm.Region, *vm.Region) {
+	t.Helper()
+	xdrs, err := m.NewStruct("xdrbuf", "xdrs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops, err := m.NewStruct("xdrops", "ops")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opsLayout, _ := m.Layout("xdrops")
+	ops.Words[opsLayout.FieldOffset("x_putlong")] = vm.FuncVal("xdrmem_putlong")
+	ops.Words[opsLayout.FieldOffset("x_getlong")] = vm.FuncVal("xdrmem_getlong")
+
+	buf := vm.NewBytes("buf", bufSize)
+	layout, _ := m.Layout("xdrbuf")
+	xdrs.Words[layout.FieldOffset("x_op")] = vm.IntVal(op)
+	xdrs.Words[layout.FieldOffset("x_ops")] = vm.PtrVal(ops, 0)
+	xdrs.Words[layout.FieldOffset("x_private")] = vm.PtrVal(buf, 0)
+	xdrs.Words[layout.FieldOffset("x_handy")] = vm.IntVal(int64(bufSize))
+	return xdrs, buf
+}
+
+// --- §3.1 + §3.2 + §3.3: the xdr_pair pipeline -----------------------------
+
+func TestSpecializeXdrPair(t *testing.T) {
+	prog := parseXDR(t)
+	res := specialize(t, prog, &Context{
+		Entry: "xdr_pair",
+		Params: []ParamSpec{
+			Object(xdrObjSpec(opEncode, 64)),
+			Dynamic(),
+		},
+	})
+
+	// §3.3: the return value is static TRUE and the function is void.
+	if res.StaticReturn == nil || *res.StaticReturn != 1 {
+		t.Fatalf("StaticReturn = %v, want 1", res.StaticReturn)
+	}
+	fn := res.Program.Funcs[res.Entry]
+	if !fn.Ret.Equal(minic.TypeVoid) {
+		t.Fatalf("residual return type = %s, want void", fn.Ret)
+	}
+
+	txt := funcsText(res.Program)
+	// §3.1: no dispatch on x_op survives.
+	if strings.Contains(txt, "x_op") {
+		t.Fatalf("op dispatch not eliminated:\n%s", txt)
+	}
+	// §3.2: no overflow checks on x_handy survive.
+	if strings.Contains(txt, "x_handy") {
+		t.Fatalf("overflow checking not eliminated:\n%s", txt)
+	}
+	// Figure 5 shape: two stores, two pointer bumps, nothing else.
+	if got := strings.Count(txt, "stlong"); got != 2 {
+		t.Fatalf("stlong count = %d, want 2:\n%s", got, txt)
+	}
+	if got := strings.Count(txt, "x_private += 4"); got != 2 {
+		t.Fatalf("pointer bumps = %d, want 2:\n%s", got, txt)
+	}
+	if strings.Contains(txt, "return") {
+		t.Fatalf("residual still returns:\n%s", txt)
+	}
+}
+
+func TestXdrPairResidualEquivalence(t *testing.T) {
+	prog := parseXDR(t)
+	res := specialize(t, prog, &Context{
+		Entry:  "xdr_pair",
+		Params: []ParamSpec{Object(xdrObjSpec(opEncode, 64)), Dynamic()},
+	})
+
+	genM := vm.MustNew(prog)
+	specM := vm.MustNew(res.Program)
+
+	f := func(a, b int32) bool {
+		// Generic execution.
+		gx, gbuf := newXDRMachineState(t, genM, opEncode, 64)
+		gp, _ := genM.NewStruct("pair", "p")
+		gp.Words[0] = vm.IntVal(int64(a))
+		gp.Words[1] = vm.IntVal(int64(b))
+		rv, err := genM.Call("xdr_pair", vm.PtrVal(gx, 0), vm.PtrVal(gp, 0))
+		if err != nil || rv.I != 1 {
+			return false
+		}
+		// Specialized execution.
+		sx, sbuf := newXDRMachineState(t, specM, opEncode, 64)
+		sp, _ := specM.NewStruct("pair", "p")
+		sp.Words[0] = vm.IntVal(int64(a))
+		sp.Words[1] = vm.IntVal(int64(b))
+		if _, err := specM.Call(res.Entry, vm.PtrVal(sx, 0), vm.PtrVal(sp, 0)); err != nil {
+			return false
+		}
+		return bytes.Equal(gbuf.Bytes, sbuf.Bytes)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- Loop unrolling (§5) ----------------------------------------------------
+
+func TestSpecializeIntArrayUnrolls(t *testing.T) {
+	prog := parseXDR(t)
+	res := specialize(t, prog, &Context{
+		Entry: "xdr_intarray",
+		Params: []ParamSpec{
+			Object(xdrObjSpec(opEncode, 1024)),
+			Dynamic(),
+			StaticInt(8),
+		},
+	})
+	txt := funcsText(res.Program)
+	if got := strings.Count(txt, "stlong(xdrs->x_private"); got != 8 {
+		t.Fatalf("unrolled stores = %d, want 8:\n%s", got, txt)
+	}
+	if strings.Contains(txt, "while") || strings.Contains(txt, "for") {
+		t.Fatalf("loop not fully unrolled:\n%s", txt)
+	}
+	// The loop index is folded into the element accesses.
+	if !strings.Contains(txt, "arr[7]") {
+		t.Fatalf("missing folded index arr[7]:\n%s", txt)
+	}
+	if res.StaticReturn == nil || *res.StaticReturn != 1 {
+		t.Fatalf("StaticReturn = %v", res.StaticReturn)
+	}
+}
+
+func TestIntArrayResidualEquivalence(t *testing.T) {
+	prog := parseXDR(t)
+	const n = 20
+	res := specialize(t, prog, &Context{
+		Entry:  "xdr_intarray",
+		Params: []ParamSpec{Object(xdrObjSpec(opEncode, 4*n)), Dynamic(), StaticInt(n)},
+	})
+	genM := vm.MustNew(prog)
+	specM := vm.MustNew(res.Program)
+
+	f := func(vals [n]int32) bool {
+		gx, gbuf := newXDRMachineState(t, genM, opEncode, 4*n)
+		garr := vm.NewWords("arr", n)
+		for i, v := range vals {
+			garr.Words[i] = vm.IntVal(int64(v))
+		}
+		rv, err := genM.Call("xdr_intarray", vm.PtrVal(gx, 0), vm.PtrVal(garr, 0), vm.IntVal(n))
+		if err != nil || rv.I != 1 {
+			return false
+		}
+		sx, sbuf := newXDRMachineState(t, specM, opEncode, 4*n)
+		sarr := vm.NewWords("arr", n)
+		for i, v := range vals {
+			sarr.Words[i] = vm.IntVal(int64(v))
+		}
+		if _, err := specM.Call(res.Entry, vm.PtrVal(sx, 0), vm.PtrVal(sarr, 0)); err != nil {
+			return false
+		}
+		return bytes.Equal(gbuf.Bytes, sbuf.Bytes)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnrollLimitRequiresDynamicHandy(t *testing.T) {
+	// With x_handy declared static, a residual loop would mutate a
+	// static field under dynamic control — the specializer must reject
+	// the division rather than emit unsound code.
+	prog := parseXDR(t)
+	_, err := Specialize(prog, &Context{
+		Entry:       "xdr_intarray",
+		Params:      []ParamSpec{Object(xdrObjSpec(opEncode, 4096)), Dynamic(), StaticInt(100)},
+		UnrollLimit: 10,
+	})
+	if err == nil {
+		t.Fatal("unsound division accepted for residual loop")
+	}
+}
+
+func TestUnrollLimitFallsBackToResidualLoop(t *testing.T) {
+	prog := parseXDR(t)
+	res := specialize(t, prog, &Context{
+		Entry:       "xdr_intarray",
+		Params:      []ParamSpec{Object(xdrObjSpecDynHandy(opEncode)), Dynamic(), StaticInt(100)},
+		UnrollLimit: 10,
+	})
+	txt := funcsText(res.Program)
+	if !strings.Contains(txt, "while") {
+		t.Fatalf("expected a residual loop with UnrollLimit=10:\n%s", txt)
+	}
+	// With x_handy dynamic the overflow checks stay in the loop body —
+	// the residual is essentially the generic code (Table 3's retained
+	// generic functions). Verify behaviour by execution.
+	specM := vm.MustNew(res.Program)
+	genM := vm.MustNew(prog)
+	gx, gbuf := newXDRMachineState(t, genM, opEncode, 4096)
+	garr := vm.NewWords("arr", 100)
+	sarr := vm.NewWords("arr", 100)
+	for i := 0; i < 100; i++ {
+		garr.Words[i] = vm.IntVal(int64(i * 3))
+		sarr.Words[i] = vm.IntVal(int64(i * 3))
+	}
+	if _, err := genM.Call("xdr_intarray", vm.PtrVal(gx, 0), vm.PtrVal(garr, 0), vm.IntVal(100)); err != nil {
+		t.Fatal(err)
+	}
+	sx, sbuf := newXDRMachineState(t, specM, opEncode, 4096)
+	if _, err := specM.Call(res.Entry, vm.PtrVal(sx, 0), vm.PtrVal(sarr, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gbuf.Bytes, sbuf.Bytes) {
+		t.Fatal("bounded-unroll residual produced different bytes")
+	}
+}
+
+// --- Decode path ------------------------------------------------------------
+
+func TestSpecializeDecode(t *testing.T) {
+	prog := parseXDR(t)
+	res := specialize(t, prog, &Context{
+		Entry:  "xdr_pair",
+		Params: []ParamSpec{Object(xdrObjSpec(opDecode, 64)), Dynamic()},
+	})
+	txt := funcsText(res.Program)
+	if !strings.Contains(txt, "ldlong") {
+		t.Fatalf("decode residual lacks loads:\n%s", txt)
+	}
+	if strings.Contains(txt, "x_handy") || strings.Contains(txt, "x_op") {
+		t.Fatalf("decode dispatch/overflow not eliminated:\n%s", txt)
+	}
+	// Round-trip: generic encode, specialized decode.
+	genM := vm.MustNew(prog)
+	specM := vm.MustNew(res.Program)
+	gx, gbuf := newXDRMachineState(t, genM, opEncode, 64)
+	gp, _ := genM.NewStruct("pair", "p")
+	gp.Words[0] = vm.IntVal(111)
+	gp.Words[1] = vm.IntVal(-222)
+	if _, err := genM.Call("xdr_pair", vm.PtrVal(gx, 0), vm.PtrVal(gp, 0)); err != nil {
+		t.Fatal(err)
+	}
+	sx, sbuf := newXDRMachineState(t, specM, opDecode, 64)
+	copy(sbuf.Bytes, gbuf.Bytes)
+	sp, _ := specM.NewStruct("pair", "p")
+	if _, err := specM.Call(res.Entry, vm.PtrVal(sx, 0), vm.PtrVal(sp, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if sp.Words[0].I != 111 || sp.Words[1].I != -222 {
+		t.Fatalf("decoded pair = %v, %v", sp.Words[0], sp.Words[1])
+	}
+}
+
+// --- Free mode (§3.1 third arm) ----------------------------------------------
+
+func TestSpecializeFreeMode(t *testing.T) {
+	prog := parseXDR(t)
+	res := specialize(t, prog, &Context{
+		Entry:  "xdr_pair",
+		Params: []ParamSpec{Object(xdrObjSpec(3, 64)), Dynamic()},
+	})
+	// Freeing ints is a no-op: the residual body must be empty.
+	fn := res.Program.Funcs[res.Entry]
+	if len(fn.Body.Stmts) != 0 {
+		t.Fatalf("free-mode residual not empty:\n%s", minic.PrintProgram(res.Program))
+	}
+	if res.StaticReturn == nil || *res.StaticReturn != 1 {
+		t.Fatalf("StaticReturn = %v", res.StaticReturn)
+	}
+}
+
+// --- Overflow detection at specialization time --------------------------------
+
+func TestSpecializeDetectsOverflow(t *testing.T) {
+	prog := parseXDR(t)
+	// Buffer of 4 bytes cannot hold two ints: the specializer folds the
+	// overflow check to TRUE and the residual returns 0 — statically.
+	res := specialize(t, prog, &Context{
+		Entry:  "xdr_pair",
+		Params: []ParamSpec{Object(xdrObjSpec(opEncode, 4)), Dynamic()},
+	})
+	if res.StaticReturn == nil || *res.StaticReturn != 0 {
+		t.Fatalf("StaticReturn = %v, want 0 (static overflow)", res.StaticReturn)
+	}
+}
+
+// --- Flow sensitivity and dynamic control -------------------------------------
+
+func TestDynamicIfJoin(t *testing.T) {
+	src := `
+int f(int d) {
+    int x = 1;
+    if (d > 0) {
+        x = 2;
+    }
+    return x + 10;
+}
+`
+	prog := minic.MustParse(src)
+	if err := minic.Check(prog); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Specialize(prog, &Context{Entry: "f", Params: []ParamSpec{Dynamic()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := vm.MustNew(res.Program)
+	for _, tc := range []struct{ d, want int64 }{{5, 12}, {-5, 11}, {0, 11}} {
+		v, err := m.Call(res.Entry, vm.IntVal(tc.d))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.I != tc.want {
+			t.Fatalf("f(%d) = %d, want %d\n%s", tc.d, v.I, tc.want, minic.PrintProgram(res.Program))
+		}
+	}
+}
+
+func TestFlowSensitivityStaticAfterDynamic(t *testing.T) {
+	// x is dynamic, then reassigned a static value: later uses fold.
+	src := `
+extern int dynsrc(void);
+int f(void) {
+    int x = dynsrc();
+    x = 5;
+    return x * 2;
+}
+`
+	prog := minic.MustParse(src)
+	if err := minic.Check(prog); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Specialize(prog, &Context{Entry: "f", Params: nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StaticReturn == nil || *res.StaticReturn != 10 {
+		t.Fatalf("StaticReturn = %v, want 10:\n%s", res.StaticReturn, minic.PrintProgram(res.Program))
+	}
+}
+
+func TestDynamicWhileGeneralizes(t *testing.T) {
+	src := `
+extern int dynsrc(void);
+int f(void) {
+    int i = 0;
+    int limit = dynsrc();
+    while (i < limit) {
+        i = i + 1;
+    }
+    return i;
+}
+`
+	prog := minic.MustParse(src)
+	if err := minic.Check(prog); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Specialize(prog, &Context{Entry: "f", Params: nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := vm.MustNew(res.Program)
+	m.Extern("dynsrc", func(*vm.Machine, []vm.Value) vm.Value { return vm.IntVal(7) })
+	v, err := m.Call(res.Entry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.I != 7 {
+		t.Fatalf("f() = %d, want 7:\n%s", v.I, minic.PrintProgram(res.Program))
+	}
+}
+
+// --- The expected_inlen idiom (§6.2) -----------------------------------------
+
+func TestExpectedInlenIdiom(t *testing.T) {
+	// The paper's manual rewrite: guarding a dynamic length against its
+	// expected static value makes the success path fully static.
+	src := `
+extern int recvlen(void);
+extern void consume(int n);
+int decode(int expected) {
+    int inlen = recvlen();
+    if (inlen == expected) {
+        inlen = expected;
+        consume(inlen * 2);
+    } else {
+        consume(inlen);
+    }
+    return 0;
+}
+`
+	prog := minic.MustParse(src)
+	if err := minic.Check(prog); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Specialize(prog, &Context{Entry: "decode", Params: []ParamSpec{StaticInt(66)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	txt := minic.PrintProgram(res.Program)
+	// In the "then" branch inlen is static: consume(132) is folded.
+	if !strings.Contains(txt, "consume(132)") {
+		t.Fatalf("then-branch not specialized:\n%s", txt)
+	}
+	// The else branch keeps the general code.
+	if !strings.Contains(txt, "consume(inlen)") {
+		t.Fatalf("else-branch lost generality:\n%s", txt)
+	}
+}
+
+// --- Variant generation (context sensitivity) ---------------------------------
+
+func TestVariantForDynamicReturns(t *testing.T) {
+	// checkval's return depends on dynamic data, so calls cannot unfold;
+	// a residual variant function must be generated.
+	src := `
+extern int dynsrc(void);
+int checkval(int v, int bias) {
+    if (v < 0) { return 0 - bias; }
+    return v + bias;
+}
+int f(void) {
+    int d = dynsrc();
+    return checkval(d, 100);
+}
+`
+	prog := minic.MustParse(src)
+	if err := minic.Check(prog); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Specialize(prog, &Context{Entry: "f", Params: nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	txt := minic.PrintProgram(res.Program)
+	// The bias argument (static 100) is baked into the variant.
+	if !strings.Contains(txt, "checkval_spec") {
+		t.Fatalf("no variant generated:\n%s", txt)
+	}
+	if strings.Contains(txt, "bias") {
+		t.Fatalf("static parameter not eliminated from variant:\n%s", txt)
+	}
+	m := vm.MustNew(res.Program)
+	for _, tc := range []struct{ d, want int64 }{{5, 105}, {-5, -100}} {
+		d := tc.d
+		m.Extern("dynsrc", func(*vm.Machine, []vm.Value) vm.Value { return vm.IntVal(d) })
+		v, err := m.Call(res.Entry)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.I != tc.want {
+			t.Fatalf("f() with d=%d = %d, want %d\n%s", tc.d, v.I, tc.want, txt)
+		}
+	}
+}
+
+// --- Observer: the binding-time division ---------------------------------------
+
+func TestObserverReportsDivision(t *testing.T) {
+	prog := parseXDR(t)
+	static, dynamic := 0, 0
+	_, err := Specialize(prog, &Context{
+		Entry:  "xdr_pair",
+		Params: []ParamSpec{Object(xdrObjSpec(opEncode, 64)), Dynamic()},
+		Observer: func(node any, isStatic bool) {
+			if isStatic {
+				static++
+			} else {
+				dynamic++
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if static == 0 || dynamic == 0 {
+		t.Fatalf("observer saw static=%d dynamic=%d, want both > 0", static, dynamic)
+	}
+	if static <= dynamic {
+		t.Fatalf("encode path should be mostly static: static=%d dynamic=%d", static, dynamic)
+	}
+}
+
+// --- Error paths ---------------------------------------------------------------
+
+func TestSpecializeErrors(t *testing.T) {
+	prog := parseXDR(t)
+	if _, err := Specialize(prog, &Context{Entry: "nosuch"}); err == nil {
+		t.Fatal("unknown entry accepted")
+	}
+	if _, err := Specialize(prog, &Context{Entry: "xdr_pair", Params: []ParamSpec{Dynamic()}}); err == nil {
+		t.Fatal("wrong arity accepted")
+	}
+	// Unsound division: handy static but mutated under dynamic control.
+	src := `
+extern int dynsrc(void);
+struct st { int counter; };
+int f(struct st* s) {
+    if (dynsrc() > 0) {
+        s->counter -= 1;
+    }
+    return s->counter;
+}
+`
+	p2 := minic.MustParse(src)
+	if err := minic.Check(p2); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Specialize(p2, &Context{
+		Entry: "f",
+		Params: []ParamSpec{Object(&ObjSpec{StructName: "st",
+			Fields: map[string]any{"counter": int64(5)}})},
+	})
+	if err == nil {
+		t.Fatal("division violation accepted (static field written under dynamic control)")
+	}
+	if !strings.Contains(err.Error(), "dynamic") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+}
+
+func TestRecursionDepthLimit(t *testing.T) {
+	src := `
+int f(int n) { return f(n) + 1; }
+int g(void) { return f(3); }
+`
+	prog := minic.MustParse(src)
+	if err := minic.Check(prog); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Specialize(prog, &Context{Entry: "g", Params: nil, MaxDepth: 16})
+	if err == nil {
+		t.Fatal("diverging recursion accepted")
+	}
+}
+
+func TestStaticRecursionUnfolds(t *testing.T) {
+	src := `
+int fact(int n) {
+    if (n <= 1) { return 1; }
+    return n * fact(n - 1);
+}
+int g(void) { return fact(6); }
+`
+	prog := minic.MustParse(src)
+	if err := minic.Check(prog); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Specialize(prog, &Context{Entry: "g", Params: nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StaticReturn == nil || *res.StaticReturn != 720 {
+		t.Fatalf("StaticReturn = %v, want 720", res.StaticReturn)
+	}
+}
+
+// --- Cleanup passes -------------------------------------------------------------
+
+func TestCleanupRemovesDeadStores(t *testing.T) {
+	prog := parseXDR(t)
+	dirty := specialize(t, prog, &Context{
+		Entry:          "xdr_pair",
+		Params:         []ParamSpec{Object(xdrObjSpec(opEncode, 64)), Dynamic()},
+		KeepDeadStores: true,
+		Suffix:         "_dirty",
+	})
+	clean := specialize(t, prog, &Context{
+		Entry:  "xdr_pair",
+		Params: []ParamSpec{Object(xdrObjSpec(opEncode, 64)), Dynamic()},
+	})
+	dirtyLen := len(minic.PrintProgram(dirty.Program))
+	cleanLen := len(minic.PrintProgram(clean.Program))
+	if cleanLen >= dirtyLen {
+		t.Fatalf("cleanup did not shrink the residual: %d >= %d", cleanLen, dirtyLen)
+	}
+}

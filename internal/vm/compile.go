@@ -1,0 +1,960 @@
+package vm
+
+import (
+	"fmt"
+
+	"specrpc/internal/minic"
+)
+
+// The compiler turns checked mini-C ASTs into trees of Go closures
+// ("closure-threaded code"). Each statement compiles to a stmtFn and each
+// expression to an exprFn; execution is then plain Go calls with no
+// per-node interpretive dispatch, which keeps the generic/specialized
+// comparison about the *program* rather than about interpreter overhead.
+
+type ctrlCode int
+
+const (
+	ctrlNext ctrlCode = iota + 1
+	ctrlReturn
+	ctrlBreak
+	ctrlContinue
+)
+
+type stmtFn func(m *Machine, f *frame) (ctrlCode, Value)
+
+type exprFn func(m *Machine, f *frame) Value
+
+type frame struct {
+	vals []Value
+}
+
+type compiledFunc struct {
+	def          *minic.FuncDef
+	nslots       int
+	paramRegions []bool
+	body         stmtFn
+}
+
+// loc is a resolved storage location.
+type loc struct {
+	inFrame bool
+	slot    int
+	p       Pointer
+}
+
+type locFn func(m *Machine, f *frame) loc
+
+type varInfo struct {
+	slot   int
+	typ    minic.Type
+	region bool // the frame slot holds a pointer to the variable's region
+}
+
+type fnCompiler struct {
+	m         *Machine
+	def       *minic.FuncDef
+	scopes    []map[string]*varInfo
+	nslots    int
+	addrTaken map[string]bool
+	params    []bool
+}
+
+func (m *Machine) compileFunc(def *minic.FuncDef) (*compiledFunc, error) {
+	c := &fnCompiler{m: m, def: def, addrTaken: make(map[string]bool)}
+	markAddrTaken(def.Body, c.addrTaken)
+	c.pushScope()
+	c.params = make([]bool, len(def.Params))
+	for i, p := range def.Params {
+		info, err := c.declare(p.Name, p.Type)
+		if err != nil {
+			return nil, err
+		}
+		c.params[i] = info.region
+	}
+	body, err := c.stmt(def.Body)
+	if err != nil {
+		return nil, err
+	}
+	return &compiledFunc{def: def, nslots: c.nslots, paramRegions: c.params, body: body}, nil
+}
+
+// markAddrTaken records every variable name whose address is taken,
+// conservatively by name across scopes.
+func markAddrTaken(s minic.Stmt, set map[string]bool) {
+	var walkExpr func(e minic.Expr)
+	walkExpr = func(e minic.Expr) {
+		switch n := e.(type) {
+		case nil:
+		case *minic.Unary:
+			if n.Op == "&" {
+				if v, ok := n.X.(*minic.VarRef); ok {
+					set[v.Name] = true
+				}
+			}
+			walkExpr(n.X)
+		case *minic.Binary:
+			walkExpr(n.X)
+			walkExpr(n.Y)
+		case *minic.Assign:
+			walkExpr(n.LHS)
+			walkExpr(n.RHS)
+		case *minic.Call:
+			walkExpr(n.Fun)
+			for _, a := range n.Args {
+				walkExpr(a)
+			}
+		case *minic.Field:
+			walkExpr(n.X)
+		case *minic.Index:
+			walkExpr(n.X)
+			walkExpr(n.I)
+		}
+	}
+	var walkStmt func(s minic.Stmt)
+	walkStmt = func(s minic.Stmt) {
+		switch n := s.(type) {
+		case nil:
+		case *minic.ExprStmt:
+			walkExpr(n.E)
+		case *minic.VarDecl:
+			walkExpr(n.Init)
+		case *minic.If:
+			walkExpr(n.Cond)
+			walkStmt(n.Then)
+			walkStmt(n.Else)
+		case *minic.While:
+			walkExpr(n.Cond)
+			walkStmt(n.Body)
+		case *minic.For:
+			walkStmt(n.Init)
+			walkExpr(n.Cond)
+			walkStmt(n.Post)
+			walkStmt(n.Body)
+		case *minic.Return:
+			walkExpr(n.E)
+		case *minic.Block:
+			for _, st := range n.Stmts {
+				walkStmt(st)
+			}
+		}
+	}
+	walkStmt(s)
+}
+
+func (c *fnCompiler) pushScope() { c.scopes = append(c.scopes, make(map[string]*varInfo)) }
+func (c *fnCompiler) popScope()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+func (c *fnCompiler) declare(name string, t minic.Type) (*varInfo, error) {
+	region := c.addrTaken[name]
+	switch t.(type) {
+	case *minic.Array, *minic.Struct:
+		region = true
+	}
+	info := &varInfo{slot: c.nslots, typ: t, region: region}
+	c.nslots++
+	c.scopes[len(c.scopes)-1][name] = info
+	return info, nil
+}
+
+func (c *fnCompiler) lookup(name string) (*varInfo, bool) {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if v, ok := c.scopes[i][name]; ok {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+func (c *fnCompiler) errf(pos minic.Pos, format string, args ...any) error {
+	return fmt.Errorf("%s: %s", pos, fmt.Sprintf(format, args...))
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+
+func (c *fnCompiler) stmt(s minic.Stmt) (stmtFn, error) {
+	switch n := s.(type) {
+	case nil:
+		return func(*Machine, *frame) (ctrlCode, Value) { return ctrlNext, Value{} }, nil
+	case *minic.ExprStmt:
+		e, err := c.expr(n.E)
+		if err != nil {
+			return nil, err
+		}
+		return func(m *Machine, f *frame) (ctrlCode, Value) {
+			e(m, f)
+			return ctrlNext, Value{}
+		}, nil
+	case *minic.VarDecl:
+		return c.varDecl(n)
+	case *minic.If:
+		cond, err := c.expr(n.Cond)
+		if err != nil {
+			return nil, err
+		}
+		then, err := c.stmt(n.Then)
+		if err != nil {
+			return nil, err
+		}
+		var els stmtFn
+		if n.Else != nil {
+			els, err = c.stmt(n.Else)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return func(m *Machine, f *frame) (ctrlCode, Value) {
+			m.Cost.Ops++
+			if cond(m, f).Truthy() {
+				return then(m, f)
+			}
+			if els != nil {
+				return els(m, f)
+			}
+			return ctrlNext, Value{}
+		}, nil
+	case *minic.While:
+		cond, err := c.expr(n.Cond)
+		if err != nil {
+			return nil, err
+		}
+		body, err := c.stmt(n.Body)
+		if err != nil {
+			return nil, err
+		}
+		return func(m *Machine, f *frame) (ctrlCode, Value) {
+			for {
+				m.Cost.Ops++
+				if !cond(m, f).Truthy() {
+					return ctrlNext, Value{}
+				}
+				switch ctrl, v := body(m, f); ctrl {
+				case ctrlReturn:
+					return ctrlReturn, v
+				case ctrlBreak:
+					return ctrlNext, Value{}
+				}
+			}
+		}, nil
+	case *minic.For:
+		c.pushScope()
+		defer c.popScope()
+		var init, post stmtFn
+		var cond exprFn
+		var err error
+		if n.Init != nil {
+			if init, err = c.stmt(n.Init); err != nil {
+				return nil, err
+			}
+		}
+		if n.Cond != nil {
+			if cond, err = c.expr(n.Cond); err != nil {
+				return nil, err
+			}
+		}
+		if n.Post != nil {
+			if post, err = c.stmt(n.Post); err != nil {
+				return nil, err
+			}
+		}
+		body, err := c.stmt(n.Body)
+		if err != nil {
+			return nil, err
+		}
+		return func(m *Machine, f *frame) (ctrlCode, Value) {
+			if init != nil {
+				if ctrl, v := init(m, f); ctrl == ctrlReturn {
+					return ctrl, v
+				}
+			}
+			for {
+				if cond != nil {
+					m.Cost.Ops++
+					if !cond(m, f).Truthy() {
+						return ctrlNext, Value{}
+					}
+				}
+				switch ctrl, v := body(m, f); ctrl {
+				case ctrlReturn:
+					return ctrlReturn, v
+				case ctrlBreak:
+					return ctrlNext, Value{}
+				}
+				if post != nil {
+					if ctrl, v := post(m, f); ctrl == ctrlReturn {
+						return ctrl, v
+					}
+				}
+			}
+		}, nil
+	case *minic.Return:
+		if n.E == nil {
+			return func(*Machine, *frame) (ctrlCode, Value) { return ctrlReturn, VoidVal() }, nil
+		}
+		e, err := c.expr(n.E)
+		if err != nil {
+			return nil, err
+		}
+		return func(m *Machine, f *frame) (ctrlCode, Value) {
+			return ctrlReturn, e(m, f)
+		}, nil
+	case *minic.Break:
+		return func(*Machine, *frame) (ctrlCode, Value) { return ctrlBreak, Value{} }, nil
+	case *minic.Continue:
+		return func(*Machine, *frame) (ctrlCode, Value) { return ctrlContinue, Value{} }, nil
+	case *minic.Block:
+		c.pushScope()
+		defer c.popScope()
+		stmts := make([]stmtFn, 0, len(n.Stmts))
+		for _, st := range n.Stmts {
+			sf, err := c.stmt(st)
+			if err != nil {
+				return nil, err
+			}
+			stmts = append(stmts, sf)
+		}
+		return func(m *Machine, f *frame) (ctrlCode, Value) {
+			for _, sf := range stmts {
+				if ctrl, v := sf(m, f); ctrl != ctrlNext {
+					return ctrl, v
+				}
+			}
+			return ctrlNext, Value{}
+		}, nil
+	default:
+		return nil, fmt.Errorf("unsupported statement %T", s)
+	}
+}
+
+func (c *fnCompiler) varDecl(n *minic.VarDecl) (stmtFn, error) {
+	var init exprFn
+	var err error
+	if n.Init != nil {
+		init, err = c.expr(n.Init)
+		if err != nil {
+			return nil, err
+		}
+	}
+	info, err := c.declare(n.Name, n.Type)
+	if err != nil {
+		return nil, err
+	}
+	slot := info.slot
+	if !info.region {
+		return func(m *Machine, f *frame) (ctrlCode, Value) {
+			v := IntVal(0)
+			if init != nil {
+				v = init(m, f)
+			}
+			f.vals[slot] = v
+			return ctrlNext, Value{}
+		}, nil
+	}
+	// Region-allocated local: fresh region per execution of the
+	// declaration (block scoping).
+	name := n.Name
+	switch t := n.Type.(type) {
+	case *minic.Array:
+		if t.Elem.Equal(minic.TypeChar) {
+			size := t.Len
+			return func(m *Machine, f *frame) (ctrlCode, Value) {
+				f.vals[slot] = PtrVal(NewBytes(name, size), 0)
+				return ctrlNext, Value{}
+			}, nil
+		}
+		slots, serr := slotsOf(t)
+		if serr != nil {
+			return nil, c.errf(n.Pos, "array %s: %v", name, serr)
+		}
+		return func(m *Machine, f *frame) (ctrlCode, Value) {
+			f.vals[slot] = PtrVal(NewWords(name, slots), 0)
+			return ctrlNext, Value{}
+		}, nil
+	case *minic.Struct:
+		slots, serr := slotsOf(t)
+		if serr != nil {
+			return nil, c.errf(n.Pos, "struct local %s: %v", name, serr)
+		}
+		return func(m *Machine, f *frame) (ctrlCode, Value) {
+			f.vals[slot] = PtrVal(NewWords(name, slots), 0)
+			return ctrlNext, Value{}
+		}, nil
+	default:
+		// Address-taken scalar.
+		return func(m *Machine, f *frame) (ctrlCode, Value) {
+			r := NewWords(name, 1)
+			if init != nil {
+				r.Words[0] = init(m, f)
+			}
+			f.vals[slot] = PtrVal(r, 0)
+			return ctrlNext, Value{}
+		}, nil
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Location access
+
+// read loads from a location; t is the static type being read.
+func read(m *Machine, l loc, f *frame, t minic.Type) Value {
+	m.Cost.Ops++
+	if l.inFrame {
+		return f.vals[l.slot]
+	}
+	r := l.p.Region
+	if r == nil {
+		throw("null pointer read")
+	}
+	switch r.Kind {
+	case RegionWords:
+		if l.p.Off < 0 || l.p.Off >= len(r.Words) {
+			throw("word read out of bounds: %s+%d", r.Name, l.p.Off)
+		}
+		// Word slots model struct fields and scalars that a compiling C
+		// backend would keep in registers; they cost an operation, not
+		// memory traffic. Only byte regions (message buffers) and the
+		// buffer builtins count as memory moves.
+		return r.Words[l.p.Off]
+	default: // RegionBytes
+		if t != nil && t.Equal(minic.TypeInt) {
+			if l.p.Off < 0 || l.p.Off+4 > len(r.Bytes) {
+				throw("int read out of bounds: %s+%d", r.Name, l.p.Off)
+			}
+			m.Cost.MemBytes += 4
+			b := r.Bytes[l.p.Off:]
+			return IntVal(int64(int32(uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3]))))
+		}
+		if l.p.Off < 0 || l.p.Off >= len(r.Bytes) {
+			throw("byte read out of bounds: %s+%d", r.Name, l.p.Off)
+		}
+		m.Cost.MemBytes++
+		return IntVal(int64(r.Bytes[l.p.Off]))
+	}
+}
+
+// write stores to a location; t is the static type being written.
+func write(m *Machine, l loc, f *frame, t minic.Type, v Value) {
+	m.Cost.Ops++
+	if l.inFrame {
+		f.vals[l.slot] = v
+		return
+	}
+	r := l.p.Region
+	if r == nil {
+		throw("null pointer write")
+	}
+	switch r.Kind {
+	case RegionWords:
+		if l.p.Off < 0 || l.p.Off >= len(r.Words) {
+			throw("word write out of bounds: %s+%d", r.Name, l.p.Off)
+		}
+		r.Words[l.p.Off] = v
+	default:
+		if t != nil && t.Equal(minic.TypeInt) {
+			if l.p.Off < 0 || l.p.Off+4 > len(r.Bytes) {
+				throw("int write out of bounds: %s+%d", r.Name, l.p.Off)
+			}
+			m.Cost.MemBytes += 4
+			b := r.Bytes[l.p.Off:]
+			u := uint32(v.I)
+			b[0], b[1], b[2], b[3] = byte(u>>24), byte(u>>16), byte(u>>8), byte(u)
+			return
+		}
+		if l.p.Off < 0 || l.p.Off >= len(r.Bytes) {
+			throw("byte write out of bounds: %s+%d", r.Name, l.p.Off)
+		}
+		m.Cost.MemBytes++
+		r.Bytes[l.p.Off] = byte(v.I)
+	}
+}
+
+// ptrStep returns the per-element step for pointer arithmetic on a
+// pointer to elem: bytes in byte regions, slots in word regions.
+func ptrStep(elem minic.Type, kind RegionKind) int {
+	if kind == RegionBytes {
+		return minic.SizeOfType(elem)
+	}
+	n, err := slotsOf(elem)
+	if err != nil {
+		throw("pointer arithmetic on %s: %v", elem, err)
+	}
+	return n
+}
+
+// elemOf returns the element type of a pointer/array expression type.
+func elemOf(t minic.Type) minic.Type {
+	switch n := t.(type) {
+	case *minic.Ptr:
+		return n.Elem
+	case *minic.Array:
+		return n.Elem
+	default:
+		return minic.TypeInt
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+func (c *fnCompiler) expr(e minic.Expr) (exprFn, error) {
+	switch n := e.(type) {
+	case nil:
+		return nil, fmt.Errorf("nil expression")
+	case *minic.IntLit:
+		v := IntVal(n.Val)
+		return func(*Machine, *frame) Value { return v }, nil
+	case *minic.StrLit:
+		s := n.Val
+		return func(m *Machine, f *frame) Value {
+			return PtrVal(m.internString(s), 0)
+		}, nil
+	case *minic.FuncRef:
+		v := FuncVal(n.Name)
+		return func(*Machine, *frame) Value { return v }, nil
+	case *minic.VarRef:
+		info, ok := c.lookup(n.Name)
+		if !ok {
+			return nil, c.errf(n.Pos, "undefined %s (run minic.Check first?)", n.Name)
+		}
+		slot := info.slot
+		if !info.region {
+			return func(m *Machine, f *frame) Value {
+				m.Cost.Ops++
+				return f.vals[slot]
+			}, nil
+		}
+		switch info.typ.(type) {
+		case *minic.Array, *minic.Struct:
+			// Arrays decay; struct rvalues are their address (only used
+			// through further field selection).
+			return func(m *Machine, f *frame) Value {
+				m.Cost.Ops++
+				return f.vals[slot]
+			}, nil
+		default:
+			typ := info.typ
+			return func(m *Machine, f *frame) Value {
+				p := f.vals[slot].P
+				return read(m, loc{p: p}, f, typ)
+			}, nil
+		}
+	case *minic.Unary:
+		return c.unary(n)
+	case *minic.Binary:
+		return c.binary(n)
+	case *minic.Assign:
+		return c.assign(n)
+	case *minic.Call:
+		return c.call(n)
+	case *minic.Field, *minic.Index:
+		lf, typ, err := c.loc(e)
+		if err != nil {
+			return nil, err
+		}
+		switch typ.(type) {
+		case *minic.Array, *minic.Struct:
+			// Decay to address.
+			return func(m *Machine, f *frame) Value {
+				l := lf(m, f)
+				m.Cost.Ops++
+				return PtrVal(l.p.Region, l.p.Off)
+			}, nil
+		default:
+			t := typ
+			return func(m *Machine, f *frame) Value {
+				return read(m, lf(m, f), f, t)
+			}, nil
+		}
+	default:
+		return nil, fmt.Errorf("unsupported expression %T", e)
+	}
+}
+
+func (c *fnCompiler) unary(n *minic.Unary) (exprFn, error) {
+	switch n.Op {
+	case "!", "-", "~":
+		x, err := c.expr(n.X)
+		if err != nil {
+			return nil, err
+		}
+		op := n.Op
+		return func(m *Machine, f *frame) Value {
+			m.Cost.Ops++
+			v := x(m, f)
+			switch op {
+			case "!":
+				return BoolVal(!v.Truthy())
+			case "-":
+				return IntVal(int64(int32(-v.I)))
+			default:
+				return IntVal(int64(int32(^v.I)))
+			}
+		}, nil
+	case "*":
+		lf, typ, err := c.loc(n)
+		if err != nil {
+			return nil, err
+		}
+		t := typ
+		return func(m *Machine, f *frame) Value {
+			return read(m, lf(m, f), f, t)
+		}, nil
+	case "&":
+		lf, _, err := c.loc(n.X)
+		if err != nil {
+			return nil, err
+		}
+		return func(m *Machine, f *frame) Value {
+			l := lf(m, f)
+			m.Cost.Ops++
+			if l.inFrame {
+				throw("cannot take address of register variable")
+			}
+			return PtrVal(l.p.Region, l.p.Off)
+		}, nil
+	default:
+		return nil, c.errf(n.Pos, "unsupported unary %s", n.Op)
+	}
+}
+
+func (c *fnCompiler) binary(n *minic.Binary) (exprFn, error) {
+	x, err := c.expr(n.X)
+	if err != nil {
+		return nil, err
+	}
+	y, err := c.expr(n.Y)
+	if err != nil {
+		return nil, err
+	}
+	op := n.Op
+	switch op {
+	case "&&":
+		return func(m *Machine, f *frame) Value {
+			m.Cost.Ops++
+			if !x(m, f).Truthy() {
+				return IntVal(0)
+			}
+			return BoolVal(y(m, f).Truthy())
+		}, nil
+	case "||":
+		return func(m *Machine, f *frame) Value {
+			m.Cost.Ops++
+			if x(m, f).Truthy() {
+				return IntVal(1)
+			}
+			return BoolVal(y(m, f).Truthy())
+		}, nil
+	}
+	// Pointer arithmetic compiles with the element step baked in.
+	xt := minic.TypeOf(n.X)
+	if isPtrish(xt) && (op == "+" || op == "-") {
+		elem := elemOf(xt)
+		sign := 1
+		if op == "-" {
+			sign = -1
+		}
+		return func(m *Machine, f *frame) Value {
+			m.Cost.Ops++
+			p := x(m, f)
+			d := y(m, f)
+			if p.Kind != KindPtr || p.P.Region == nil {
+				throw("pointer arithmetic on %s", p)
+			}
+			step := ptrStep(elem, p.P.Region.Kind)
+			return PtrVal(p.P.Region, p.P.Off+sign*step*int(d.I))
+		}, nil
+	}
+	if isPtrish(minic.TypeOf(n.Y)) && op == "+" {
+		elem := elemOf(minic.TypeOf(n.Y))
+		return func(m *Machine, f *frame) Value {
+			m.Cost.Ops++
+			d := x(m, f)
+			p := y(m, f)
+			if p.Kind != KindPtr || p.P.Region == nil {
+				throw("pointer arithmetic on %s", p)
+			}
+			step := ptrStep(elem, p.P.Region.Kind)
+			return PtrVal(p.P.Region, p.P.Off+step*int(d.I))
+		}, nil
+	}
+	return func(m *Machine, f *frame) Value {
+		m.Cost.Ops++
+		a := x(m, f)
+		b := y(m, f)
+		return applyBinary(op, a, b)
+	}, nil
+}
+
+func isPtrish(t minic.Type) bool {
+	switch t.(type) {
+	case *minic.Ptr, *minic.Array:
+		return true
+	default:
+		return false
+	}
+}
+
+func applyBinary(op string, a, b Value) Value {
+	// Pointer comparisons.
+	if a.Kind == KindPtr || b.Kind == KindPtr {
+		switch op {
+		case "==":
+			return BoolVal(ptrEq(a, b))
+		case "!=":
+			return BoolVal(!ptrEq(a, b))
+		default:
+			throw("invalid pointer operation %s", op)
+		}
+	}
+	if a.Kind == KindFunc || b.Kind == KindFunc {
+		switch op {
+		case "==":
+			return BoolVal(a.F == b.F)
+		case "!=":
+			return BoolVal(a.F != b.F)
+		default:
+			throw("invalid funcptr operation %s", op)
+		}
+	}
+	x, y := a.I, b.I
+	switch op {
+	case "+":
+		return IntVal(int64(int32(x + y)))
+	case "-":
+		return IntVal(int64(int32(x - y)))
+	case "*":
+		return IntVal(int64(int32(x * y)))
+	case "/":
+		if y == 0 {
+			throw("division by zero")
+		}
+		return IntVal(int64(int32(x / y)))
+	case "%":
+		if y == 0 {
+			throw("modulo by zero")
+		}
+		return IntVal(int64(int32(x % y)))
+	case "&":
+		return IntVal(x & y)
+	case "|":
+		return IntVal(x | y)
+	case "^":
+		return IntVal(int64(int32(x ^ y)))
+	case "<<":
+		return IntVal(int64(int32(x << (uint(y) & 31))))
+	case ">>":
+		return IntVal(int64(int32(x) >> (uint(y) & 31)))
+	case "==":
+		return BoolVal(x == y)
+	case "!=":
+		return BoolVal(x != y)
+	case "<":
+		return BoolVal(x < y)
+	case ">":
+		return BoolVal(x > y)
+	case "<=":
+		return BoolVal(x <= y)
+	case ">=":
+		return BoolVal(x >= y)
+	default:
+		throw("unknown operator %s", op)
+		return Value{}
+	}
+}
+
+func ptrEq(a, b Value) bool {
+	pa, pb := Pointer{}, Pointer{}
+	if a.Kind == KindPtr {
+		pa = a.P
+	} else if a.I != 0 {
+		throw("comparing pointer with non-zero integer")
+	}
+	if b.Kind == KindPtr {
+		pb = b.P
+	} else if b.I != 0 {
+		throw("comparing pointer with non-zero integer")
+	}
+	return pa == pb
+}
+
+func (c *fnCompiler) assign(n *minic.Assign) (exprFn, error) {
+	lf, typ, err := c.loc(n.LHS)
+	if err != nil {
+		return nil, err
+	}
+	rhs, err := c.expr(n.RHS)
+	if err != nil {
+		return nil, err
+	}
+	t := typ
+	if n.Op == "=" {
+		return func(m *Machine, f *frame) Value {
+			l := lf(m, f)
+			v := rhs(m, f)
+			write(m, l, f, t, v)
+			return v
+		}, nil
+	}
+	binOp := n.Op[:len(n.Op)-1] // "+=" -> "+"
+	if _, isPtr := typ.(*minic.Ptr); isPtr {
+		elem := elemOf(typ)
+		sign := 1
+		if binOp == "-" {
+			sign = -1
+		}
+		return func(m *Machine, f *frame) Value {
+			l := lf(m, f)
+			cur := read(m, l, f, t)
+			d := rhs(m, f)
+			if cur.Kind != KindPtr || cur.P.Region == nil {
+				throw("pointer arithmetic on %s", cur)
+			}
+			step := ptrStep(elem, cur.P.Region.Kind)
+			v := PtrVal(cur.P.Region, cur.P.Off+sign*step*int(d.I))
+			write(m, l, f, t, v)
+			return v
+		}, nil
+	}
+	return func(m *Machine, f *frame) Value {
+		l := lf(m, f)
+		cur := read(m, l, f, t)
+		v := applyBinary(binOp, cur, rhs(m, f))
+		write(m, l, f, t, v)
+		return v
+	}, nil
+}
+
+func (c *fnCompiler) call(n *minic.Call) (exprFn, error) {
+	args := make([]exprFn, len(n.Args))
+	for i, a := range n.Args {
+		af, err := c.expr(a)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = af
+	}
+	evalArgs := func(m *Machine, f *frame) []Value {
+		vs := make([]Value, len(args))
+		for i, af := range args {
+			vs[i] = af(m, f)
+		}
+		return vs
+	}
+	if fr, ok := n.Fun.(*minic.FuncRef); ok {
+		name := fr.Name
+		return func(m *Machine, f *frame) Value {
+			return m.call(name, evalArgs(m, f))
+		}, nil
+	}
+	fun, err := c.expr(n.Fun)
+	if err != nil {
+		return nil, err
+	}
+	return func(m *Machine, f *frame) Value {
+		fv := fun(m, f)
+		if fv.Kind != KindFunc || fv.F == "" {
+			throw("indirect call through non-function value %s", fv)
+		}
+		return m.call(fv.F, evalArgs(m, f))
+	}, nil
+}
+
+// loc compiles an lvalue (or pointer target) expression to a location,
+// returning the static type stored there.
+func (c *fnCompiler) loc(e minic.Expr) (locFn, minic.Type, error) {
+	switch n := e.(type) {
+	case *minic.VarRef:
+		info, ok := c.lookup(n.Name)
+		if !ok {
+			return nil, nil, c.errf(n.Pos, "undefined %s", n.Name)
+		}
+		slot := info.slot
+		if info.region {
+			return func(m *Machine, f *frame) loc {
+				return loc{p: f.vals[slot].P}
+			}, info.typ, nil
+		}
+		return func(m *Machine, f *frame) loc {
+			return loc{inFrame: true, slot: slot}
+		}, info.typ, nil
+	case *minic.Unary:
+		if n.Op != "*" {
+			return nil, nil, c.errf(n.Pos, "not an lvalue: unary %s", n.Op)
+		}
+		x, err := c.expr(n.X)
+		if err != nil {
+			return nil, nil, err
+		}
+		elem := elemOf(minic.TypeOf(n.X))
+		return func(m *Machine, f *frame) loc {
+			p := x(m, f)
+			if p.Kind != KindPtr || p.P.Region == nil {
+				throw("null or invalid pointer dereference")
+			}
+			return loc{p: p.P}
+		}, elem, nil
+	case *minic.Field:
+		return c.fieldLoc(n)
+	case *minic.Index:
+		x, err := c.expr(n.X)
+		if err != nil {
+			return nil, nil, err
+		}
+		idx, err := c.expr(n.I)
+		if err != nil {
+			return nil, nil, err
+		}
+		elem := elemOf(minic.TypeOf(n.X))
+		return func(m *Machine, f *frame) loc {
+			p := x(m, f)
+			if p.Kind != KindPtr || p.P.Region == nil {
+				throw("indexing null or invalid pointer")
+			}
+			i := idx(m, f)
+			m.Cost.Ops++
+			step := ptrStep(elem, p.P.Region.Kind)
+			return loc{p: Pointer{Region: p.P.Region, Off: p.P.Off + step*int(i.I)}}
+		}, elem, nil
+	default:
+		return nil, nil, fmt.Errorf("%s: not an lvalue: %T", e.Position(), e)
+	}
+}
+
+func (c *fnCompiler) fieldLoc(n *minic.Field) (locFn, minic.Type, error) {
+	if n.Struct == nil {
+		return nil, nil, c.errf(n.Pos, "unresolved field %s (run minic.Check first)", n.Name)
+	}
+	layout, err := c.m.Layout(n.Struct.Name)
+	if err != nil {
+		return nil, nil, err
+	}
+	fi := n.Struct.FieldIndex(n.Name)
+	offset := layout.Offsets[fi]
+	ftype := n.Struct.Fields[fi].Type
+
+	if n.Arrow {
+		x, err := c.expr(n.X)
+		if err != nil {
+			return nil, nil, err
+		}
+		return func(m *Machine, f *frame) loc {
+			p := x(m, f)
+			if p.Kind != KindPtr || p.P.Region == nil {
+				throw("-> through null pointer (field %s)", n.Name)
+			}
+			return loc{p: Pointer{Region: p.P.Region, Off: p.P.Off + offset}}
+		}, ftype, nil
+	}
+	base, _, err := c.loc(n.X)
+	if err != nil {
+		return nil, nil, err
+	}
+	return func(m *Machine, f *frame) loc {
+		l := base(m, f)
+		if l.inFrame {
+			throw("struct value not region-allocated (field %s)", n.Name)
+		}
+		return loc{p: Pointer{Region: l.p.Region, Off: l.p.Off + offset}}
+	}, ftype, nil
+}

@@ -1,0 +1,304 @@
+package vm
+
+import (
+	"fmt"
+	"sort"
+
+	"specrpc/internal/minic"
+)
+
+// ExternFn is a host-provided implementation of an extern function.
+type ExternFn func(m *Machine, args []Value) Value
+
+// Machine executes a compiled mini-C program.
+type Machine struct {
+	prog    *minic.Program
+	funcs   map[string]*compiledFunc
+	externs map[string]ExternFn
+	layouts map[string]*Layout
+	strings map[string]*Region
+
+	// Cost accumulates execution metering; reset it between measurements.
+	Cost Cost
+}
+
+// New compiles every function in p (which must already have passed
+// minic.Check) and returns a machine ready to call them.
+func New(p *minic.Program) (*Machine, error) {
+	m := &Machine{
+		prog:    p,
+		funcs:   make(map[string]*compiledFunc),
+		externs: make(map[string]ExternFn),
+		layouts: make(map[string]*Layout),
+		strings: make(map[string]*Region),
+	}
+	m.installBuiltins()
+	// Deterministic compile order for reproducible error reporting.
+	names := make([]string, 0, len(p.Funcs))
+	for name := range p.Funcs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		cf, err := m.compileFunc(p.Funcs[name])
+		if err != nil {
+			return nil, fmt.Errorf("vm: compile %s: %w", name, err)
+		}
+		m.funcs[name] = cf
+	}
+	return m, nil
+}
+
+// MustNew compiles p and panics on error; for programs embedded in the
+// library whose validity is covered by tests.
+func MustNew(p *minic.Program) *Machine {
+	m, err := New(p)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Extern registers (or overrides) the host implementation of an extern
+// function, e.g. the dynamic network operations of the RPC substrate.
+func (m *Machine) Extern(name string, fn ExternFn) { m.externs[name] = fn }
+
+// ResetCost zeroes the meters.
+func (m *Machine) ResetCost() { m.Cost = Cost{} }
+
+// HasFunc reports whether name is a compiled function.
+func (m *Machine) HasFunc(name string) bool {
+	_, ok := m.funcs[name]
+	return ok
+}
+
+// Call invokes a compiled function by name. Mini-C runtime failures
+// (null dereference, bounds, missing function) return a *RuntimeError.
+func (m *Machine) Call(name string, args ...Value) (result Value, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if re, ok := r.(*RuntimeError); ok {
+				result, err = Value{}, re
+				return
+			}
+			panic(r)
+		}
+	}()
+	result = m.call(name, args)
+	return result, nil
+}
+
+func (m *Machine) call(name string, args []Value) Value {
+	cf, ok := m.funcs[name]
+	if !ok {
+		if ext, ok := m.externs[name]; ok {
+			m.Cost.Calls++
+			return ext(m, args)
+		}
+		throw("call of unknown function %s", name)
+	}
+	if len(args) != len(cf.def.Params) {
+		throw("%s expects %d args, got %d", name, len(cf.def.Params), len(args))
+	}
+	m.Cost.Calls++
+	f := &frame{vals: make([]Value, cf.nslots)}
+	for i, a := range args {
+		if cf.paramRegions[i] {
+			// Address-taken parameter: spill to a one-slot region.
+			r := NewWords(cf.def.Params[i].Name, 1)
+			r.Words[0] = a
+			f.vals[i] = PtrVal(r, 0)
+		} else {
+			f.vals[i] = a
+		}
+	}
+	ctrl, v := cf.body(m, f)
+	if ctrl == ctrlReturn {
+		return v
+	}
+	return VoidVal()
+}
+
+// Layout describes how a struct maps onto a word region.
+type Layout struct {
+	Struct *minic.Struct
+	// Offsets[i] is the slot offset of field i.
+	Offsets []int
+	// Slots is the total region size.
+	Slots int
+}
+
+// FieldOffset returns the slot of the named field.
+func (l *Layout) FieldOffset(name string) int {
+	i := l.Struct.FieldIndex(name)
+	if i < 0 {
+		return -1
+	}
+	return l.Offsets[i]
+}
+
+// Layout returns (computing on demand) the layout of a named struct.
+func (m *Machine) Layout(name string) (*Layout, error) {
+	if l, ok := m.layouts[name]; ok {
+		return l, nil
+	}
+	s, ok := m.prog.Structs[name]
+	if !ok {
+		return nil, fmt.Errorf("vm: unknown struct %s", name)
+	}
+	l := &Layout{Struct: s, Offsets: make([]int, len(s.Fields))}
+	off := 0
+	for i, f := range s.Fields {
+		l.Offsets[i] = off
+		n, err := slotsOf(f.Type)
+		if err != nil {
+			return nil, fmt.Errorf("vm: struct %s field %s: %w", name, f.Name, err)
+		}
+		off += n
+	}
+	l.Slots = off
+	m.layouts[name] = l
+	return l, nil
+}
+
+// NewStruct allocates a word region sized for the named struct.
+func (m *Machine) NewStruct(structName, regionName string) (*Region, error) {
+	l, err := m.Layout(structName)
+	if err != nil {
+		return nil, err
+	}
+	return NewWords(regionName, l.Slots), nil
+}
+
+// slotsOf returns how many word slots a type occupies in a word region.
+func slotsOf(t minic.Type) (int, error) {
+	switch n := t.(type) {
+	case *minic.Prim:
+		if n.Kind == minic.Void {
+			return 0, fmt.Errorf("void has no storage")
+		}
+		return 1, nil
+	case *minic.Ptr:
+		return 1, nil
+	case *minic.Struct:
+		total := 0
+		for _, f := range n.Fields {
+			k, err := slotsOf(f.Type)
+			if err != nil {
+				return 0, err
+			}
+			total += k
+		}
+		return total, nil
+	case *minic.Array:
+		if n.Elem.Equal(minic.TypeChar) {
+			return 0, fmt.Errorf("char arrays are only supported as locals (byte regions)")
+		}
+		k, err := slotsOf(n.Elem)
+		if err != nil {
+			return 0, err
+		}
+		return n.Len * k, nil
+	default:
+		return 0, fmt.Errorf("unsupported type %s", t)
+	}
+}
+
+// internString returns a byte region holding the literal plus NUL.
+func (m *Machine) internString(s string) *Region {
+	if r, ok := m.strings[s]; ok {
+		return r
+	}
+	r := BytesRegion("str", append([]byte(s), 0))
+	m.strings[s] = r
+	return r
+}
+
+// ---------------------------------------------------------------------------
+// Builtins: the byte-buffer micro-operations that stand in for the
+// casted pointer stores of the original C (see the package comment of
+// internal/minic).
+
+func (m *Machine) installBuiltins() {
+	m.externs["stlong"] = func(m *Machine, args []Value) Value {
+		p := wantPtr(args[0], "stlong")
+		b := wantBytes(p, 4, "stlong")
+		v := uint32(args[1].I)
+		b[0], b[1], b[2], b[3] = byte(v>>24), byte(v>>16), byte(v>>8), byte(v)
+		m.Cost.MemBytes += 4
+		m.Cost.Ops++
+		return VoidVal()
+	}
+	m.externs["ldlong"] = func(m *Machine, args []Value) Value {
+		p := wantPtr(args[0], "ldlong")
+		b := wantBytes(p, 4, "ldlong")
+		m.Cost.MemBytes += 4
+		m.Cost.Ops++
+		return IntVal(int64(int32(uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3]))))
+	}
+	m.externs["stbyte"] = func(m *Machine, args []Value) Value {
+		p := wantPtr(args[0], "stbyte")
+		b := wantBytes(p, 1, "stbyte")
+		b[0] = byte(args[1].I)
+		m.Cost.MemBytes++
+		m.Cost.Ops++
+		return VoidVal()
+	}
+	m.externs["ldbyte"] = func(m *Machine, args []Value) Value {
+		p := wantPtr(args[0], "ldbyte")
+		b := wantBytes(p, 1, "ldbyte")
+		m.Cost.MemBytes++
+		m.Cost.Ops++
+		return IntVal(int64(b[0]))
+	}
+	m.externs["memcopy"] = func(m *Machine, args []Value) Value {
+		n := int(args[2].I)
+		if n < 0 {
+			throw("memcopy: negative length %d", n)
+		}
+		dst := wantBytes(wantPtr(args[0], "memcopy"), n, "memcopy dst")
+		src := wantBytes(wantPtr(args[1], "memcopy"), n, "memcopy src")
+		copy(dst[:n], src[:n])
+		m.Cost.MemBytes += 2 * int64(n)
+		m.Cost.Ops++
+		return VoidVal()
+	}
+	m.externs["bzero"] = func(m *Machine, args []Value) Value {
+		n := int(args[1].I)
+		if n < 0 {
+			throw("bzero: negative length %d", n)
+		}
+		b := wantBytes(wantPtr(args[0], "bzero"), n, "bzero")
+		for i := 0; i < n; i++ {
+			b[i] = 0
+		}
+		m.Cost.MemBytes += int64(n)
+		m.Cost.Ops++
+		return VoidVal()
+	}
+	m.externs["htonl"] = func(m *Machine, args []Value) Value {
+		// Big-endian wire conversion; the VM's abstract host is
+		// big-endian (stlong already stores network order), so this is
+		// the identity with one op of cost, exactly the SPARC macro.
+		m.Cost.Ops++
+		return IntVal(int64(int32(args[0].I)))
+	}
+	m.externs["ntohl"] = m.externs["htonl"]
+}
+
+func wantPtr(v Value, who string) Pointer {
+	if v.Kind != KindPtr || v.P.Region == nil {
+		throw("%s: not a valid pointer: %s", who, v)
+	}
+	return v.P
+}
+
+func wantBytes(p Pointer, n int, who string) []byte {
+	if p.Region.Kind != RegionBytes {
+		throw("%s: pointer %s+%d is not into byte memory", who, p.Region.Name, p.Off)
+	}
+	if p.Off < 0 || p.Off+n > len(p.Region.Bytes) {
+		throw("%s: out of bounds: %s+%d..+%d (size %d)", who, p.Region.Name, p.Off, n, len(p.Region.Bytes))
+	}
+	return p.Region.Bytes[p.Off:]
+}

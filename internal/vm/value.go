@@ -1,0 +1,174 @@
+// Package vm compiles mini-C programs (generic Sun RPC micro-layers or
+// the residual programs produced by internal/tempo) into closure-threaded
+// Go code and executes them over a byte/word memory model.
+//
+// Running both the original and the specialized marshaling code on the
+// same substrate is what makes the benchmark comparison meaningful: the
+// measured difference isolates exactly the work specialization removed
+// (dispatches, overflow checks, call layers), the role gcc -O2 played in
+// the paper's experiments.
+//
+// The machine also meters its execution — operations, memory traffic,
+// call depth — so internal/platform can convert runs into the paper's
+// platform cost model (Sun IPX vs Pentium PC).
+package vm
+
+import (
+	"fmt"
+)
+
+// ValueKind discriminates runtime values.
+type ValueKind int
+
+// Value kinds.
+const (
+	KindInt ValueKind = iota + 1
+	KindPtr
+	KindFunc
+	KindVoid
+)
+
+// Value is one mini-C runtime value: a 32-bit-style integer, a pointer,
+// or a function value.
+type Value struct {
+	Kind ValueKind
+	I    int64   // KindInt
+	P    Pointer // KindPtr
+	F    string  // KindFunc: function name
+}
+
+// IntVal makes an integer value.
+func IntVal(v int64) Value { return Value{Kind: KindInt, I: v} }
+
+// BoolVal makes 0/1 from a Go bool.
+func BoolVal(b bool) Value {
+	if b {
+		return IntVal(1)
+	}
+	return IntVal(0)
+}
+
+// PtrVal makes a pointer value.
+func PtrVal(r *Region, off int) Value { return Value{Kind: KindPtr, P: Pointer{Region: r, Off: off}} }
+
+// NullPtr is the null pointer.
+func NullPtr() Value { return Value{Kind: KindPtr} }
+
+// FuncVal makes a function value.
+func FuncVal(name string) Value { return Value{Kind: KindFunc, F: name} }
+
+// VoidVal is the result of void functions.
+func VoidVal() Value { return Value{Kind: KindVoid} }
+
+// Truthy reports C truthiness.
+func (v Value) Truthy() bool {
+	switch v.Kind {
+	case KindInt:
+		return v.I != 0
+	case KindPtr:
+		return v.P.Region != nil
+	case KindFunc:
+		return v.F != ""
+	default:
+		return false
+	}
+}
+
+// String renders the value for diagnostics.
+func (v Value) String() string {
+	switch v.Kind {
+	case KindInt:
+		return fmt.Sprintf("%d", v.I)
+	case KindPtr:
+		if v.P.Region == nil {
+			return "null"
+		}
+		return fmt.Sprintf("&%s+%d", v.P.Region.Name, v.P.Off)
+	case KindFunc:
+		return "fn:" + v.F
+	default:
+		return "void"
+	}
+}
+
+// Pointer addresses a location inside a region: a byte offset for byte
+// regions, a word (slot) offset for word regions.
+type Pointer struct {
+	Region *Region
+	Off    int
+}
+
+// RegionKind discriminates memory region layouts.
+type RegionKind int
+
+// Region kinds.
+const (
+	// RegionBytes is raw byte memory (message buffers) addressed by char*.
+	RegionBytes RegionKind = iota + 1
+	// RegionWords is slot memory (structs, int arrays, addressed scalars).
+	RegionWords
+)
+
+// Region is one allocation.
+type Region struct {
+	Kind  RegionKind
+	Name  string
+	Bytes []byte
+	Words []Value
+}
+
+// NewBytes allocates an n-byte buffer region.
+func NewBytes(name string, n int) *Region {
+	return &Region{Kind: RegionBytes, Name: name, Bytes: make([]byte, n)}
+}
+
+// BytesRegion wraps an existing byte slice (e.g. a real packet buffer) as
+// a region, sharing storage.
+func BytesRegion(name string, b []byte) *Region {
+	return &Region{Kind: RegionBytes, Name: name, Bytes: b}
+}
+
+// NewWords allocates an n-slot word region; slots start as int 0.
+func NewWords(name string, n int) *Region {
+	w := make([]Value, n)
+	for i := range w {
+		w[i] = IntVal(0)
+	}
+	return &Region{Kind: RegionWords, Name: name, Words: w}
+}
+
+// RuntimeError is a failure raised during mini-C execution (null
+// dereference, out-of-bounds access, unknown function, ...).
+type RuntimeError struct {
+	Msg string
+}
+
+// Error returns the message.
+func (e *RuntimeError) Error() string { return "vm: " + e.Msg }
+
+func rtErr(format string, args ...any) *RuntimeError {
+	return &RuntimeError{Msg: fmt.Sprintf(format, args...)}
+}
+
+// throw aborts execution with a RuntimeError; Machine.Call recovers it.
+func throw(format string, args ...any) {
+	panic(rtErr(format, args...))
+}
+
+// Cost meters execution. The unit of Ops is "one evaluated operation"
+// (arithmetic, load, store, branch test); MemBytes counts bytes moved to
+// or from regions (the memory traffic the paper identifies as the
+// asymptotic bottleneck); Calls counts function entries, modeling
+// call-frame overhead.
+type Cost struct {
+	Ops      int64
+	MemBytes int64
+	Calls    int64
+}
+
+// Add accumulates o into c.
+func (c *Cost) Add(o Cost) {
+	c.Ops += o.Ops
+	c.MemBytes += o.MemBytes
+	c.Calls += o.Calls
+}

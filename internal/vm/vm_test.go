@@ -1,0 +1,520 @@
+package vm
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"specrpc/internal/minic"
+)
+
+// mustMachine parses, checks, and compiles src.
+func mustMachine(t *testing.T, src string) *Machine {
+	t.Helper()
+	p, err := minic.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := minic.Check(p); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	m, err := New(p)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return m
+}
+
+func callInt(t *testing.T, m *Machine, name string, args ...Value) int64 {
+	t.Helper()
+	v, err := m.Call(name, args...)
+	if err != nil {
+		t.Fatalf("call %s: %v", name, err)
+	}
+	if v.Kind != KindInt {
+		t.Fatalf("call %s: result %s is not int", name, v)
+	}
+	return v.I
+}
+
+func TestArithmetic(t *testing.T) {
+	m := mustMachine(t, `
+int calc(int a, int b) { return (a + b) * 2 - a / b + a % b; }
+int bits(int a, int b) { return ((a & b) | (a ^ b)) + (a << 2) + (b >> 1); }
+int cmp(int a, int b) { return (a < b) + (a <= b) + (a > b)*10 + (a >= b)*10 + (a == b)*100 + (a != b); }
+int logic(int a, int b) { return (a && b) + (a || b)*2 + !a*4; }
+int neg(int a) { return -a + ~a; }
+`)
+	// (7+3)*2 - 7/3 + 7%3 = 20 - 2 + 1 = 19.
+	if got := callInt(t, m, "calc", IntVal(7), IntVal(3)); got != 19 {
+		t.Fatalf("calc = %d, want 19", got)
+	}
+	if got := callInt(t, m, "bits", IntVal(6), IntVal(3)); got != 6|3^0+(6&3)+24+1 && got != 32 {
+		// ((6&3)|(6^3)) + (6<<2) + (3>>1) = (2|5) + 24 + 1 = 7+25 = 32
+		t.Fatalf("bits = %d, want 32", got)
+	}
+	if got := callInt(t, m, "cmp", IntVal(2), IntVal(2)); got != 0+1+0+10+100+0 {
+		t.Fatalf("cmp = %d, want 111", got)
+	}
+	if got := callInt(t, m, "logic", IntVal(0), IntVal(5)); got != 0+2+4 {
+		t.Fatalf("logic = %d, want 6", got)
+	}
+	if got := callInt(t, m, "neg", IntVal(5)); got != -5-6 {
+		t.Fatalf("neg = %d, want -11", got)
+	}
+}
+
+func TestInt32Wraparound(t *testing.T) {
+	m := mustMachine(t, `int f(int a) { return a * a; }`)
+	// 100000^2 = 10^10 wraps as int32.
+	big := int64(100000)
+	want := int64(int32(big * big))
+	if got := callInt(t, m, "f", IntVal(100000)); got != want {
+		t.Fatalf("wrap = %d, want %d", got, want)
+	}
+}
+
+func TestDivModByZero(t *testing.T) {
+	m := mustMachine(t, `
+int div(int a, int b) { return a / b; }
+int mod(int a, int b) { return a % b; }
+`)
+	var re *RuntimeError
+	if _, err := m.Call("div", IntVal(1), IntVal(0)); !errors.As(err, &re) {
+		t.Fatalf("div err = %v", err)
+	}
+	if _, err := m.Call("mod", IntVal(1), IntVal(0)); !errors.As(err, &re) {
+		t.Fatalf("mod err = %v", err)
+	}
+}
+
+func TestControlFlow(t *testing.T) {
+	m := mustMachine(t, `
+int sumto(int n) {
+    int s = 0;
+    for (int i = 1; i <= n; i++) { s += i; }
+    return s;
+}
+int collatz(int n) {
+    int steps = 0;
+    while (n != 1) {
+        if (n % 2 == 0) { n = n / 2; } else { n = 3*n + 1; }
+        steps++;
+    }
+    return steps;
+}
+int findfirst(int limit) {
+    int i = 0;
+    while (1) {
+        i++;
+        if (i % 7 == 0) { break; }
+        if (i > limit) { return 0 - 1; }
+        continue;
+    }
+    return i;
+}
+`)
+	if got := callInt(t, m, "sumto", IntVal(100)); got != 5050 {
+		t.Fatalf("sumto = %d", got)
+	}
+	if got := callInt(t, m, "collatz", IntVal(27)); got != 111 {
+		t.Fatalf("collatz = %d, want 111", got)
+	}
+	if got := callInt(t, m, "findfirst", IntVal(100)); got != 7 {
+		t.Fatalf("findfirst = %d", got)
+	}
+}
+
+func TestShortCircuit(t *testing.T) {
+	// The right operand of && must not run when the left is false:
+	// here it would divide by zero.
+	m := mustMachine(t, `
+int f(int a, int b) { return a != 0 && 10 / a > b; }
+int g(int a) { return a == 0 || 10 / a == 2; }
+`)
+	if got := callInt(t, m, "f", IntVal(0), IntVal(1)); got != 0 {
+		t.Fatalf("f = %d", got)
+	}
+	if got := callInt(t, m, "g", IntVal(0)); got != 1 {
+		t.Fatalf("g = %d", got)
+	}
+}
+
+func TestPointersAndArrays(t *testing.T) {
+	m := mustMachine(t, `
+int sum(int* a, int n) {
+    int s = 0;
+    for (int i = 0; i < n; i++) { s += a[i]; }
+    return s;
+}
+int sumptr(int* a, int n) {
+    int s = 0;
+    int* p = a;
+    while (n > 0) { s += *p; p++; n--; }
+    return s;
+}
+int locals(void) {
+    int arr[4];
+    for (int i = 0; i < 4; i++) { arr[i] = i * i; }
+    return sum(&arr[0], 4) + sum(arr, 4);
+}
+int swap(int* x, int* y) {
+    int tmp = *x;
+    *x = *y;
+    *y = tmp;
+    return *x;
+}
+int useswap(void) {
+    int a = 1;
+    int b = 2;
+    swap(&a, &b);
+    return a * 10 + b;
+}
+`)
+	arr := NewWords("a", 5)
+	for i := range arr.Words {
+		arr.Words[i] = IntVal(int64(i + 1))
+	}
+	if got := callInt(t, m, "sum", PtrVal(arr, 0), IntVal(5)); got != 15 {
+		t.Fatalf("sum = %d", got)
+	}
+	if got := callInt(t, m, "sumptr", PtrVal(arr, 0), IntVal(5)); got != 15 {
+		t.Fatalf("sumptr = %d", got)
+	}
+	if got := callInt(t, m, "locals", nil...); got != 14+14 {
+		t.Fatalf("locals = %d, want 28", got)
+	}
+	if got := callInt(t, m, "useswap", nil...); got != 21 {
+		t.Fatalf("useswap = %d, want 21", got)
+	}
+}
+
+func TestStructsAndFuncPtrs(t *testing.T) {
+	m := mustMachine(t, `
+struct ops { funcptr apply; int bias; };
+struct item { int v; struct ops* o; };
+
+int double_it(int x) { return 2 * x; }
+int triple_it(int x) { return 3 * x; }
+
+int run(struct item* it) {
+    return it->o->apply(it->v) + it->o->bias;
+}
+int setup(struct item* it, struct ops* o, int which, int v) {
+    if (which == 2) { o->apply = double_it; } else { o->apply = triple_it; }
+    o->bias = 100;
+    it->v = v;
+    it->o = o;
+    return run(it);
+}
+`)
+	itemR, err := m.NewStruct("item", "it")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opsR, err := m.NewStruct("ops", "ops")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := callInt(t, m, "setup", PtrVal(itemR, 0), PtrVal(opsR, 0), IntVal(2), IntVal(21)); got != 142 {
+		t.Fatalf("setup(double) = %d, want 142", got)
+	}
+	if got := callInt(t, m, "setup", PtrVal(itemR, 0), PtrVal(opsR, 0), IntVal(3), IntVal(10)); got != 130 {
+		t.Fatalf("setup(triple) = %d, want 130", got)
+	}
+}
+
+func TestStructLayoutNested(t *testing.T) {
+	m := mustMachine(t, `
+struct inner { int a; int b; };
+struct outer { int x; struct inner in; int y; };
+int f(struct outer* o) {
+    o->x = 1;
+    o->in.a = 2;
+    o->in.b = 3;
+    o->y = 4;
+    return o->x + o->in.a * 10 + o->in.b * 100 + o->y * 1000;
+}
+`)
+	l, err := m.Layout("outer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Slots != 4 || l.FieldOffset("y") != 3 {
+		t.Fatalf("layout = %+v", l)
+	}
+	r, err := m.NewStruct("outer", "o")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := callInt(t, m, "f", PtrVal(r, 0)); got != 1+20+300+4000 {
+		t.Fatalf("f = %d", got)
+	}
+}
+
+func TestBuiltinsBigEndianStore(t *testing.T) {
+	m := mustMachine(t, `
+extern void stlong(char* p, int v);
+extern int ldlong(char* p);
+extern void stbyte(char* p, int v);
+extern int ldbyte(char* p);
+int store(char* buf, int v) {
+    stlong(buf, v);
+    stbyte(buf + 4, 255);
+    return ldlong(buf) + ldbyte(buf + 4);
+}
+`)
+	buf := NewBytes("buf", 8)
+	if got := callInt(t, m, "store", PtrVal(buf, 0), IntVal(0x01020304)); got != 0x01020304+255 {
+		t.Fatalf("store = %#x", got)
+	}
+	if !bytes.Equal(buf.Bytes[:5], []byte{1, 2, 3, 4, 255}) {
+		t.Fatalf("buffer = %v", buf.Bytes[:5])
+	}
+}
+
+func TestBuiltinMemcopyBzero(t *testing.T) {
+	m := mustMachine(t, `
+extern void memcopy(char* dst, char* src, int n);
+extern void bzero(char* p, int n);
+int doit(char* dst, char* src, int n) {
+    bzero(dst, n);
+    memcopy(dst, src, n - 2);
+    return 0;
+}
+`)
+	src := NewBytes("src", 8)
+	for i := range src.Bytes {
+		src.Bytes[i] = byte(i + 1)
+	}
+	dst := NewBytes("dst", 8)
+	for i := range dst.Bytes {
+		dst.Bytes[i] = 0xee
+	}
+	callInt(t, m, "doit", PtrVal(dst, 0), PtrVal(src, 0), IntVal(8))
+	want := []byte{1, 2, 3, 4, 5, 6, 0, 0}
+	if !bytes.Equal(dst.Bytes, want) {
+		t.Fatalf("dst = %v, want %v", dst.Bytes, want)
+	}
+}
+
+func TestHostExtern(t *testing.T) {
+	m := mustMachine(t, `
+extern int host_add(int a, int b);
+int f(int x) { return host_add(x, 10); }
+`)
+	m.Extern("host_add", func(_ *Machine, args []Value) Value {
+		return IntVal(args[0].I + args[1].I)
+	})
+	if got := callInt(t, m, "f", IntVal(5)); got != 15 {
+		t.Fatalf("f = %d", got)
+	}
+}
+
+func TestCharPointerArithmetic(t *testing.T) {
+	m := mustMachine(t, `
+extern void stbyte(char* p, int v);
+int fill(char* p, int n) {
+    char* q = p;
+    for (int i = 0; i < n; i++) {
+        stbyte(q, i + 65);
+        q += 1;
+    }
+    return 0;
+}
+`)
+	buf := NewBytes("b", 4)
+	callInt(t, m, "fill", PtrVal(buf, 0), IntVal(4))
+	if string(buf.Bytes) != "ABCD" {
+		t.Fatalf("buf = %q", buf.Bytes)
+	}
+}
+
+func TestIntDerefOnByteRegion(t *testing.T) {
+	// *(int*)p semantics: 4-byte big-endian access, as on the paper's
+	// SPARC. The checker forbids the cast, but an int* parameter may
+	// legally point into byte memory.
+	m := mustMachine(t, `
+int probe(int* p) {
+    *p = 0x0a0b0c0d;
+    return *p;
+}
+`)
+	buf := NewBytes("b", 4)
+	if got := callInt(t, m, "probe", PtrVal(buf, 0)); got != 0x0a0b0c0d {
+		t.Fatalf("probe = %#x", got)
+	}
+	if !bytes.Equal(buf.Bytes, []byte{0x0a, 0x0b, 0x0c, 0x0d}) {
+		t.Fatalf("buf = %v", buf.Bytes)
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	m := mustMachine(t, `
+struct s { int a; };
+int deref(int* p) { return *p; }
+int arrow(struct s* p) { return p->a; }
+int oob(int* p) { return p[100]; }
+`)
+	var re *RuntimeError
+	if _, err := m.Call("deref", NullPtr()); !errors.As(err, &re) {
+		t.Fatalf("null deref err = %v", err)
+	}
+	if _, err := m.Call("arrow", NullPtr()); !errors.As(err, &re) {
+		t.Fatalf("null arrow err = %v", err)
+	}
+	small := NewWords("w", 2)
+	if _, err := m.Call("oob", PtrVal(small, 0)); !errors.As(err, &re) {
+		t.Fatalf("oob err = %v", err)
+	}
+	if _, err := m.Call("nosuchfunction"); !errors.As(err, &re) {
+		t.Fatalf("unknown function err = %v", err)
+	}
+	if _, err := m.Call("deref"); !errors.As(err, &re) {
+		t.Fatalf("arity err = %v", err)
+	}
+}
+
+func TestCostMetering(t *testing.T) {
+	m := mustMachine(t, `
+extern void stlong(char* p, int v);
+int work(char* buf, int n) {
+    for (int i = 0; i < n; i++) {
+        stlong(buf + 4*i, i);
+    }
+    return n;
+}
+`)
+	buf := NewBytes("b", 400)
+	m.ResetCost()
+	callInt(t, m, "work", PtrVal(buf, 0), IntVal(10))
+	if m.Cost.MemBytes != 40 {
+		t.Fatalf("MemBytes = %d, want 40", m.Cost.MemBytes)
+	}
+	if m.Cost.Ops == 0 || m.Cost.Calls != 11 { // work + 10 stlong
+		t.Fatalf("Ops = %d Calls = %d", m.Cost.Ops, m.Cost.Calls)
+	}
+	c10 := m.Cost
+	// Cost scales roughly linearly with n.
+	m.ResetCost()
+	callInt(t, m, "work", PtrVal(buf, 0), IntVal(100))
+	if m.Cost.MemBytes != 400 {
+		t.Fatalf("MemBytes = %d, want 400", m.Cost.MemBytes)
+	}
+	if m.Cost.Ops < 9*c10.Ops {
+		t.Fatalf("Ops at n=100 (%d) not ~10x n=10 (%d)", m.Cost.Ops, c10.Ops)
+	}
+}
+
+func TestVoidFunction(t *testing.T) {
+	m := mustMachine(t, `
+extern void stlong(char* p, int v);
+void put(char* p, int v) { stlong(p, v); }
+int f(char* p) { put(p, 7); return 1; }
+`)
+	buf := NewBytes("b", 4)
+	if got := callInt(t, m, "f", PtrVal(buf, 0)); got != 1 {
+		t.Fatalf("f = %d", got)
+	}
+	if buf.Bytes[3] != 7 {
+		t.Fatalf("buf = %v", buf.Bytes)
+	}
+}
+
+func TestRecursion(t *testing.T) {
+	m := mustMachine(t, `
+int fib(int n) {
+    if (n < 2) { return n; }
+    return fib(n - 1) + fib(n - 2);
+}
+`)
+	if got := callInt(t, m, "fib", IntVal(15)); got != 610 {
+		t.Fatalf("fib(15) = %d", got)
+	}
+}
+
+func TestStringLiteralArg(t *testing.T) {
+	m := mustMachine(t, `
+extern int host_len(char* s);
+int f(void) { return host_len("hello"); }
+`)
+	m.Extern("host_len", func(mm *Machine, args []Value) Value {
+		p := args[0].P
+		n := 0
+		for p.Region.Bytes[p.Off+n] != 0 {
+			n++
+		}
+		return IntVal(int64(n))
+	})
+	if got := callInt(t, m, "f"); got != 5 {
+		t.Fatalf("f = %d", got)
+	}
+}
+
+// TestPutlongPipeline runs the paper's Figure 3 function compiled from
+// actual mini-C source and checks both the success and overflow paths.
+func TestPutlongPipeline(t *testing.T) {
+	m := mustMachine(t, `
+struct xdrbuf {
+    int x_op;
+    char* x_private;
+    int x_handy;
+};
+extern void stlong(char* p, int v);
+int xdrmem_putlong(struct xdrbuf* xdrs, int* lp)
+{
+    if ((xdrs->x_handy -= 4) < 0) {
+        return 0;
+    }
+    stlong(xdrs->x_private, *lp);
+    xdrs->x_private += 4;
+    return 1;
+}
+`)
+	xdrs, err := m.NewStruct("xdrbuf", "xdrs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout, _ := m.Layout("xdrbuf")
+	buf := NewBytes("out", 8)
+	xdrs.Words[layout.FieldOffset("x_private")] = PtrVal(buf, 0)
+	xdrs.Words[layout.FieldOffset("x_handy")] = IntVal(8)
+
+	val := NewWords("v", 1)
+	val.Words[0] = IntVal(0x11223344)
+	if got := callInt(t, m, "xdrmem_putlong", PtrVal(xdrs, 0), PtrVal(val, 0)); got != 1 {
+		t.Fatal("first putlong failed")
+	}
+	val.Words[0] = IntVal(0x55667788)
+	if got := callInt(t, m, "xdrmem_putlong", PtrVal(xdrs, 0), PtrVal(val, 0)); got != 1 {
+		t.Fatal("second putlong failed")
+	}
+	// Third write overflows: x_handy went 8 -> 4 -> 0 -> -4.
+	if got := callInt(t, m, "xdrmem_putlong", PtrVal(xdrs, 0), PtrVal(val, 0)); got != 0 {
+		t.Fatal("overflow not detected")
+	}
+	want := []byte{0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88}
+	if !bytes.Equal(buf.Bytes, want) {
+		t.Fatalf("buffer = %x, want %x", buf.Bytes, want)
+	}
+}
+
+func TestCompileErrorUnsupported(t *testing.T) {
+	p, err := minic.Parse(`
+struct bad { char arr[8]; };
+int f(struct bad* b) { return 0; }
+int g(void) { struct bad x; return f(&x); }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := minic.Check(p); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(p); err == nil {
+		t.Fatal("expected compile error for char array in struct")
+	} else if !strings.Contains(err.Error(), "char arrays") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}

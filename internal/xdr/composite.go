@@ -1,0 +1,143 @@
+package xdr
+
+// This file carries the composite constructors of the original xdr.c:
+// counted arrays (xdr_array), fixed-length vectors (xdr_vector), optional
+// data (xdr_pointer/xdr_reference), and discriminated unions (xdr_union).
+// Each is generic over an element routine exactly as the C versions were
+// generic over an xdrproc_t — the interpretive layer the paper's §2 calls
+// out as a specialization opportunity.
+
+// Array marshals a variable-length counted array: a 4-byte element count
+// followed by each element marshaled with elem (xdr_array). maxLen bounds
+// the decoded count. On decode the slice is (re)allocated to the decoded
+// length.
+func Array[T any](x *XDR, v *[]T, maxLen uint32, elem Proc[T]) error {
+	switch x.Op {
+	case Encode:
+		n := uint32(len(*v))
+		if n > maxLen {
+			return ErrTooBig
+		}
+		if err := x.Uint32(&n); err != nil {
+			return err
+		}
+		for i := range *v {
+			if err := elem(x, &(*v)[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	case Decode:
+		var n uint32
+		if err := x.Uint32(&n); err != nil {
+			return err
+		}
+		if n > maxLen {
+			return ErrTooBig
+		}
+		if uint32(len(*v)) != n {
+			*v = make([]T, n)
+		}
+		for i := range *v {
+			if err := elem(x, &(*v)[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	case Free:
+		for i := range *v {
+			if err := elem(x, &(*v)[i]); err != nil {
+				return err
+			}
+		}
+		*v = nil
+		return nil
+	default:
+		return ErrBadOp
+	}
+}
+
+// Vector marshals a fixed-length array whose length is known from the type
+// and therefore not on the wire (xdr_vector).
+func Vector[T any](x *XDR, v []T, elem Proc[T]) error {
+	for i := range v {
+		if err := elem(x, &v[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Optional marshals `*T` as XDR optional-data: a 4-byte "follows" flag and,
+// if nonzero, the pointee (xdr_pointer). On decode a nil target is
+// allocated when the flag says data follows; on free the pointer is
+// released after freeing the pointee.
+func Optional[T any](x *XDR, v **T, elem Proc[T]) error {
+	switch x.Op {
+	case Encode:
+		var follows bool
+		if *v != nil {
+			follows = true
+		}
+		if err := x.Bool(&follows); err != nil {
+			return err
+		}
+		if !follows {
+			return nil
+		}
+		return elem(x, *v)
+	case Decode:
+		var follows bool
+		if err := x.Bool(&follows); err != nil {
+			return err
+		}
+		if !follows {
+			*v = nil
+			return nil
+		}
+		if *v == nil {
+			*v = new(T)
+		}
+		return elem(x, *v)
+	case Free:
+		if *v != nil {
+			if err := elem(x, *v); err != nil {
+				return err
+			}
+			*v = nil
+		}
+		return nil
+	default:
+		return ErrBadOp
+	}
+}
+
+// UnionArm is one (discriminant, marshaler) pair of a discriminated union.
+type UnionArm struct {
+	// Value is the discriminant selecting this arm.
+	Value int32
+	// Marshal handles the arm body; nil means a void arm.
+	Marshal func(x *XDR) error
+}
+
+// Union marshals a discriminated union (xdr_union): the discriminant is
+// marshaled first, then the matching arm's body. defaultArm, if non-nil,
+// handles unlisted discriminants; with no default an unknown discriminant
+// yields ErrBadUnion, as the NULL-terminated choice table did in C.
+func Union(x *XDR, discriminant *int32, arms []UnionArm, defaultArm func(x *XDR) error) error {
+	if err := x.Enum(discriminant); err != nil {
+		return err
+	}
+	for _, a := range arms {
+		if a.Value == *discriminant {
+			if a.Marshal == nil {
+				return nil
+			}
+			return a.Marshal(x)
+		}
+	}
+	if defaultArm != nil {
+		return defaultArm(x)
+	}
+	return ErrBadUnion
+}

@@ -1,0 +1,110 @@
+package xdr
+
+// MemStream is the xdrmem stream of xdr_mem.c: marshaling over a
+// caller-supplied contiguous buffer. Its structure deliberately keeps the
+// fields of the original XDR handle that the paper specializes on:
+//
+//	handy   — bytes remaining, decremented and tested on every access,
+//	          the x_handy overflow check of Figure 3;
+//	pos     — cursor into buf, the x_private pointer.
+//
+// Every PutLong performs: one decrement, one signed comparison + branch,
+// one byte-order conversion, one 4-byte store, one cursor advance. After
+// specialization (internal/tempo) all but the store and advance vanish.
+type MemStream struct {
+	buf   []byte
+	pos   int
+	handy int
+	base  int
+}
+
+var _ Stream = (*MemStream)(nil)
+
+// NewMemEncode returns a MemStream writing into buf from its start
+// (xdrmem_create with XDR_ENCODE).
+func NewMemEncode(buf []byte) *MemStream {
+	return &MemStream{buf: buf, handy: len(buf)}
+}
+
+// NewMemDecode returns a MemStream reading the len(buf) bytes of buf
+// (xdrmem_create with XDR_DECODE).
+func NewMemDecode(buf []byte) *MemStream {
+	return &MemStream{buf: buf, handy: len(buf)}
+}
+
+// Reset rewinds the stream to offset 0 with the full buffer available,
+// allowing handle reuse across calls as the original client did.
+func (m *MemStream) Reset() {
+	m.pos = m.base
+	m.handy = len(m.buf) - m.base
+}
+
+// PutLong appends v as a big-endian 4-byte integer. The explicit
+// decrement-and-test is the Figure 3 overflow check.
+func (m *MemStream) PutLong(v int32) error {
+	if m.handy -= BytesPerUnit; m.handy < 0 {
+		m.handy = 0
+		return ErrOverflow
+	}
+	u := uint32(v) // htonl: explicit big-endian byte stores
+	m.buf[m.pos] = byte(u >> 24)
+	m.buf[m.pos+1] = byte(u >> 16)
+	m.buf[m.pos+2] = byte(u >> 8)
+	m.buf[m.pos+3] = byte(u)
+	m.pos += BytesPerUnit
+	return nil
+}
+
+// GetLong consumes a big-endian 4-byte integer into *v.
+func (m *MemStream) GetLong(v *int32) error {
+	if m.handy -= BytesPerUnit; m.handy < 0 {
+		m.handy = 0
+		return ErrOverflow
+	}
+	*v = int32(uint32(m.buf[m.pos])<<24 | uint32(m.buf[m.pos+1])<<16 |
+		uint32(m.buf[m.pos+2])<<8 | uint32(m.buf[m.pos+3])) // ntohl
+	m.pos += BytesPerUnit
+	return nil
+}
+
+// PutBytes appends len(p) raw bytes.
+func (m *MemStream) PutBytes(p []byte) error {
+	if m.handy -= len(p); m.handy < 0 {
+		m.handy = 0
+		return ErrOverflow
+	}
+	copy(m.buf[m.pos:], p)
+	m.pos += len(p)
+	return nil
+}
+
+// GetBytes consumes len(p) raw bytes into p.
+func (m *MemStream) GetBytes(p []byte) error {
+	if m.handy -= len(p); m.handy < 0 {
+		m.handy = 0
+		return ErrOverflow
+	}
+	copy(p, m.buf[m.pos:m.pos+len(p)])
+	m.pos += len(p)
+	return nil
+}
+
+// Pos reports the current offset within the buffer (XDR_GETPOS).
+func (m *MemStream) Pos() int { return m.pos }
+
+// SetPos repositions the cursor (XDR_SETPOS), recomputing the remaining
+// space the same way x_handy was rebuilt in xdrmem_setpos.
+func (m *MemStream) SetPos(pos int) error {
+	if pos < 0 || pos > len(m.buf) {
+		return ErrBadPos
+	}
+	m.pos = pos
+	m.handy = len(m.buf) - pos
+	return nil
+}
+
+// Buffer returns the prefix of the underlying buffer written so far.
+func (m *MemStream) Buffer() []byte { return m.buf[:m.pos] }
+
+// Remaining reports the bytes still available, i.e. x_handy.
+func (m *MemStream) Remaining() int { return m.handy }

@@ -1,0 +1,225 @@
+package xdr
+
+import (
+	"fmt"
+	"io"
+)
+
+// RecStream is the record-marking stream of xdr_rec.c used by RPC over
+// TCP: the byte stream is cut into records, each a sequence of fragments
+// carrying a 4-byte big-endian header whose top bit marks the final
+// fragment of the record and whose low 31 bits give the fragment length.
+//
+// A connection-oriented transport needs this layer because, unlike UDP,
+// TCP gives no message boundaries; the record marks let one reply be
+// delimited without knowing its encoded size in advance.
+type RecStream struct {
+	rw io.ReadWriter
+
+	// Write (encode) state.
+	wbuf  []byte // pending fragment payload
+	wpos  int    // bytes of wbuf filled
+	sent  int    // bytes already flushed in the current record
+	werr  error  // sticky write error
+	wseal bool   // record has been completed and not yet restarted
+
+	// Read (decode) state.
+	rfrag int  // bytes remaining in the current fragment
+	rlast bool // current fragment is the record's last
+	rcons int  // bytes consumed of the current record
+	rinit bool // a fragment header has been read for this record
+}
+
+var _ Stream = (*RecStream)(nil)
+
+// DefaultFragmentSize is the payload capacity of one outgoing fragment,
+// matching the 4000-byte sendsize/recvsize default of clnttcp_create.
+const DefaultFragmentSize = 4000
+
+const lastFragFlag = uint32(1) << 31
+
+// NewRecStream returns a record-marking stream over rw. fragSize bounds
+// each outgoing fragment payload; 0 selects DefaultFragmentSize.
+func NewRecStream(rw io.ReadWriter, fragSize int) *RecStream {
+	if fragSize <= 0 {
+		fragSize = DefaultFragmentSize
+	}
+	return &RecStream{rw: rw, wbuf: make([]byte, fragSize)}
+}
+
+// PutLong appends a big-endian 4-byte integer to the current record.
+func (r *RecStream) PutLong(v int32) error {
+	var b [BytesPerUnit]byte
+	u := uint32(v)
+	b[0], b[1], b[2], b[3] = byte(u>>24), byte(u>>16), byte(u>>8), byte(u)
+	return r.PutBytes(b[:])
+}
+
+// PutBytes appends raw bytes to the current record, flushing intermediate
+// (non-final) fragments whenever the fragment buffer fills.
+func (r *RecStream) PutBytes(p []byte) error {
+	if r.werr != nil {
+		return r.werr
+	}
+	r.wseal = false
+	for len(p) > 0 {
+		n := copy(r.wbuf[r.wpos:], p)
+		r.wpos += n
+		p = p[n:]
+		if r.wpos == len(r.wbuf) {
+			if err := r.flushFragment(false); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// EndRecord completes the current record, flushing the pending data as the
+// final fragment (the xdrrec_endofrecord "sendnow" path). An empty record
+// still emits one empty final fragment so the peer sees a boundary.
+func (r *RecStream) EndRecord() error {
+	if r.werr != nil {
+		return r.werr
+	}
+	if err := r.flushFragment(true); err != nil {
+		return err
+	}
+	r.sent = 0
+	r.wseal = true
+	return nil
+}
+
+func (r *RecStream) flushFragment(last bool) error {
+	header := uint32(r.wpos)
+	if last {
+		header |= lastFragFlag
+	}
+	var h [BytesPerUnit]byte
+	h[0], h[1], h[2], h[3] = byte(header>>24), byte(header>>16), byte(header>>8), byte(header)
+	if _, err := r.rw.Write(h[:]); err != nil {
+		r.werr = fmt.Errorf("xdr: write fragment header: %w", err)
+		return r.werr
+	}
+	if r.wpos > 0 {
+		if _, err := r.rw.Write(r.wbuf[:r.wpos]); err != nil {
+			r.werr = fmt.Errorf("xdr: write fragment payload: %w", err)
+			return r.werr
+		}
+	}
+	r.sent += r.wpos
+	r.wpos = 0
+	return nil
+}
+
+// GetLong consumes a big-endian 4-byte integer from the current record.
+func (r *RecStream) GetLong(v *int32) error {
+	var b [BytesPerUnit]byte
+	if err := r.GetBytes(b[:]); err != nil {
+		return err
+	}
+	*v = int32(uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3]))
+	return nil
+}
+
+// GetBytes consumes len(p) bytes from the current record, crossing
+// fragment boundaries transparently. Reading past the final fragment of
+// the record yields ErrOverflow, as exhausting the record did in C.
+func (r *RecStream) GetBytes(p []byte) error {
+	for len(p) > 0 {
+		if r.rfrag == 0 {
+			if r.rinit && r.rlast {
+				return ErrOverflow
+			}
+			if err := r.readFragmentHeader(); err != nil {
+				return err
+			}
+			continue
+		}
+		n := len(p)
+		if n > r.rfrag {
+			n = r.rfrag
+		}
+		if _, err := io.ReadFull(r.rw, p[:n]); err != nil {
+			return fmt.Errorf("xdr: read record payload: %w", err)
+		}
+		r.rfrag -= n
+		r.rcons += n
+		p = p[n:]
+	}
+	return nil
+}
+
+func (r *RecStream) readFragmentHeader() error {
+	var h [BytesPerUnit]byte
+	if _, err := io.ReadFull(r.rw, h[:]); err != nil {
+		return fmt.Errorf("xdr: read fragment header: %w", err)
+	}
+	u := uint32(h[0])<<24 | uint32(h[1])<<16 | uint32(h[2])<<8 | uint32(h[3])
+	r.rlast = u&lastFragFlag != 0
+	r.rfrag = int(u &^ lastFragFlag)
+	r.rinit = true
+	return nil
+}
+
+// ReadRecord appends one complete record to dst and returns the extended
+// slice. It reads fragment-at-a-time, so it is the efficient way for a
+// server to slurp a whole request before dispatching.
+func (r *RecStream) ReadRecord(dst []byte) ([]byte, error) {
+	for {
+		if r.rfrag > 0 {
+			start := len(dst)
+			dst = append(dst, make([]byte, r.rfrag)...)
+			if _, err := io.ReadFull(r.rw, dst[start:]); err != nil {
+				return dst, fmt.Errorf("xdr: read record payload: %w", err)
+			}
+			r.rcons += r.rfrag
+			r.rfrag = 0
+		}
+		if r.rinit && r.rlast {
+			r.rinit = false
+			r.rlast = false
+			r.rcons = 0
+			return dst, nil
+		}
+		if err := r.readFragmentHeader(); err != nil {
+			return dst, err
+		}
+	}
+}
+
+// SkipRecord discards the rest of the current record and arms the reader
+// for the next one (xdrrec_skiprecord).
+func (r *RecStream) SkipRecord() error {
+	for {
+		if r.rfrag > 0 {
+			if _, err := io.CopyN(io.Discard, r.rw, int64(r.rfrag)); err != nil {
+				return fmt.Errorf("xdr: skip record: %w", err)
+			}
+			r.rcons += r.rfrag
+			r.rfrag = 0
+		}
+		if r.rinit && r.rlast {
+			break
+		}
+		if err := r.readFragmentHeader(); err != nil {
+			return err
+		}
+	}
+	r.rinit = false
+	r.rlast = false
+	r.rcons = 0
+	return nil
+}
+
+// Pos reports bytes consumed (decode) or buffered+sent (encode) within the
+// current record.
+func (r *RecStream) Pos() int {
+	if r.rinit {
+		return r.rcons
+	}
+	return r.sent + r.wpos
+}
+
+// SetPos is not supported on record streams, exactly as in xdr_rec.c.
+func (r *RecStream) SetPos(int) error { return ErrBadPos }

@@ -1,0 +1,278 @@
+package xdr
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+)
+
+// chunkedReader returns data in fixed-size chunks to exercise short reads.
+type chunkedReader struct {
+	data  []byte
+	chunk int
+}
+
+func (c *chunkedReader) Read(p []byte) (int, error) {
+	if len(c.data) == 0 {
+		return 0, io.EOF
+	}
+	n := c.chunk
+	if n > len(p) {
+		n = len(p)
+	}
+	if n > len(c.data) {
+		n = len(c.data)
+	}
+	copy(p, c.data[:n])
+	c.data = c.data[n:]
+	return n, nil
+}
+
+type rwPair struct {
+	io.Reader
+	io.Writer
+}
+
+func TestRecStreamRoundTrip(t *testing.T) {
+	var wire bytes.Buffer
+	w := NewRecStream(&rwPair{Writer: &wire}, 16)
+	enc := NewEncoder(w)
+	for i := int32(0); i < 20; i++ {
+		v := i * 3
+		if err := enc.Long(&v); err != nil {
+			t.Fatalf("encode %d: %v", i, err)
+		}
+	}
+	if err := w.EndRecord(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewRecStream(&rwPair{Reader: &wire}, 16)
+	dec := NewDecoder(r)
+	for i := int32(0); i < 20; i++ {
+		var v int32
+		if err := dec.Long(&v); err != nil {
+			t.Fatalf("decode %d: %v", i, err)
+		}
+		if v != i*3 {
+			t.Fatalf("element %d = %d, want %d", i, v, i*3)
+		}
+	}
+	// The record is exhausted: one more read overflows.
+	var v int32
+	if err := dec.Long(&v); !errors.Is(err, ErrOverflow) {
+		t.Fatalf("past-end err = %v, want ErrOverflow", err)
+	}
+}
+
+func TestRecStreamFragmentation(t *testing.T) {
+	// 100 bytes of payload through 16-byte fragments = 7 fragments.
+	var wire bytes.Buffer
+	w := NewRecStream(&rwPair{Writer: &wire}, 16)
+	payload := make([]byte, 100)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	if err := w.PutBytes(payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.EndRecord(); err != nil {
+		t.Fatal(err)
+	}
+	wantWire := 100 + 7*4 // payload + 7 fragment headers
+	if wire.Len() != wantWire {
+		t.Fatalf("wire bytes = %d, want %d", wire.Len(), wantWire)
+	}
+
+	// Reassembly must be byte-identical regardless of how the transport
+	// fragments reads (property over chunk size).
+	f := func(chunk uint8) bool {
+		c := int(chunk%13) + 1
+		r := NewRecStream(&rwPair{Reader: &chunkedReader{data: wire.Bytes(), chunk: c}}, 16)
+		got := make([]byte, 100)
+		if err := r.GetBytes(got); err != nil {
+			return false
+		}
+		return bytes.Equal(got, payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecStreamMultipleRecords(t *testing.T) {
+	var wire bytes.Buffer
+	w := NewRecStream(&rwPair{Writer: &wire}, 8)
+	enc := NewEncoder(w)
+	for rec := int32(0); rec < 3; rec++ {
+		for i := int32(0); i < 5; i++ {
+			v := rec*100 + i
+			if err := enc.Long(&v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.EndRecord(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	r := NewRecStream(&rwPair{Reader: &wire}, 8)
+	dec := NewDecoder(r)
+	for rec := int32(0); rec < 3; rec++ {
+		// Only read part of each record, then skip to the next —
+		// exercising xdrrec_skiprecord.
+		var v int32
+		if err := dec.Long(&v); err != nil {
+			t.Fatalf("record %d: %v", rec, err)
+		}
+		if v != rec*100 {
+			t.Fatalf("record %d first = %d, want %d", rec, v, rec*100)
+		}
+		if err := r.SkipRecord(); err != nil {
+			t.Fatalf("skip record %d: %v", rec, err)
+		}
+	}
+}
+
+func TestRecStreamEmptyRecord(t *testing.T) {
+	var wire bytes.Buffer
+	w := NewRecStream(&rwPair{Writer: &wire}, 8)
+	if err := w.EndRecord(); err != nil {
+		t.Fatal(err)
+	}
+	if wire.Len() != 4 {
+		t.Fatalf("empty record wire = %d bytes, want 4", wire.Len())
+	}
+	r := NewRecStream(&rwPair{Reader: &wire}, 8)
+	var v int32
+	if err := r.GetLong(&v); !errors.Is(err, ErrOverflow) {
+		t.Fatalf("err = %v, want ErrOverflow", err)
+	}
+}
+
+func TestRecStreamHeaderBits(t *testing.T) {
+	var wire bytes.Buffer
+	w := NewRecStream(&rwPair{Writer: &wire}, 64)
+	v := int32(7)
+	if err := w.PutLong(v); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.EndRecord(); err != nil {
+		t.Fatal(err)
+	}
+	h := wire.Bytes()[:4]
+	if h[0]&0x80 == 0 {
+		t.Fatal("last-fragment bit not set on final fragment")
+	}
+	length := uint32(h[0]&0x7f)<<24 | uint32(h[1])<<16 | uint32(h[2])<<8 | uint32(h[3])
+	if length != 4 {
+		t.Fatalf("fragment length = %d, want 4", length)
+	}
+}
+
+func TestRecStreamWriteError(t *testing.T) {
+	w := NewRecStream(&rwPair{Writer: failWriter{}}, 8)
+	err := w.EndRecord()
+	if err == nil {
+		t.Fatal("expected write error")
+	}
+	// The error is sticky.
+	if err2 := w.PutLong(1); err2 == nil {
+		t.Fatal("expected sticky error")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write(p []byte) (int, error) { return 0, errors.New("broken pipe") }
+
+func TestRecStreamSetPosUnsupported(t *testing.T) {
+	w := NewRecStream(&rwPair{Writer: io.Discard}, 8)
+	if err := w.SetPos(0); !errors.Is(err, ErrBadPos) {
+		t.Fatalf("err = %v, want ErrBadPos", err)
+	}
+}
+
+func TestRecStreamPos(t *testing.T) {
+	var wire bytes.Buffer
+	w := NewRecStream(&rwPair{Writer: &wire}, 8)
+	if w.Pos() != 0 {
+		t.Fatalf("initial pos = %d", w.Pos())
+	}
+	if err := w.PutLong(1); err != nil {
+		t.Fatal(err)
+	}
+	if w.Pos() != 4 {
+		t.Fatalf("pos after one long = %d, want 4", w.Pos())
+	}
+	// Crossing a fragment boundary keeps counting record bytes.
+	if err := w.PutLong(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.PutLong(3); err != nil {
+		t.Fatal(err)
+	}
+	if w.Pos() != 12 {
+		t.Fatalf("pos after three longs = %d, want 12", w.Pos())
+	}
+}
+
+func TestReadRecordBulk(t *testing.T) {
+	var wire bytes.Buffer
+	w := NewRecStream(&rwPair{Writer: &wire}, 16)
+	payload := make([]byte, 100)
+	for i := range payload {
+		payload[i] = byte(i * 3)
+	}
+	if err := w.PutBytes(payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.EndRecord(); err != nil {
+		t.Fatal(err)
+	}
+	// A second record to prove ReadRecord stops at the boundary.
+	if err := w.PutBytes([]byte("next")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.EndRecord(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewRecStream(&rwPair{Reader: &wire}, 16)
+	got, err := r.ReadRecord(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("record 1 = %v", got)
+	}
+	got, err = r.ReadRecord(got[:0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "next" {
+		t.Fatalf("record 2 = %q", got)
+	}
+}
+
+func TestReadRecordAppends(t *testing.T) {
+	var wire bytes.Buffer
+	w := NewRecStream(&rwPair{Writer: &wire}, 8)
+	if err := w.PutLong(7); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.EndRecord(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewRecStream(&rwPair{Reader: &wire}, 8)
+	prefix := []byte{0xaa, 0xbb}
+	got, err := r.ReadRecord(prefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 6 || got[0] != 0xaa || got[5] != 7 {
+		t.Fatalf("appended record = %v", got)
+	}
+}
