@@ -1,0 +1,32 @@
+# Mirrors .github/workflows/ci.yml: `make ci` runs exactly what CI runs.
+
+GO ?= go
+
+.PHONY: all build test race bench fmt vet ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Benchmark smoke run: one iteration of every benchmark, with allocation
+# counts, matching the CI step. For real numbers drop -benchtime=1x.
+bench:
+	$(GO) test -run=NONE -bench=. -benchtime=1x -benchmem ./...
+
+fmt:
+	@unformatted="$$(gofmt -l .)"; \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+ci: fmt vet build race bench

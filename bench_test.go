@@ -7,13 +7,64 @@ package specrpc
 // UDP round trip.
 
 import (
+	"errors"
 	"net"
 	"testing"
+	"time"
 
 	"specrpc/internal/bench"
+	"specrpc/internal/client"
 	"specrpc/internal/core"
+	"specrpc/internal/netsim"
 	"specrpc/internal/platform"
+	"specrpc/internal/server"
+	"specrpc/internal/xdr"
 )
+
+// TestEndToEndSmoke exercises one complete call through the real stack —
+// client, rpcmsg, xdr, server — over the simulated network, so the root
+// package contributes a test (not only benchmarks) to `go test ./...`.
+func TestEndToEndSmoke(t *testing.T) {
+	const (
+		prog = uint32(0x20000777)
+		vers = uint32(1)
+		proc = uint32(1)
+	)
+	s := server.New()
+	s.Register(prog, vers, proc, func(dec *xdr.XDR) (server.Marshal, error) {
+		var arr []int32
+		if err := xdr.Array(dec, &arr, xdr.NoSizeLimit, (*xdr.XDR).Long); err != nil {
+			return nil, errors.Join(server.ErrGarbageArgs, err)
+		}
+		var sum int32
+		for _, v := range arr {
+			sum += v
+		}
+		return func(enc *xdr.XDR) error { return enc.Long(&sum) }, nil
+	})
+	defer s.Close()
+
+	n := netsim.New()
+	ep := n.Attach("server")
+	go func() { _ = s.ServeUDP(ep) }()
+
+	c := client.NewUDP(n.Attach("client"), netsim.Addr("server"), client.Config{
+		Prog: prog, Vers: vers, Timeout: 5 * time.Second,
+	})
+	defer c.Close()
+
+	in := []int32{1, 2, 3, 4, 5}
+	var sum int32
+	err := c.Call(proc,
+		func(x *xdr.XDR) error { return xdr.Array(x, &in, xdr.NoSizeLimit, (*xdr.XDR).Long) },
+		func(x *xdr.XDR) error { return x.Long(&sum) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum != 15 {
+		t.Fatalf("sum = %d, want 15", sum)
+	}
+}
 
 func BenchmarkTable1ClientMarshaling(b *testing.B) {
 	for i := 0; i < b.N; i++ {

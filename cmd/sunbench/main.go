@@ -1,18 +1,22 @@
 // Command sunbench regenerates the paper's evaluation: Tables 1-4 and
 // the six panels of Figure 6, over the calibrated IPX/SunOS and PC/Linux
-// platform models.
+// platform models. It also measures the live concurrent transport in
+// throughput mode.
 //
 // Usage:
 //
-//	sunbench              # everything
-//	sunbench -table 1     # one table (1..4)
-//	sunbench -figure 6    # the Figure 6 panels
+//	sunbench                  # all paper tables and figures
+//	sunbench -table 1         # one table (1..4)
+//	sunbench -figure 6        # the Figure 6 panels
+//	sunbench -throughput      # live throughput over sim, udp, and tcp
+//	sunbench -throughput -transport tcp -clients 4 -depth 16 -calls 50000
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"specrpc/internal/bench"
 	"specrpc/internal/platform"
@@ -21,13 +25,58 @@ import (
 func main() {
 	table := flag.Int("table", 0, "print only this table (1..4)")
 	figure := flag.Int("figure", 0, "print only this figure (6)")
+	throughput := flag.Bool("throughput", false, "measure live transport throughput instead of the paper tables")
+	transports := flag.String("transport", "sim,udp,tcp", "comma-separated transports for -throughput")
+	clients := flag.Int("clients", 2, "concurrent connections for -throughput")
+	depth := flag.Int("depth", 8, "in-flight calls per connection for -throughput")
+	calls := flag.Int("calls", 20000, "total calls for -throughput")
+	size := flag.Int("size", 100, "echoed int32 array size for -throughput")
 	flag.Parse()
 
+	if *throughput {
+		if err := runThroughput(*transports, *clients, *depth, *calls, *size); err != nil {
+			fmt.Fprintln(os.Stderr, "sunbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	all := *table == 0 && *figure == 0
 	if err := run(all, *table, *figure); err != nil {
 		fmt.Fprintln(os.Stderr, "sunbench:", err)
 		os.Exit(1)
 	}
+}
+
+// runThroughput drives the concurrent transport: for each requested
+// transport, one single-caller baseline and one clients x depth run, so
+// the printed table shows the scaling, not just one point.
+func runThroughput(transports string, clients, depth, calls, size int) error {
+	var rows []bench.ThroughputResult
+	for _, tr := range strings.Split(transports, ",") {
+		tr = strings.TrimSpace(tr)
+		if tr == "" {
+			continue
+		}
+		configs := [][2]int{{1, 1}, {clients, depth}}
+		if clients == 1 && depth == 1 {
+			configs = configs[:1] // the requested run IS the baseline
+		}
+		for _, cfg := range configs {
+			// The concurrent run latches the server until `depth` handlers
+			// execute at once, so the InFlight column demonstrates (not
+			// merely samples) that the transport sustains the pipeline.
+			res, err := bench.Throughput(bench.ThroughputOptions{
+				Transport: tr, Clients: cfg[0], Depth: cfg[1],
+				Calls: calls, ArraySize: size, MinInFlight: cfg[1],
+			})
+			if err != nil {
+				return err
+			}
+			rows = append(rows, res)
+		}
+	}
+	fmt.Print(bench.FormatThroughput(rows))
+	return nil
 }
 
 func run(all bool, table, figure int) error {

@@ -1,0 +1,3 @@
+module specrpc
+
+go 1.22

@@ -1,0 +1,317 @@
+package bench
+
+// Throughput mode: where the paper's tables price one call through the
+// deterministic cost models, this harness drives the real concurrent
+// transport — many client goroutines multiplexed over few connections —
+// and measures sustained calls per second plus the peak number of
+// handler executions in flight on the server. Scaling is measured, not
+// asserted.
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"specrpc/internal/client"
+	"specrpc/internal/netsim"
+	"specrpc/internal/server"
+	"specrpc/internal/xdr"
+)
+
+// Load-test service identity (distinct from the paper's benchmark
+// program so the two harnesses never collide on a portmapper).
+const (
+	loadProg = uint32(0x20000531)
+	loadVers = uint32(1)
+	loadEcho = uint32(1)
+)
+
+// ThroughputOptions configures one throughput run.
+type ThroughputOptions struct {
+	// Transport selects the stack: "sim" (in-process netsim datagrams),
+	// "udp" (real loopback sockets), or "tcp" (one record-marked stream
+	// per client connection).
+	Transport string
+	// Clients is the number of connections (sockets). Default 1.
+	Clients int
+	// Depth is the number of goroutines issuing calls concurrently over
+	// each connection — the in-flight pipeline depth. Default 1.
+	Depth int
+	// Calls is the total number of calls across all goroutines.
+	// Default 1000.
+	Calls int
+	// ArraySize is the number of int32s echoed per call. Default 20.
+	ArraySize int
+	// MinInFlight, when positive, gates the server handler: the first
+	// calls block until MinInFlight handlers are running at once, then
+	// everything flows. It turns "the transport sustains N in-flight
+	// calls" into a deterministic property instead of a race: the run
+	// can only complete if the client really keeps that many calls
+	// outstanding. It is capped at Clients*Depth (more could never
+	// arrive, and would deadlock).
+	MinInFlight int
+	// Workers overrides the server worker bound (0 = server default).
+	Workers int
+}
+
+func (o *ThroughputOptions) fill() {
+	if o.Transport == "" {
+		o.Transport = "sim"
+	}
+	if o.Clients <= 0 {
+		o.Clients = 1
+	}
+	if o.Depth <= 0 {
+		o.Depth = 1
+	}
+	if o.Calls <= 0 {
+		o.Calls = 1000
+	}
+	if o.ArraySize <= 0 {
+		o.ArraySize = 20
+	}
+	if o.MinInFlight > o.Clients*o.Depth {
+		o.MinInFlight = o.Clients * o.Depth
+	}
+	if o.MinInFlight > o.Calls {
+		o.MinInFlight = o.Calls
+	}
+	// The gate needs the server to admit MinInFlight handlers at once;
+	// raise the worker bound if the default would be too small.
+	if o.MinInFlight > 0 && o.Workers < o.MinInFlight {
+		o.Workers = o.MinInFlight
+	}
+}
+
+// ThroughputResult is one measured configuration.
+type ThroughputResult struct {
+	Transport   string
+	Clients     int
+	Depth       int
+	Calls       int
+	ArraySize   int
+	Elapsed     time.Duration
+	CallsPerSec float64
+	// MaxInFlight is the peak number of concurrently executing handlers
+	// observed by the server-side gauge.
+	MaxInFlight int
+}
+
+// gauge counts concurrent handler executions and optionally latches the
+// first calls until `want` run at once.
+type gauge struct {
+	mu     sync.Mutex
+	cur    int
+	max    int
+	want   int
+	opened bool
+	open   chan struct{}
+}
+
+func newGauge(want int) *gauge {
+	g := &gauge{want: want, open: make(chan struct{})}
+	if want <= 0 {
+		g.opened = true
+		close(g.open)
+	}
+	return g
+}
+
+func (g *gauge) enter() {
+	g.mu.Lock()
+	g.cur++
+	if g.cur > g.max {
+		g.max = g.cur
+	}
+	if !g.opened && g.cur >= g.want {
+		g.opened = true
+		close(g.open)
+	}
+	g.mu.Unlock()
+	<-g.open
+}
+
+func (g *gauge) exit() {
+	g.mu.Lock()
+	g.cur--
+	g.mu.Unlock()
+}
+
+func (g *gauge) peak() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.max
+}
+
+// newLoadServer builds the echo server with the in-flight gauge wired in.
+func newLoadServer(g *gauge, opts ...server.Option) *server.Server {
+	s := server.New(opts...)
+	s.Register(loadProg, loadVers, loadEcho, func(dec *xdr.XDR) (server.Marshal, error) {
+		g.enter()
+		defer g.exit()
+		var arr []int32
+		if err := xdr.Array(dec, &arr, xdr.NoSizeLimit, (*xdr.XDR).Long); err != nil {
+			return nil, errors.Join(server.ErrGarbageArgs, err)
+		}
+		return func(enc *xdr.XDR) error {
+			return xdr.Array(enc, &arr, xdr.NoSizeLimit, (*xdr.XDR).Long)
+		}, nil
+	})
+	return s
+}
+
+func loadConfig(i int) client.Config {
+	return client.Config{
+		Prog: loadProg, Vers: loadVers,
+		Timeout:  30 * time.Second,
+		FirstXID: uint32(1 + i*1_000_000),
+	}
+}
+
+// Throughput runs one configuration and reports the measured rate.
+func Throughput(o ThroughputOptions) (ThroughputResult, error) {
+	o.fill()
+	g := newGauge(o.MinInFlight)
+	var srvOpts []server.Option
+	if o.Workers > 0 {
+		srvOpts = append(srvOpts, server.WithWorkers(o.Workers))
+	}
+	s := newLoadServer(g, srvOpts...)
+	defer s.Close()
+
+	// Registered before the transport switch so sockets already created
+	// are closed even when a later setup step errors out.
+	var callers []client.Caller
+	defer func() {
+		for _, c := range callers {
+			_ = c.Close()
+		}
+	}()
+	switch o.Transport {
+	case "sim":
+		n := netsim.New()
+		ep := n.Attach("server")
+		go func() { _ = s.ServeUDP(ep) }()
+		for i := 0; i < o.Clients; i++ {
+			ep := n.Attach(netsim.Addr(fmt.Sprintf("client-%d", i)))
+			callers = append(callers, client.NewUDP(ep, netsim.Addr("server"), loadConfig(i)))
+		}
+	case "udp":
+		pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+		if err != nil {
+			return ThroughputResult{}, fmt.Errorf("bench: loopback udp: %w", err)
+		}
+		// Closed here as well as by s.Close(): if setup errors out below,
+		// Close may run before the serve goroutine has registered pc with
+		// the server, which would leave the serve loop blocked forever.
+		defer pc.Close()
+		go func() { _ = s.ServeUDP(pc) }()
+		for i := 0; i < o.Clients; i++ {
+			cc, err := net.ListenPacket("udp", "127.0.0.1:0")
+			if err != nil {
+				return ThroughputResult{}, fmt.Errorf("bench: client socket: %w", err)
+			}
+			callers = append(callers, client.NewUDP(cc, pc.LocalAddr(), loadConfig(i)))
+		}
+	case "tcp":
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return ThroughputResult{}, fmt.Errorf("bench: loopback tcp: %w", err)
+		}
+		defer ln.Close() // see the udp case: double-close is harmless
+		go func() { _ = s.ServeTCP(ln) }()
+		for i := 0; i < o.Clients; i++ {
+			conn, err := net.Dial("tcp", ln.Addr().String())
+			if err != nil {
+				return ThroughputResult{}, fmt.Errorf("bench: dial: %w", err)
+			}
+			callers = append(callers, client.NewTCP(conn, loadConfig(i)))
+		}
+	default:
+		return ThroughputResult{}, fmt.Errorf("bench: unknown transport %q", o.Transport)
+	}
+
+	// Distribute o.Calls over Clients*Depth goroutines; a shared ticket
+	// counter keeps the total exact regardless of scheduling.
+	var tickets atomic.Int64
+	tickets.Store(int64(o.Calls))
+	var (
+		errMu    sync.Mutex
+		firstErr error
+	)
+	setErr := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+	var wg sync.WaitGroup
+	start := time.Now()
+	for ci := 0; ci < o.Clients; ci++ {
+		for d := 0; d < o.Depth; d++ {
+			wg.Add(1)
+			go func(c client.Caller) {
+				defer wg.Done()
+				in := make([]int32, o.ArraySize)
+				for i := range in {
+					in[i] = int32(i)
+				}
+				marshal := func(x *xdr.XDR) error {
+					return xdr.Array(x, &in, xdr.NoSizeLimit, (*xdr.XDR).Long)
+				}
+				for tickets.Add(-1) >= 0 {
+					var out []int32
+					unmarshal := func(x *xdr.XDR) error {
+						return xdr.Array(x, &out, xdr.NoSizeLimit, (*xdr.XDR).Long)
+					}
+					if err := c.Call(loadEcho, marshal, unmarshal); err != nil {
+						setErr(err)
+						return
+					}
+					if len(out) != o.ArraySize {
+						setErr(fmt.Errorf("bench: echo length %d, want %d", len(out), o.ArraySize))
+						return
+					}
+				}
+			}(callers[ci])
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	if firstErr != nil {
+		return ThroughputResult{}, firstErr
+	}
+	res := ThroughputResult{
+		Transport:   o.Transport,
+		Clients:     o.Clients,
+		Depth:       o.Depth,
+		Calls:       o.Calls,
+		ArraySize:   o.ArraySize,
+		Elapsed:     elapsed,
+		MaxInFlight: g.peak(),
+	}
+	if elapsed > 0 {
+		res.CallsPerSec = float64(o.Calls) / elapsed.Seconds()
+	}
+	return res, nil
+}
+
+// FormatThroughput renders a table of throughput results.
+func FormatThroughput(rows []ThroughputResult) string {
+	var sb strings.Builder
+	sb.WriteString("Throughput: concurrent clients x in-flight depth (echo of 4-byte ints)\n")
+	fmt.Fprintf(&sb, "%-9s %8s %6s %7s %6s %12s %12s %10s\n",
+		"Transport", "Clients", "Depth", "Calls", "N", "Elapsed", "Calls/s", "InFlight")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-9s %8d %6d %7d %6d %12s %12.0f %10d\n",
+			r.Transport, r.Clients, r.Depth, r.Calls, r.ArraySize,
+			r.Elapsed.Round(time.Millisecond), r.CallsPerSec, r.MaxInFlight)
+	}
+	return sb.String()
+}

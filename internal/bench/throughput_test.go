@@ -1,0 +1,114 @@
+package bench
+
+import (
+	"testing"
+)
+
+func TestThroughputSim(t *testing.T) {
+	res, err := Throughput(ThroughputOptions{
+		Transport: "sim", Clients: 2, Depth: 4, Calls: 200, ArraySize: 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Calls != 200 || res.CallsPerSec <= 0 {
+		t.Fatalf("result %+v", res)
+	}
+	if res.MaxInFlight < 1 {
+		t.Fatalf("MaxInFlight = %d", res.MaxInFlight)
+	}
+}
+
+func TestThroughputTCPSustainsInFlightDepth(t *testing.T) {
+	// The acceptance gate of the multiplexed transport: with 8 callers
+	// pipelining over ONE connection, the run can only finish if at
+	// least 4 calls are genuinely in flight at once (the server latches
+	// the first handlers until 4 run concurrently).
+	res, err := Throughput(ThroughputOptions{
+		Transport: "tcp", Clients: 1, Depth: 8, Calls: 200, ArraySize: 100,
+		MinInFlight: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxInFlight < 4 {
+		t.Fatalf("MaxInFlight = %d, want >= 4", res.MaxInFlight)
+	}
+}
+
+func TestThroughputUDPLoopback(t *testing.T) {
+	res, err := Throughput(ThroughputOptions{
+		Transport: "udp", Clients: 1, Depth: 8, Calls: 200, ArraySize: 20,
+		MinInFlight: 4,
+	})
+	if err != nil {
+		t.Skipf("loopback UDP unavailable: %v", err)
+	}
+	if res.MaxInFlight < 4 {
+		t.Fatalf("MaxInFlight = %d, want >= 4", res.MaxInFlight)
+	}
+}
+
+func TestThroughputSimMultiClientFullLatch(t *testing.T) {
+	// Regression: the datagram worker pool must be able to admit
+	// Clients*Depth concurrent handlers no matter how the clients' XIDs
+	// map onto workers. An earlier XID-sharded pool collapsed multiple
+	// clients onto the same shards (the bench FirstXID stride divides
+	// every power-of-two worker count) and deadlocked this latch.
+	res, err := Throughput(ThroughputOptions{
+		Transport: "sim", Clients: 2, Depth: 8, Calls: 64, ArraySize: 20,
+		MinInFlight: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxInFlight < 16 {
+		t.Fatalf("MaxInFlight = %d, want >= 16", res.MaxInFlight)
+	}
+}
+
+func TestThroughputRejectsUnknownTransport(t *testing.T) {
+	if _, err := Throughput(ThroughputOptions{Transport: "carrier-pigeon"}); err == nil {
+		t.Fatal("expected error for unknown transport")
+	}
+}
+
+func TestFormatThroughput(t *testing.T) {
+	res, err := Throughput(ThroughputOptions{Transport: "sim", Calls: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FormatThroughput([]ThroughputResult{res})
+	if len(out) == 0 || out[len(out)-1] != '\n' {
+		t.Fatalf("format output %q", out)
+	}
+}
+
+func benchThroughput(b *testing.B, transport string, clients, depth int) {
+	b.ReportAllocs()
+	calls := b.N
+	if calls < clients*depth {
+		calls = clients * depth
+	}
+	// Latch the server until clients*depth handlers run at once, so the
+	// reported max_inflight metric is the sustained pipeline depth, not a
+	// race against a fast echo handler.
+	res, err := Throughput(ThroughputOptions{
+		Transport: transport, Clients: clients, Depth: depth,
+		Calls: calls, ArraySize: 100, MinInFlight: clients * depth,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(res.CallsPerSec, "calls/s")
+	b.ReportMetric(float64(res.MaxInFlight), "max_inflight")
+}
+
+func BenchmarkThroughputTCPDepth1(b *testing.B)  { benchThroughput(b, "tcp", 1, 1) }
+func BenchmarkThroughputTCPDepth4(b *testing.B)  { benchThroughput(b, "tcp", 1, 4) }
+func BenchmarkThroughputTCPDepth16(b *testing.B) { benchThroughput(b, "tcp", 1, 16) }
+func BenchmarkThroughputTCPScaleOut(b *testing.B) {
+	benchThroughput(b, "tcp", 4, 8)
+}
+func BenchmarkThroughputSimDepth8(b *testing.B) { benchThroughput(b, "sim", 1, 8) }
+func BenchmarkThroughputUDPDepth8(b *testing.B) { benchThroughput(b, "udp", 1, 8) }

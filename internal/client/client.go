@@ -1,8 +1,17 @@
 // Package client implements the client half of Sun RPC: the Go rendering
-// of clnt_udp.c and clnt_tcp.c. A Client owns a transport, assigns XIDs,
-// marshals the call header and arguments, retransmits over datagram
-// transports, and decodes the reply header before handing the result
-// stream to the caller's unmarshaler.
+// of clnt_udp.c and clnt_tcp.c, extended with a concurrent multiplexed
+// transport. A Client owns a transport, assigns XIDs atomically, marshals
+// the call header and arguments into pooled buffers, retransmits over
+// datagram transports, and decodes the reply header before handing the
+// result stream to the caller's unmarshaler.
+//
+// Unlike the original one-call-at-a-time clients, both transports allow
+// many in-flight calls per connection: a single reader goroutine
+// demultiplexes replies on their XID and routes each to the per-call
+// channel registered by the issuing goroutine. Call is therefore safe —
+// and useful — to invoke from many goroutines at once: over TCP the call
+// records are pipelined onto one record-marked stream, and over datagram
+// transports each call retransmits independently.
 //
 // Argument and result marshalers are pluggable (the Marshal type), which
 // is what lets the benchmark harness swap the generic micro-layered stubs
@@ -13,9 +22,10 @@ package client
 import (
 	"errors"
 	"fmt"
+	"io"
 	"net"
-	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"specrpc/internal/rpcmsg"
@@ -81,7 +91,8 @@ type Config struct {
 	// wait argument). Default 500ms. Ignored over TCP.
 	Retransmit time.Duration
 	// BufSize is the marshaling buffer size. Default 8900 bytes (UDPMSGSIZE
-	// was 8800 in the original; we round up for headers).
+	// was 8800 in the original; we round up for headers). Over TCP it is
+	// only the initial buffer size: records grow as needed.
 	BufSize int
 	// FirstXID seeds the transaction-id sequence; 0 derives one from the
 	// clock, as gettimeofday did in clntudp_create.
@@ -106,120 +117,182 @@ func (c *Config) fill() {
 	}
 }
 
-// UDP is a datagram client (CLIENT from clntudp_create): unreliable
-// transport, at-least-once semantics via retransmission, reply matched to
-// request by XID.
-type UDP struct {
-	cfg    Config
-	conn   net.PacketConn
-	server net.Addr
+// ---------------------------------------------------------------------------
+// Reply demultiplexer
 
-	mu      sync.Mutex
-	xid     uint32
-	sendBuf []byte
-	recvBuf []byte
-	closed  bool
+// demux routes reply buffers from the transport's reader goroutine to the
+// per-call channels registered by issuing goroutines, keyed on XID. It is
+// the concurrency core shared by both transports.
+type demux struct {
+	mu    sync.Mutex
+	calls map[uint32]chan *[]byte
+	err   error         // terminal transport error; set once
+	done  chan struct{} // closed when err is set
 }
 
-// NewUDP returns a client sending calls for cfg.Prog/cfg.Vers to server
-// over conn. The caller retains ownership of conn's lifetime via Close.
-func NewUDP(conn net.PacketConn, server net.Addr, cfg Config) *UDP {
-	cfg.fill()
-	return &UDP{
-		cfg:     cfg,
-		conn:    conn,
-		server:  server,
-		xid:     cfg.FirstXID,
-		sendBuf: make([]byte, cfg.BufSize),
-		recvBuf: make([]byte, cfg.BufSize),
-	}
+func newDemux() *demux {
+	return &demux{calls: make(map[uint32]chan *[]byte), done: make(chan struct{})}
 }
 
-// Call performs one remote procedure call: marshal header + args, send,
-// await the XID-matched reply (retransmitting every cfg.Retransmit), then
-// decode the results with reply. It is safe for concurrent use; calls are
-// serialized as in the original one-socket client.
-func (c *UDP) Call(proc uint32, args, reply Marshal) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.closed {
-		return ErrClosed
+// register installs a reply channel for xid. The channel stays registered
+// until unregister, so duplicate replies and ill-formed datagrams can be
+// absorbed without losing the slot.
+func (d *demux) register(xid uint32) (chan *[]byte, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.err != nil {
+		return nil, d.err
 	}
-	c.xid++
-	xid := c.xid
+	ch := make(chan *[]byte, 1)
+	d.calls[xid] = ch
+	return ch, nil
+}
 
-	// Marshal call header and arguments into the send buffer. This is the
-	// paper's Figure 1 encoding path.
-	mem := xdr.NewMemEncode(c.sendBuf)
-	enc := xdr.NewEncoder(mem)
-	hdr := rpcmsg.CallHeader{
-		XID: xid, Prog: c.cfg.Prog, Vers: c.cfg.Vers, Proc: proc,
-		Cred: c.cfg.Cred, Verf: rpcmsg.None(),
-	}
-	if err := hdr.Marshal(enc); err != nil {
-		return fmt.Errorf("client: marshal call header: %w", err)
-	}
-	if err := args(enc); err != nil {
-		return fmt.Errorf("client: marshal args: %w", err)
-	}
-	request := mem.Buffer()
-
-	deadline := time.Now().Add(c.cfg.Timeout)
-	for {
-		if _, err := c.conn.WriteTo(request, c.server); err != nil {
-			return fmt.Errorf("client: send: %w", err)
-		}
-		retry := time.Now().Add(c.cfg.Retransmit)
-		if retry.After(deadline) {
-			retry = deadline
-		}
-		switch err := c.awaitReply(xid, retry, reply); {
-		case err == nil:
-			return nil
-		case errors.Is(err, errRetry):
-			if !time.Now().Before(deadline) {
-				return ErrTimeout
-			}
-			// Loop: retransmit.
+// unregister removes the slot and reclaims any undelivered reply buffer.
+func (d *demux) unregister(xid uint32) {
+	d.mu.Lock()
+	ch := d.calls[xid]
+	delete(d.calls, xid)
+	d.mu.Unlock()
+	if ch != nil {
+		select {
+		case bp := <-ch:
+			xdr.PutBuf(bp)
 		default:
-			return err
 		}
 	}
 }
 
-// errRetry signals the retransmission loop to resend.
-var errRetry = errors.New("retry")
+// deliver hands a pooled reply buffer to the call waiting on xid. It
+// reports false — and the caller keeps ownership of bp — when no call
+// waits on that xid or its channel is already full (a stale or duplicate
+// reply, dropped exactly as clntudp_call dropped mismatched XIDs).
+func (d *demux) deliver(xid uint32, bp *[]byte) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ch, ok := d.calls[xid]
+	if !ok {
+		return false
+	}
+	select {
+	case ch <- bp:
+		return true
+	default:
+		return false
+	}
+}
 
-// awaitReply reads datagrams until one carries the expected XID or the
-// retry deadline passes. Mismatched XIDs (stale retransmission replies)
-// are discarded exactly as in clntudp_call.
-func (c *UDP) awaitReply(xid uint32, retry time.Time, reply Marshal) error {
-	for {
-		if err := c.conn.SetReadDeadline(retry); err != nil {
-			return fmt.Errorf("client: set deadline: %w", err)
-		}
-		n, _, err := c.conn.ReadFrom(c.recvBuf)
-		if err != nil {
-			if errors.Is(err, os.ErrDeadlineExceeded) {
-				return errRetry
-			}
-			return fmt.Errorf("client: recv: %w", err)
-		}
-		dec := xdr.NewDecoder(xdr.NewMemDecode(c.recvBuf[:n]))
-		var rh rpcmsg.ReplyHeader
-		if err := rh.Marshal(dec); err != nil {
-			continue // ill-formed datagram: ignore, keep waiting
-		}
-		if rh.XID != xid {
-			continue // stale reply to an earlier transmission
-		}
-		if err := checkReply(&rh); err != nil {
-			return err
-		}
-		if err := reply(dec); err != nil {
-			return fmt.Errorf("client: unmarshal results: %w", err)
-		}
+// fail records the terminal transport error and wakes every waiter. Only
+// the first error sticks.
+func (d *demux) fail(err error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.err == nil {
+		d.err = err
+		close(d.done)
+	}
+}
+
+func (d *demux) error() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.err
+}
+
+// lifecycle is the close state machine shared by both transports.
+type lifecycle struct {
+	mu     sync.Mutex
+	closed bool
+}
+
+func (l *lifecycle) isClosed() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.closed
+}
+
+// closeOnce performs the shared close sequence: mark closed, close the
+// underlying connection (which stops the reader goroutine), then fail
+// in-flight calls with ErrClosed. Repeat closes are no-ops.
+func (l *lifecycle) closeOnce(conn io.Closer, dmx *demux) error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
 		return nil
+	}
+	l.closed = true
+	l.mu.Unlock()
+	err := conn.Close()
+	dmx.fail(ErrClosed)
+	return err
+}
+
+// ---------------------------------------------------------------------------
+// Shared call-side helpers
+
+// marshalCall encodes the call header and arguments into a pooled buffer.
+// The returned buffer must go back via xdr.PutBuf.
+func marshalCall(cfg *Config, xid, proc uint32, args Marshal) (*[]byte, error) {
+	bp := xdr.GetBuf(cfg.BufSize)
+	bs := xdr.NewBufEncode(*bp)
+	enc := xdr.NewEncoder(bs)
+	hdr := rpcmsg.CallHeader{
+		XID: xid, Prog: cfg.Prog, Vers: cfg.Vers, Proc: proc,
+		Cred: cfg.Cred, Verf: rpcmsg.None(),
+	}
+	err := hdr.Marshal(enc)
+	if err != nil {
+		err = fmt.Errorf("client: marshal call header: %w", err)
+	} else if err = args(enc); err != nil {
+		err = fmt.Errorf("client: marshal args: %w", err)
+	}
+	*bp = bs.Buffer() // keep any growth pooled
+	if err != nil {
+		xdr.PutBuf(bp)
+		return nil, err
+	}
+	return bp, nil
+}
+
+// errIllFormed marks a reply buffer whose header failed to decode; over a
+// datagram transport the call keeps waiting, as clntudp_call ignored
+// undecodable datagrams. It only surfaces wrapped (stream transports
+// treat it as fatal), so it carries no "client:" prefix of its own.
+var errIllFormed = errors.New("ill-formed reply header")
+
+// decodeReply interprets one complete reply message and runs the caller's
+// result unmarshaler.
+func decodeReply(raw []byte, reply Marshal) error {
+	dec := xdr.NewDecoder(xdr.NewMemDecode(raw))
+	var rh rpcmsg.ReplyHeader
+	if err := rh.Marshal(dec); err != nil {
+		return errIllFormed
+	}
+	if err := checkReply(&rh); err != nil {
+		return err
+	}
+	if err := reply(dec); err != nil {
+		return fmt.Errorf("client: unmarshal results: %w", err)
+	}
+	return nil
+}
+
+// drainReply makes a last non-blocking check of the reply channel before
+// Call returns a transport error or timeout. The reader goroutine may have
+// delivered a valid reply in the same instant the connection failed, and
+// select picks among ready arms at random, so without this a call could
+// discard its own answer. Reports true when a decodable reply was found.
+func drainReply(ch chan *[]byte, reply Marshal) (bool, error) {
+	select {
+	case bp := <-ch:
+		err := decodeReply(*bp, reply)
+		xdr.PutBuf(bp)
+		if errors.Is(err, errIllFormed) {
+			return false, nil
+		}
+		return true, err
+	default:
+		return false, nil
 	}
 }
 
@@ -236,99 +309,290 @@ func checkReply(rh *rpcmsg.ReplyHeader) error {
 	}
 }
 
-// Close releases the client and its socket.
-func (c *UDP) Close() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.closed {
-		return nil
-	}
-	c.closed = true
-	return c.conn.Close()
+// ---------------------------------------------------------------------------
+// UDP
+
+// UDP is a datagram client (CLIENT from clntudp_create): unreliable
+// transport, at-least-once semantics via retransmission, reply matched to
+// request by XID. Any number of goroutines may Call concurrently; each
+// call retransmits independently while a shared reader goroutine routes
+// replies.
+type UDP struct {
+	cfg    Config
+	conn   net.PacketConn
+	server net.Addr
+
+	xid    atomic.Uint32
+	dmx    *demux
+	reader sync.Once
+	life   lifecycle
 }
 
+// NewUDP returns a client sending calls for cfg.Prog/cfg.Vers to server
+// over conn. The caller retains ownership of conn's lifetime via Close.
+func NewUDP(conn net.PacketConn, server net.Addr, cfg Config) *UDP {
+	cfg.fill()
+	c := &UDP{cfg: cfg, conn: conn, server: server, dmx: newDemux()}
+	c.xid.Store(cfg.FirstXID)
+	return c
+}
+
+// Call performs one remote procedure call: marshal header + args, send,
+// await the XID-matched reply (retransmitting every cfg.Retransmit), then
+// decode the results with reply. It is safe for concurrent use; unlike
+// the original one-socket client, concurrent calls proceed in parallel
+// and replies may arrive in any order.
+func (c *UDP) Call(proc uint32, args, reply Marshal) error {
+	if c.isClosed() {
+		return ErrClosed
+	}
+	c.reader.Do(func() { go c.readLoop() })
+
+	xid := c.xid.Add(1)
+	ch, err := c.dmx.register(xid)
+	if err != nil {
+		return err
+	}
+	defer c.dmx.unregister(xid)
+
+	req, err := marshalCall(&c.cfg, xid, proc, args)
+	if err != nil {
+		return err
+	}
+	defer xdr.PutBuf(req)
+	if len(*req) > c.cfg.BufSize {
+		// The growable marshal buffer fits any request, but a datagram
+		// transport must still bound it: reject client-side, as the
+		// original fixed-buffer client did with a marshal overflow.
+		return fmt.Errorf("client: marshal args: %w (request %d bytes exceeds datagram buffer %d)",
+			xdr.ErrOverflow, len(*req), c.cfg.BufSize)
+	}
+
+	if err := c.send(*req); err != nil {
+		return err
+	}
+	overall := time.NewTimer(c.cfg.Timeout)
+	defer overall.Stop()
+	retrans := time.NewTimer(c.cfg.Retransmit)
+	defer retrans.Stop()
+	for {
+		select {
+		case bp := <-ch:
+			err := decodeReply(*bp, reply)
+			xdr.PutBuf(bp)
+			if errors.Is(err, errIllFormed) {
+				continue // undecodable datagram: ignore, keep waiting
+			}
+			return err
+		case <-retrans.C:
+			if err := c.send(*req); err != nil {
+				if ok, derr := drainReply(ch, reply); ok {
+					return derr
+				}
+				return err
+			}
+			retrans.Reset(c.cfg.Retransmit)
+		case <-overall.C:
+			if ok, err := drainReply(ch, reply); ok {
+				return err
+			}
+			return ErrTimeout
+		case <-c.dmx.done:
+			if ok, err := drainReply(ch, reply); ok {
+				return err
+			}
+			return c.dmx.error()
+		}
+	}
+}
+
+func (c *UDP) send(req []byte) error {
+	if _, err := c.conn.WriteTo(req, c.server); err != nil {
+		if c.isClosed() {
+			return ErrClosed
+		}
+		return fmt.Errorf("client: send: %w", err)
+	}
+	return nil
+}
+
+// maxConsecReadErrs bounds how many back-to-back datagram read errors the
+// reader tolerates before declaring the socket dead.
+const maxConsecReadErrs = 64
+
+// readLoop is the demultiplexer: it owns the socket's read side, peeks
+// the XID of each datagram, and hands the pooled buffer to the matching
+// call. It exits when the socket is closed or persistently failing.
+func (c *UDP) readLoop() {
+	consecErrs := 0
+	for {
+		bp := xdr.GetBuf(c.cfg.BufSize)
+		// Read into exactly BufSize bytes: recycled pool buffers may be
+		// larger, and the datagram size bound must not vary with them.
+		buf := (*bp)[:c.cfg.BufSize]
+		n, _, err := c.conn.ReadFrom(buf)
+		if err != nil {
+			xdr.PutBuf(bp)
+			if c.isClosed() || errors.Is(err, net.ErrClosed) {
+				c.dmx.fail(ErrClosed)
+				return
+			}
+			// Datagram read errors are usually per-packet (e.g. an ICMP
+			// port-unreachable surfaced on read after a send to a briefly
+			// down server): keep reading so one transient error does not
+			// brick the client — calls keep retransmitting meanwhile. A
+			// persistent error stream means the socket is dead; fail every
+			// call rather than spinning forever.
+			if consecErrs++; consecErrs >= maxConsecReadErrs {
+				c.dmx.fail(fmt.Errorf("client: recv: %w", err))
+				return
+			}
+			continue
+		}
+		consecErrs = 0
+		*bp = buf[:n]
+		xid, ok := rpcmsg.PeekXID(*bp)
+		if !ok || !c.dmx.deliver(xid, bp) {
+			xdr.PutBuf(bp) // stale or duplicate reply: discard
+		}
+	}
+}
+
+func (c *UDP) isClosed() bool { return c.life.isClosed() }
+
+// Close releases the client and its socket. In-flight calls fail with
+// ErrClosed.
+func (c *UDP) Close() error { return c.life.closeOnce(c.conn, c.dmx) }
+
+// ---------------------------------------------------------------------------
+// TCP
+
 // TCP is a connection-oriented client (clnttcp_create): reliable
-// transport, record-marked stream, no retransmission.
+// transport, record-marked stream, no retransmission. Calls from many
+// goroutines are pipelined onto the single connection: requests are
+// written back to back and a reader goroutine routes each reply record to
+// its call by XID, so replies may be consumed out of order.
 type TCP struct {
 	cfg  Config
 	conn net.Conn
 
-	mu     sync.Mutex
-	xid    uint32
-	rec    *xdr.RecStream
-	closed bool
+	xid    atomic.Uint32
+	dmx    *demux
+	reader sync.Once
+	life   lifecycle
+
+	wmu  sync.Mutex // serializes record writes onto the stream
+	wrec *xdr.RecStream
 }
 
 // NewTCP returns a client issuing calls over the established connection.
 func NewTCP(conn net.Conn, cfg Config) *TCP {
 	cfg.fill()
-	return &TCP{cfg: cfg, conn: conn, xid: cfg.FirstXID, rec: xdr.NewRecStream(conn, 0)}
+	c := &TCP{cfg: cfg, conn: conn, dmx: newDemux(), wrec: xdr.NewRecStream(conn, 0)}
+	c.xid.Store(cfg.FirstXID)
+	return c
 }
 
-// Call performs one call over the stream: one record out, one record back.
+// Call performs one call over the stream: one record out, one record
+// back, with the wait multiplexed so concurrent calls share the
+// connection. The arguments are marshaled into a pooled buffer outside
+// the write lock, so slow marshaling never blocks other senders.
 func (c *TCP) Call(proc uint32, args, reply Marshal) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.closed {
+	if c.isClosed() {
 		return ErrClosed
 	}
-	c.xid++
-	xid := c.xid
+	c.reader.Do(func() { go c.readLoop() })
 
-	enc := xdr.NewEncoder(c.rec)
-	hdr := rpcmsg.CallHeader{
-		XID: xid, Prog: c.cfg.Prog, Vers: c.cfg.Vers, Proc: proc,
-		Cred: c.cfg.Cred, Verf: rpcmsg.None(),
+	xid := c.xid.Add(1)
+	ch, err := c.dmx.register(xid)
+	if err != nil {
+		return err
 	}
-	if err := hdr.Marshal(enc); err != nil {
-		return fmt.Errorf("client: marshal call header: %w", err)
+	defer c.dmx.unregister(xid)
+
+	req, err := marshalCall(&c.cfg, xid, proc, args)
+	if err != nil {
+		return err
 	}
-	if err := args(enc); err != nil {
-		return fmt.Errorf("client: marshal args: %w", err)
+	c.wmu.Lock()
+	// The write deadline bounds a record write to a peer that stopped
+	// reading; without it the caller (and everyone queued on wmu) would
+	// hang past Config.Timeout with its timer never even started.
+	werr := c.conn.SetWriteDeadline(time.Now().Add(c.cfg.Timeout))
+	if werr == nil {
+		werr = c.wrec.PutBytes(*req)
 	}
-	if err := c.rec.EndRecord(); err != nil {
-		return fmt.Errorf("client: send record: %w", err)
+	if werr == nil {
+		werr = c.wrec.EndRecord()
+	}
+	c.wmu.Unlock()
+	xdr.PutBuf(req)
+	if werr != nil {
+		if c.isClosed() {
+			return ErrClosed
+		}
+		werr = fmt.Errorf("client: send record: %w", werr)
+		// A failed or timed-out write leaves the record framing unusable
+		// for every call sharing the stream; fail the transport so they
+		// unblock now instead of waiting out their reply timeouts.
+		c.dmx.fail(werr)
+		_ = c.conn.Close()
+		return werr
 	}
 
-	if err := c.conn.SetReadDeadline(time.Now().Add(c.cfg.Timeout)); err != nil {
-		return fmt.Errorf("client: set deadline: %w", err)
-	}
-	dec := xdr.NewDecoder(c.rec)
-	for {
-		var rh rpcmsg.ReplyHeader
-		if err := rh.Marshal(dec); err != nil {
-			if errors.Is(err, os.ErrDeadlineExceeded) {
-				return ErrTimeout
-			}
+	overall := time.NewTimer(c.cfg.Timeout)
+	defer overall.Stop()
+	select {
+	case bp := <-ch:
+		err := decodeReply(*bp, reply)
+		xdr.PutBuf(bp)
+		if errors.Is(err, errIllFormed) {
 			return fmt.Errorf("client: read reply: %w", err)
 		}
-		if rh.XID != xid {
-			if err := c.rec.SkipRecord(); err != nil {
-				return fmt.Errorf("client: skip stale record: %w", err)
-			}
-			continue
-		}
-		if err := checkReply(&rh); err != nil {
-			_ = c.rec.SkipRecord()
+		return err
+	case <-overall.C:
+		if ok, err := drainReply(ch, reply); ok {
 			return err
 		}
-		if err := reply(dec); err != nil {
-			return fmt.Errorf("client: unmarshal results: %w", err)
+		return ErrTimeout
+	case <-c.dmx.done:
+		if ok, err := drainReply(ch, reply); ok {
+			return err
 		}
-		return c.rec.SkipRecord()
+		return c.dmx.error()
 	}
 }
 
-// Close releases the client and its connection.
-func (c *TCP) Close() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.closed {
-		return nil
+// readLoop owns the connection's read side: it slurps one reply record at
+// a time into a pooled buffer and routes it by XID. Records for XIDs with
+// no waiter (e.g. replies arriving after a call timed out) are dropped.
+func (c *TCP) readLoop() {
+	rrec := xdr.NewRecStream(c.conn, 0)
+	for {
+		bp := xdr.GetBuf(c.cfg.BufSize)
+		rec, err := rrec.ReadRecord((*bp)[:0])
+		*bp = rec
+		if err != nil {
+			xdr.PutBuf(bp)
+			if c.isClosed() {
+				c.dmx.fail(ErrClosed)
+			} else {
+				c.dmx.fail(fmt.Errorf("client: read reply: %w", err))
+			}
+			return
+		}
+		xid, ok := rpcmsg.PeekXID(rec)
+		if !ok || !c.dmx.deliver(xid, bp) {
+			xdr.PutBuf(bp) // stale record (timed-out call): discard
+		}
 	}
-	c.closed = true
-	return c.conn.Close()
 }
+
+func (c *TCP) isClosed() bool { return c.life.isClosed() }
+
+// Close releases the client and its connection. In-flight calls fail with
+// ErrClosed.
+func (c *TCP) Close() error { return c.life.closeOnce(c.conn, c.dmx) }
 
 // Caller is the interface satisfied by both transports; generated stubs
 // are written against it.

@@ -94,7 +94,8 @@ type Endpoint struct {
 
 	mu       sync.Mutex
 	queue    []packet
-	arrived  chan struct{} // pulsed on delivery
+	notify   chan struct{} // closed and replaced to broadcast state changes
+	waiters  int           // readers blocked on notify
 	closed   bool
 	deadline time.Time
 }
@@ -108,7 +109,7 @@ var _ net.PacketConn = (*Endpoint)(nil)
 
 // Attach creates (or replaces) the endpoint named addr.
 func (n *Network) Attach(addr Addr) *Endpoint {
-	ep := &Endpoint{net: n, addr: addr, arrived: make(chan struct{}, 1)}
+	ep := &Endpoint{net: n, addr: addr, notify: make(chan struct{})}
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.endpoints[addr] = ep
@@ -184,11 +185,22 @@ func (e *Endpoint) enqueue(p packet) {
 		return
 	}
 	e.queue = append(e.queue, p)
+	e.broadcastLocked()
 	e.mu.Unlock()
-	select {
-	case e.arrived <- struct{}{}:
-	default:
+}
+
+// broadcastLocked wakes every blocked reader by closing the current
+// notify channel and installing a fresh one. Closing reaches all waiters
+// at once, unlike a single pulse, so any number of goroutines may block
+// in ReadFrom on the same endpoint. With no waiters there is no one to
+// wake, so the channel is kept — rotating it would cost an allocation on
+// every delivered packet.
+func (e *Endpoint) broadcastLocked() {
+	if e.waiters == 0 {
+		return
 	}
+	close(e.notify)
+	e.notify = make(chan struct{})
 }
 
 func (e *Endpoint) isClosed() bool {
@@ -198,7 +210,9 @@ func (e *Endpoint) isClosed() bool {
 }
 
 // ReadFrom blocks for the next datagram, honouring the read deadline.
-// Oversized datagrams are truncated to len(p), as with UDP sockets.
+// Oversized datagrams are truncated to len(p), as with UDP sockets. Any
+// number of goroutines may read concurrently; each datagram is delivered
+// to exactly one of them.
 func (e *Endpoint) ReadFrom(p []byte) (int, net.Addr, error) {
 	for {
 		e.mu.Lock()
@@ -213,25 +227,39 @@ func (e *Endpoint) ReadFrom(p []byte) (int, net.Addr, error) {
 			n := copy(p, pkt.payload)
 			return n, pkt.from, nil
 		}
+		wait := e.notify
 		deadline := e.deadline
+		e.waiters++
 		e.mu.Unlock()
 
 		var timeout <-chan time.Time
+		var timer *time.Timer
 		if !deadline.IsZero() {
 			remain := time.Until(deadline)
 			if remain <= 0 {
+				e.doneWaiting()
 				return 0, nil, os.ErrDeadlineExceeded
 			}
-			timer := time.NewTimer(remain)
+			timer = time.NewTimer(remain)
 			timeout = timer.C
-			defer timer.Stop()
 		}
 		select {
-		case <-e.arrived:
+		case <-wait:
+			if timer != nil {
+				timer.Stop()
+			}
 		case <-timeout:
+			e.doneWaiting()
 			return 0, nil, os.ErrDeadlineExceeded
 		}
+		e.doneWaiting()
 	}
+}
+
+func (e *Endpoint) doneWaiting() {
+	e.mu.Lock()
+	e.waiters--
+	e.mu.Unlock()
 }
 
 // Close detaches the endpoint; pending and future reads fail.
@@ -242,11 +270,8 @@ func (e *Endpoint) Close() error {
 		return nil
 	}
 	e.closed = true
+	e.broadcastLocked()
 	e.mu.Unlock()
-	select {
-	case e.arrived <- struct{}{}:
-	default:
-	}
 	e.net.mu.Lock()
 	delete(e.net.endpoints, e.addr)
 	e.net.mu.Unlock()
@@ -261,11 +286,8 @@ func (e *Endpoint) SetReadDeadline(t time.Time) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.deadline = t
-	// Wake a blocked reader so it re-evaluates the deadline.
-	select {
-	case e.arrived <- struct{}{}:
-	default:
-	}
+	// Wake blocked readers so they re-evaluate the deadline.
+	e.broadcastLocked()
 	return nil
 }
 

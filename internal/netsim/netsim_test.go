@@ -3,7 +3,9 @@ package netsim
 import (
 	"bytes"
 	"errors"
+	"fmt"
 	"os"
+	"sync"
 	"testing"
 	"time"
 )
@@ -219,5 +221,55 @@ func TestAddr(t *testing.T) {
 	a := Addr("ep1")
 	if a.Network() != "sim" || a.String() != "ep1" {
 		t.Fatalf("addr methods: %q %q", a.Network(), a.String())
+	}
+}
+
+func TestConcurrentReadersEachGetOneDatagram(t *testing.T) {
+	// Several goroutines blocked in ReadFrom on one endpoint must each be
+	// woken and receive exactly one datagram: the broadcast wakeup must
+	// not lose readers the way a single pulse would.
+	n := New()
+	rx := n.Attach("rx")
+	tx := n.Attach("tx")
+
+	const readers = 8
+	got := make(chan byte, readers)
+	errs := make(chan error, readers)
+	var wg sync.WaitGroup
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := make([]byte, 16)
+			nr, _, err := rx.ReadFrom(buf)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if nr != 1 {
+				errs <- fmt.Errorf("read %d bytes, want 1", nr)
+				return
+			}
+			got <- buf[0]
+		}()
+	}
+	// Give readers a moment to block, then send one datagram per reader.
+	time.Sleep(10 * time.Millisecond)
+	for i := 0; i < readers; i++ {
+		if _, err := tx.WriteTo([]byte{byte(i)}, Addr("rx")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	seen := make(map[byte]bool)
+	for i := 0; i < readers; i++ {
+		seen[<-got] = true
+	}
+	if len(seen) != readers {
+		t.Fatalf("readers saw %d distinct datagrams, want %d", len(seen), readers)
 	}
 }

@@ -192,6 +192,17 @@ func DecodeSysCred(a OpaqueAuth) (*SysCred, error) {
 	return &c, nil
 }
 
+// PeekXID extracts the leading transaction id of a marshaled call or
+// reply without building a decoder. Both the client demultiplexer and the
+// server duplicate-request cache route messages on the XID before any
+// header decoding happens, so this stays on the hot path.
+func PeekXID(b []byte) (uint32, bool) {
+	if len(b) < 4 {
+		return 0, false
+	}
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3]), true
+}
+
 // CallHeader is the fixed prefix of a call message: everything up to (not
 // including) the procedure arguments. Marshaling it is the "write
 // procedure identifier" step of the paper's Figure 1 trace.

@@ -229,3 +229,19 @@ func TestAcceptStatString(t *testing.T) {
 		t.Fatalf("got %q", AcceptStat(42).String())
 	}
 }
+
+func TestPeekXID(t *testing.T) {
+	h := CallHeader{XID: 0xdeadbeef, Prog: 1, Vers: 1, Proc: 1, Cred: None(), Verf: None()}
+	buf := make([]byte, 256)
+	m := xdr.NewMemEncode(buf)
+	if err := h.Marshal(xdr.NewEncoder(m)); err != nil {
+		t.Fatal(err)
+	}
+	xid, ok := PeekXID(m.Buffer())
+	if !ok || xid != 0xdeadbeef {
+		t.Fatalf("PeekXID = %#x, %v", xid, ok)
+	}
+	if _, ok := PeekXID([]byte{1, 2, 3}); ok {
+		t.Fatal("PeekXID accepted a short message")
+	}
+}

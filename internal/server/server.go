@@ -5,12 +5,21 @@
 // PROG_MISMATCH, PROC_UNAVAIL, GARBAGE_ARGS), and keeps a bounded
 // duplicate-request cache so retransmitted datagram calls are answered
 // from memory instead of re-executed (svcudp_enablecache).
+//
+// Unlike the original single-threaded svc_run loop, dispatch is
+// concurrent: datagrams fan out to a bounded worker pool (an in-flight
+// set keeps retransmissions of an executing call from running twice),
+// and each stream connection serves its pipelined requests with a
+// bounded number of in-flight handlers whose reply records are serialized
+// back onto the stream. Request and reply buffers come from the shared
+// XDR buffer pool, keeping the hot path allocation-free.
 package server
 
 import (
 	"errors"
 	"fmt"
 	"net"
+	"runtime"
 	"sync"
 
 	"specrpc/internal/rpcmsg"
@@ -23,7 +32,7 @@ type Marshal func(x *xdr.XDR) error
 // Proc handles one procedure: it decodes arguments from dec and returns
 // the marshaler producing the results. Returning ErrGarbageArgs (or any
 // error wrapping it) yields a GARBAGE_ARGS reply; any other error yields
-// SYSTEM_ERR.
+// SYSTEM_ERR. Handlers run concurrently and must be safe for that.
 type Proc func(dec *xdr.XDR) (reply Marshal, err error)
 
 // ErrGarbageArgs signals that the arguments failed to decode.
@@ -39,7 +48,9 @@ type Server struct {
 	procs    map[procKey]Proc
 	versions map[uint32][2]uint32 // prog -> [low, high] registered versions
 	cache    *replyCache
+	inflight inflightSet
 	bufSize  int
+	workers  int
 
 	wg      sync.WaitGroup
 	closeMu sync.Mutex
@@ -65,13 +76,32 @@ func WithCacheSize(n int) Option {
 // WithBufSize sets the datagram receive/reply buffer size (default 8900).
 func WithBufSize(n int) Option { return func(s *Server) { s.bufSize = n } }
 
+// WithWorkers bounds the number of concurrently executing handlers per
+// transport: the size of the datagram worker pool and the in-flight cap
+// per stream connection. The default is max(8, GOMAXPROCS): handlers may
+// block on locks or downstream I/O, so the bound is a pipelining depth,
+// not a parallelism count, and must stay useful on single-CPU hosts.
+func WithWorkers(n int) Option {
+	return func(s *Server) {
+		if n < 1 {
+			n = 1
+		}
+		s.workers = n
+	}
+}
+
 // New returns an empty server.
 func New(opts ...Option) *Server {
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 8 {
+		workers = 8
+	}
 	s := &Server{
 		procs:    make(map[procKey]Proc),
 		versions: make(map[uint32][2]uint32),
 		cache:    newReplyCache(128),
 		bufSize:  8900,
+		workers:  workers,
 	}
 	for _, o := range opts {
 		o(s)
@@ -119,8 +149,10 @@ func (s *Server) dispatch(h *rpcmsg.CallHeader) (Proc, rpcmsg.ReplyHeader) {
 	return proc, rpcmsg.AcceptedReply(h.XID)
 }
 
-// handleCall decodes one request from req and produces the reply bytes
-// using replyBuf as scratch. It is shared by the UDP and TCP loops.
+// handleCall decodes one request from req and produces the reply bytes,
+// appending into replyBuf's backing array (growing it when the reply is
+// larger). It is shared by the UDP and TCP paths and safe to run from
+// many workers at once.
 func (s *Server) handleCall(req []byte, replyBuf []byte) ([]byte, error) {
 	dec := xdr.NewDecoder(xdr.NewMemDecode(req))
 	var hdr rpcmsg.CallHeader
@@ -145,67 +177,143 @@ func (s *Server) handleCall(req []byte, replyBuf []byte) ([]byte, error) {
 		}
 	}
 
-	mem := xdr.NewMemEncode(replyBuf)
-	enc := xdr.NewEncoder(mem)
+	buf := xdr.NewBufEncode(replyBuf)
+	enc := xdr.NewEncoder(buf)
 	if err := rh.Marshal(enc); err != nil {
 		return nil, fmt.Errorf("server: marshal reply header: %w", err)
 	}
 	if results != nil {
 		if err := results(enc); err != nil {
 			// Results failed to encode: restart with SYSTEM_ERR.
-			mem = xdr.NewMemEncode(replyBuf)
-			enc = xdr.NewEncoder(mem)
+			buf.Reset()
 			se := rpcmsg.ErrorReply(hdr.XID, rpcmsg.SystemErr)
 			if err2 := se.Marshal(enc); err2 != nil {
 				return nil, fmt.Errorf("server: marshal error reply: %w", err2)
 			}
 		}
 	}
-	return mem.Buffer(), nil
+	return buf.Buffer(), nil
 }
+
+// dgram is one received datagram in flight to a worker.
+type dgram struct {
+	from net.Addr
+	req  *[]byte // pooled; the worker returns it
+}
+
+// dgramQueueDepth bounds the datagrams buffered ahead of the worker pool
+// before the read loop backpressures.
+const dgramQueueDepth = 16
 
 // ServeUDP answers datagram calls on conn until the connection or server
 // is closed. It blocks; run it on its own goroutine when serving multiple
-// transports.
+// transports. Datagrams fan out to a bounded pool of workers, any of
+// which may take any datagram: a retransmission that arrives while the
+// original is still executing is detected via the in-flight set and
+// dropped (the client retransmits again and is answered from the
+// duplicate-request cache once the first execution lands), so the
+// at-most-once guarantee holds without pinning calls to workers —
+// pinning (e.g. sharding on XID) would serialize unrelated calls that
+// collide on a shard and cap the useful concurrency below the pool size.
 func (s *Server) ServeUDP(conn net.PacketConn) error {
 	s.track(conn.Close)
 	s.wg.Add(1)
 	defer s.wg.Done()
 
-	req := make([]byte, s.bufSize)
-	reply := make([]byte, s.bufSize)
+	jobs := make(chan dgram, dgramQueueDepth)
+	var workers sync.WaitGroup
+	for i := 0; i < s.workers; i++ {
+		workers.Add(1)
+		go func() {
+			defer workers.Done()
+			for d := range jobs {
+				s.answerDatagram(conn, d.from, *d.req)
+				xdr.PutBuf(d.req)
+			}
+		}()
+	}
+	defer workers.Wait()
+	defer close(jobs)
+
 	for {
-		n, from, err := conn.ReadFrom(req)
+		bp := xdr.GetBuf(s.bufSize)
+		// Read into exactly bufSize bytes: recycled pool buffers may be
+		// larger, and the datagram size bound must not vary with them.
+		buf := (*bp)[:s.bufSize]
+		n, from, err := conn.ReadFrom(buf)
 		if err != nil {
+			xdr.PutBuf(bp)
 			if s.isClosed() {
 				return nil
 			}
 			return fmt.Errorf("server: read: %w", err)
 		}
-		s.answerDatagram(conn, from, req[:n], reply)
+		*bp = buf[:n]
+		jobs <- dgram{from: from, req: bp}
 	}
 }
 
-func (s *Server) answerDatagram(conn net.PacketConn, from net.Addr, req, replyBuf []byte) {
+func (s *Server) answerDatagram(conn net.PacketConn, from net.Addr, req []byte) {
 	// Duplicate-request cache: a retransmission of a call we already
 	// executed is answered with the cached bytes, preserving the
 	// "execute at most once per XID while cached" behaviour.
-	var xid uint32
-	if len(req) >= 4 {
-		xid = uint32(req[0])<<24 | uint32(req[1])<<16 | uint32(req[2])<<8 | uint32(req[3])
+	xid, hasXID := rpcmsg.PeekXID(req)
+	var peer string
+	if hasXID {
+		peer = from.String()
 		if s.cache != nil {
-			if cached, ok := s.cache.get(from.String(), xid); ok {
+			if cached, ok := s.cache.get(peer, xid); ok {
+				_, _ = conn.WriteTo(cached, from)
+				return
+			}
+		}
+		// A retransmission of a call currently executing on another
+		// worker must not execute a second time — even with the reply
+		// cache disabled; drop it and let a later retransmission be
+		// answered (from the cache, or by re-execution once the first
+		// finishes).
+		if !s.inflight.begin(peer, xid) {
+			return
+		}
+		defer s.inflight.end(peer, xid)
+		// Double-check the cache now that the claim is held: the original
+		// execution may have finished — and cached its reply — between the
+		// miss above and the claim, and executing again would break
+		// at-most-once for non-idempotent procedures.
+		if s.cache != nil {
+			if cached, ok := s.cache.get(peer, xid); ok {
 				_, _ = conn.WriteTo(cached, from)
 				return
 			}
 		}
 	}
-	out, err := s.handleCall(req, replyBuf)
+	rp := xdr.GetBuf(s.bufSize)
+	defer xdr.PutBuf(rp)
+	out, err := s.handleCall(req, *rp)
 	if err != nil {
 		return // undecodable datagram: drop silently
 	}
-	if s.cache != nil {
-		s.cache.put(from.String(), xid, out)
+	*rp = out // keep any growth pooled
+	if len(out) > s.bufSize {
+		// The growable reply buffer fits any results, but a datagram
+		// cannot carry them: replace the reply with SYSTEM_ERR — which
+		// always fits, and is sent and cached like any reply so the
+		// handler is not re-executed per retransmission — exactly what
+		// the original fixed-buffer encode produced when the results
+		// overflowed it. Stream replies grow freely.
+		if !hasXID {
+			return
+		}
+		buf := xdr.NewBufEncode((*rp)[:0])
+		se := rpcmsg.ErrorReply(xid, rpcmsg.SystemErr)
+		if err := se.Marshal(xdr.NewEncoder(buf)); err != nil {
+			return
+		}
+		out = buf.Buffer()
+		*rp = out
+	}
+	if hasXID && s.cache != nil {
+		s.cache.put(peer, xid, out)
 	}
 	_, _ = conn.WriteTo(out, from)
 }
@@ -234,33 +342,64 @@ func (s *Server) ServeTCP(ln net.Listener) error {
 	}
 }
 
+// serveConn serves one stream connection. Pipelined requests execute
+// concurrently — up to s.workers handlers in flight — and the reply
+// records are serialized back onto the stream as each finishes, so a
+// slow call never blocks the replies of later, faster calls (the client
+// demultiplexes them by XID).
 func (s *Server) serveConn(conn net.Conn) {
+	// Close the connection before waiting for in-flight handlers (defers
+	// run LIFO): a worker blocked writing a reply to a peer that stopped
+	// reading is only unblocked by the close, so the other order would
+	// wedge this goroutine forever on a stalled client.
+	var calls sync.WaitGroup
+	defer calls.Wait()
 	defer conn.Close()
-	rec := xdr.NewRecStream(conn, 0)
-	req := make([]byte, 0, s.bufSize)
-	replyBuf := make([]byte, 0, s.bufSize)
+	rrec := xdr.NewRecStream(conn, 0)
+	wrec := xdr.NewRecStream(conn, 0)
+	var wmu sync.Mutex
+	sem := make(chan struct{}, s.workers)
 	for {
 		// Read the full request record via the record layer; unlike a
 		// datagram, a TCP record may exceed the datagram buffer size,
 		// so the buffer grows as needed.
-		var err error
-		req, err = rec.ReadRecord(req[:0])
+		bp := xdr.GetBuf(s.bufSize)
+		req, err := rrec.ReadRecord((*bp)[:0])
+		*bp = req
 		if err != nil {
+			xdr.PutBuf(bp)
 			return // connection closed or broken framing
 		}
-		if cap(replyBuf) < len(req)+s.bufSize {
-			replyBuf = make([]byte, 0, len(req)+s.bufSize)
-		}
-		out, err := s.handleCall(req, replyBuf[:cap(replyBuf)])
-		if err != nil {
-			return
-		}
-		if err := rec.PutBytes(out); err != nil {
-			return
-		}
-		if err := rec.EndRecord(); err != nil {
-			return
-		}
+		sem <- struct{}{}
+		calls.Add(1)
+		go func(bp *[]byte) {
+			defer calls.Done()
+			defer func() { <-sem }()
+			defer xdr.PutBuf(bp)
+			rp := xdr.GetBuf(s.bufSize)
+			defer xdr.PutBuf(rp)
+			out, err := s.handleCall(*bp, *rp)
+			if err != nil {
+				// Undecodable call header: the stream is suspect and there
+				// is no XID to reply to; close the connection so the peer
+				// fails fast, as the original svc_tcp loop did.
+				_ = conn.Close()
+				return
+			}
+			*rp = out
+			wmu.Lock()
+			defer wmu.Unlock()
+			if err := wrec.PutBytes(out); err == nil {
+				err = wrec.EndRecord()
+				if err == nil {
+					return
+				}
+			}
+			// A failed reply write leaves the record stream unusable;
+			// close the connection so the read loop exits and the peer
+			// fails fast instead of waiting out its call timeouts.
+			_ = conn.Close()
+		}(bp)
 	}
 }
 
@@ -294,6 +433,36 @@ func (s *Server) Close() error {
 	}
 	s.wg.Wait()
 	return firstErr
+}
+
+// inflightSet tracks the (peer, xid) pairs currently executing on the
+// datagram worker pool, so a retransmission arriving mid-execution is
+// dropped instead of executed twice.
+type inflightSet struct {
+	mu sync.Mutex
+	m  map[cacheKey]struct{}
+}
+
+// begin claims (peer, xid); it reports false when the pair is already
+// executing.
+func (f *inflightSet) begin(peer string, xid uint32) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.m == nil {
+		f.m = make(map[cacheKey]struct{})
+	}
+	k := cacheKey{peer, xid}
+	if _, busy := f.m[k]; busy {
+		return false
+	}
+	f.m[k] = struct{}{}
+	return true
+}
+
+func (f *inflightSet) end(peer string, xid uint32) {
+	f.mu.Lock()
+	delete(f.m, cacheKey{peer, xid})
+	f.mu.Unlock()
 }
 
 // replyCache is a bounded FIFO map from (peer, xid) to reply bytes.

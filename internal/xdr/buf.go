@@ -1,0 +1,55 @@
+package xdr
+
+// BufStream is an encode-only Stream appending to a growable byte slice.
+// Unlike MemStream it never overflows: the buffer extends as needed, which
+// is what lets one reply path serve both small datagram responses and
+// record-stream replies larger than any preallocated buffer. Pair it with
+// GetBuf/PutBuf to keep the growth amortized across calls.
+type BufStream struct {
+	buf []byte
+}
+
+var _ Stream = (*BufStream)(nil)
+
+// NewBufEncode returns a stream appending to backing[:0]. The backing
+// array is reused until an append outgrows it.
+func NewBufEncode(backing []byte) *BufStream {
+	return &BufStream{buf: backing[:0]}
+}
+
+// PutLong appends v as a big-endian 4-byte integer.
+func (b *BufStream) PutLong(v int32) error {
+	u := uint32(v)
+	b.buf = append(b.buf, byte(u>>24), byte(u>>16), byte(u>>8), byte(u))
+	return nil
+}
+
+// GetLong is not supported: BufStream is encode-only.
+func (b *BufStream) GetLong(*int32) error { return ErrBadOp }
+
+// PutBytes appends len(p) raw bytes.
+func (b *BufStream) PutBytes(p []byte) error {
+	b.buf = append(b.buf, p...)
+	return nil
+}
+
+// GetBytes is not supported: BufStream is encode-only.
+func (b *BufStream) GetBytes([]byte) error { return ErrBadOp }
+
+// Pos reports the bytes encoded so far.
+func (b *BufStream) Pos() int { return len(b.buf) }
+
+// SetPos truncates the stream back to pos; seeking forward is not allowed.
+func (b *BufStream) SetPos(pos int) error {
+	if pos < 0 || pos > len(b.buf) {
+		return ErrBadPos
+	}
+	b.buf = b.buf[:pos]
+	return nil
+}
+
+// Buffer returns the bytes encoded so far.
+func (b *BufStream) Buffer() []byte { return b.buf }
+
+// Reset discards the encoded bytes, keeping the backing capacity.
+func (b *BufStream) Reset() { b.buf = b.buf[:0] }

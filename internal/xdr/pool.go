@@ -1,0 +1,46 @@
+package xdr
+
+import "sync"
+
+// DefaultPoolBuf is the capacity of freshly minted pool buffers. It covers
+// a default-size datagram (8900 bytes) plus record headers without growth,
+// so the steady state of a busy transport allocates nothing per call.
+const DefaultPoolBuf = 9 << 10
+
+// bufPool recycles marshaling and reply buffers across concurrent calls.
+// The multiplexed transports borrow one buffer per in-flight call instead
+// of owning a single buffer behind a mutex, so pooling is what keeps the
+// concurrent hot path allocation-free.
+var bufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, DefaultPoolBuf)
+		return &b
+	},
+}
+
+// GetBuf borrows a zero-length buffer with capacity at least n from the
+// shared pool. Callers may reslice it up to cap and may grow it with
+// append; hand it back with PutBuf (including any growth) when the bytes
+// are no longer referenced.
+func GetBuf(n int) *[]byte {
+	bp := bufPool.Get().(*[]byte)
+	if cap(*bp) < n {
+		*bp = make([]byte, 0, n)
+	}
+	*bp = (*bp)[:0]
+	return bp
+}
+
+// maxPoolBuf is the largest capacity PutBuf keeps. Buffers grown past it
+// (a huge TCP record, say) are dropped for the GC instead of circulating
+// forever in the pool serving ordinary datagram-sized calls.
+const maxPoolBuf = 64 << 10
+
+// PutBuf returns a buffer borrowed with GetBuf to the pool. The caller
+// must not retain *bp afterwards.
+func PutBuf(bp *[]byte) {
+	if bp == nil || cap(*bp) > maxPoolBuf {
+		return
+	}
+	bufPool.Put(bp)
+}
