@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench fmt vet ci
+.PHONY: all build test race bench bench-json fuzz genstubs fmt vet ci
 
 all: build
 
@@ -20,6 +20,29 @@ race:
 bench:
 	$(GO) test -run=NONE -bench=. -benchtime=1x -benchmem ./...
 
+# Machine-readable live benchmark: the generic/specialized/chunked codec
+# comparison over netsim, UDP, and TCP, written to BENCH_live.json so the
+# perf trajectory is tracked from PR to PR.
+bench-json:
+	$(GO) run ./cmd/sunbench -live-spec -calls 2000 -json BENCH_live.json
+
+# Short native-fuzz smoke over the decode boundary: the record-marking
+# reader and the RPC call-header decoder, fed raw bytes.
+fuzz:
+	$(GO) test -run=NONE -fuzz=FuzzRecRead -fuzztime=10s ./internal/xdr
+	$(GO) test -run=NONE -fuzz=FuzzDecodeCallHeader -fuzztime=10s ./internal/rpcmsg
+
+# Build the rpcgen-generated stubs as part of the pipeline: generate from
+# the richest testdata spec into a temp package and vet it, so codegen
+# regressions fail the build instead of only the unit tests.
+genstubs:
+	rm -rf ci_genstubs
+	mkdir -p ci_genstubs
+	$(GO) run ./cmd/rpcgen -pkg ci_genstubs -go ci_genstubs/stubs.go internal/rpcgen/testdata/rich.x
+	$(GO) vet ./ci_genstubs
+	$(GO) build ./ci_genstubs
+	rm -rf ci_genstubs
+
 fmt:
 	@unformatted="$$(gofmt -l .)"; \
 	if [ -n "$$unformatted" ]; then \
@@ -29,4 +52,4 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-ci: fmt vet build race bench
+ci: fmt vet build race bench genstubs fuzz

@@ -1,7 +1,8 @@
 // Command sunbench regenerates the paper's evaluation: Tables 1-4 and
 // the six panels of Figure 6, over the calibrated IPX/SunOS and PC/Linux
 // platform models. It also measures the live concurrent transport in
-// throughput mode.
+// throughput mode, and the live generic/specialized/chunked marshal-plan
+// comparison in -live-spec mode.
 //
 // Usage:
 //
@@ -10,13 +11,18 @@
 //	sunbench -figure 6        # the Figure 6 panels
 //	sunbench -throughput      # live throughput over sim, udp, and tcp
 //	sunbench -throughput -transport tcp -clients 4 -depth 16 -calls 50000
+//	sunbench -live-spec       # live codec comparison over sim, udp, tcp
+//	sunbench -live-spec -json BENCH_live.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"specrpc/internal/bench"
 	"specrpc/internal/platform"
@@ -26,37 +32,107 @@ func main() {
 	table := flag.Int("table", 0, "print only this table (1..4)")
 	figure := flag.Int("figure", 0, "print only this figure (6)")
 	throughput := flag.Bool("throughput", false, "measure live transport throughput instead of the paper tables")
-	transports := flag.String("transport", "sim,udp,tcp", "comma-separated transports for -throughput")
+	liveSpec := flag.Bool("live-spec", false, "measure the generic/specialized/chunked marshal plans over the live transports")
+	transports := flag.String("transport", "sim,udp,tcp", "comma-separated transports for -throughput and -live-spec")
 	clients := flag.Int("clients", 2, "concurrent connections for -throughput")
 	depth := flag.Int("depth", 8, "in-flight calls per connection for -throughput")
-	calls := flag.Int("calls", 20000, "total calls for -throughput")
+	calls := flag.Int("calls", 0, "total calls for -throughput (default 20000); calls per point for -live-spec (default 2000)")
 	size := flag.Int("size", 100, "echoed int32 array size for -throughput")
+	jsonOut := flag.String("json", "", "also write machine-readable results of the live modes to this file")
 	flag.Parse()
 
-	if *throughput {
-		if err := runThroughput(*transports, *clients, *depth, *calls, *size); err != nil {
-			fmt.Fprintln(os.Stderr, "sunbench:", err)
-			os.Exit(1)
+	out := &jsonReport{GeneratedAt: time.Now().UTC().Format(time.RFC3339), Go: runtime.Version()}
+	var err error
+	switch {
+	case *liveSpec:
+		err = runLiveSpec(*transports, *calls, out)
+	case *throughput:
+		if *calls <= 0 {
+			*calls = 20000
 		}
-		return
+		err = runThroughput(*transports, *clients, *depth, *calls, *size, out)
+	default:
+		if *jsonOut != "" {
+			fmt.Fprintln(os.Stderr, "sunbench: -json requires -live-spec or -throughput")
+			os.Exit(2)
+		}
+		all := *table == 0 && *figure == 0
+		err = run(all, *table, *figure)
 	}
-	all := *table == 0 && *figure == 0
-	if err := run(all, *table, *figure); err != nil {
+	if err == nil && *jsonOut != "" {
+		err = writeJSON(*jsonOut, out)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "sunbench:", err)
 		os.Exit(1)
 	}
 }
 
+// jsonReport is the machine-readable result envelope of the live modes:
+// the file BENCH_live.json that tracks the perf trajectory across PRs.
+type jsonReport struct {
+	GeneratedAt string                 `json:"generated_at"`
+	Go          string                 `json:"go"`
+	LiveSpec    []bench.LiveSpecResult `json:"live_spec,omitempty"`
+	Throughput  []throughputJSON       `json:"throughput,omitempty"`
+}
+
+// throughputJSON flattens ThroughputResult for stable JSON output.
+type throughputJSON struct {
+	Transport   string  `json:"transport"`
+	Clients     int     `json:"clients"`
+	Depth       int     `json:"depth"`
+	Calls       int     `json:"calls"`
+	ArraySize   int     `json:"n"`
+	ElapsedMS   float64 `json:"elapsed_ms"`
+	CallsPerSec float64 `json:"calls_per_sec"`
+	MaxInFlight int     `json:"max_in_flight"`
+}
+
+func writeJSON(path string, report *jsonReport) error {
+	b, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "sunbench: wrote %s\n", path)
+	return nil
+}
+
+func splitTransports(transports string) []string {
+	var out []string
+	for _, tr := range strings.Split(transports, ",") {
+		if tr = strings.TrimSpace(tr); tr != "" {
+			out = append(out, tr)
+		}
+	}
+	return out
+}
+
+// runLiveSpec prints the paper's three-configuration comparison measured
+// on the live wire path.
+func runLiveSpec(transports string, calls int, out *jsonReport) error {
+	rows, err := bench.LiveSpec(bench.LiveSpecOptions{
+		Transports: splitTransports(transports),
+		Calls:      calls,
+	})
+	if err != nil {
+		return err
+	}
+	out.LiveSpec = rows
+	fmt.Print(bench.FormatLiveSpec(rows))
+	return nil
+}
+
 // runThroughput drives the concurrent transport: for each requested
 // transport, one single-caller baseline and one clients x depth run, so
 // the printed table shows the scaling, not just one point.
-func runThroughput(transports string, clients, depth, calls, size int) error {
+func runThroughput(transports string, clients, depth, calls, size int, out *jsonReport) error {
 	var rows []bench.ThroughputResult
-	for _, tr := range strings.Split(transports, ",") {
-		tr = strings.TrimSpace(tr)
-		if tr == "" {
-			continue
-		}
+	for _, tr := range splitTransports(transports) {
 		configs := [][2]int{{1, 1}, {clients, depth}}
 		if clients == 1 && depth == 1 {
 			configs = configs[:1] // the requested run IS the baseline
@@ -73,6 +149,12 @@ func runThroughput(transports string, clients, depth, calls, size int) error {
 				return err
 			}
 			rows = append(rows, res)
+			out.Throughput = append(out.Throughput, throughputJSON{
+				Transport: res.Transport, Clients: res.Clients, Depth: res.Depth,
+				Calls: res.Calls, ArraySize: res.ArraySize,
+				ElapsedMS:   float64(res.Elapsed.Microseconds()) / 1e3,
+				CallsPerSec: res.CallsPerSec, MaxInFlight: res.MaxInFlight,
+			})
 		}
 	}
 	fmt.Print(bench.FormatThroughput(rows))

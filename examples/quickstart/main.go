@@ -1,15 +1,18 @@
 // Quickstart: a minimal Sun RPC service over loopback UDP using the
-// library directly — register a procedure, dial it, exchange XDR data.
+// library directly — compile a marshal plan for the message type,
+// register a typed procedure, dial it with a typed call. The closure
+// path (client.Call with hand-written marshalers) still works and is
+// shown for contrast at the end.
 package main
 
 import (
-	"errors"
 	"fmt"
 	"log"
 	"net"
 
 	"specrpc/internal/client"
 	"specrpc/internal/server"
+	"specrpc/internal/wire"
 	"specrpc/internal/xdr"
 )
 
@@ -19,24 +22,26 @@ const (
 	procSort = uint32(1)
 )
 
+// intsPlan is the compiled marshal plan for the int32 array both sides
+// exchange: the description compiles once, then every call encodes and
+// decodes through the specialized flat plan — no per-field marshal code,
+// no per-element dispatch.
+var intsPlan = wire.MustPlan[[]int32](wire.VarArrayT(4096, wire.Int32T()), wire.Specialized)
+
 func main() {
-	// Server: one procedure that sorts an int array (insertion sort,
-	// fine for a demo).
+	// Server: one typed procedure that sorts an int array (insertion
+	// sort, fine for a demo).
 	srv := server.New()
-	srv.Register(progNum, versNum, procSort, func(dec *xdr.XDR) (server.Marshal, error) {
-		var xs []int32
-		if err := xdr.Array(dec, &xs, 4096, (*xdr.XDR).Long); err != nil {
-			return nil, errors.Join(server.ErrGarbageArgs, err)
-		}
-		for i := 1; i < len(xs); i++ {
-			for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
-				xs[j], xs[j-1] = xs[j-1], xs[j]
+	server.RegisterTyped(srv, progNum, versNum, procSort, intsPlan, intsPlan,
+		func(xs *[]int32) (*[]int32, error) {
+			s := *xs
+			for i := 1; i < len(s); i++ {
+				for j := i; j > 0 && s[j] < s[j-1]; j-- {
+					s[j], s[j-1] = s[j-1], s[j]
+				}
 			}
-		}
-		return func(enc *xdr.XDR) error {
-			return xdr.Array(enc, &xs, 4096, (*xdr.XDR).Long)
-		}, nil
-	})
+			return xs, nil
+		})
 
 	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
 	if err != nil {
@@ -55,12 +60,20 @@ func main() {
 
 	in := []int32{5, -3, 9, 0, 2}
 	var out []int32
+	if err := client.CallTyped(c, procSort, intsPlan, &in, intsPlan, &out); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sort(%v) = %v (typed call)\n", in, out)
+
+	// The legacy closure API multiplexes freely with typed calls on the
+	// same connection.
+	var out2 []int32
 	err = c.Call(procSort,
 		func(x *xdr.XDR) error { return xdr.Array(x, &in, 4096, (*xdr.XDR).Long) },
-		func(x *xdr.XDR) error { return xdr.Array(x, &out, 4096, (*xdr.XDR).Long) },
+		func(x *xdr.XDR) error { return xdr.Array(x, &out2, 4096, (*xdr.XDR).Long) },
 	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("sort(%v) = %v\n", in, out)
+	fmt.Printf("sort(%v) = %v (closure call)\n", in, out2)
 }

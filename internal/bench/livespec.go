@@ -1,0 +1,249 @@
+package bench
+
+// Live specialization mode: the paper's Generic/Specialized/Chunked
+// comparison (§5, Tables 1/2/4) measured on the real concurrent
+// transport instead of the VM cost models. One echo server exposes the
+// same int-array procedure three times, once per codec configuration;
+// the harness drives each over netsim, UDP loopback, and TCP loopback
+// across the paper's array-size grid and reports wall-clock latency and
+// throughput. The numbers are measured, not modeled — this is the
+// paper's claim transplanted onto the live wire path.
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"time"
+
+	"specrpc/internal/client"
+	"specrpc/internal/netsim"
+	"specrpc/internal/server"
+	"specrpc/internal/wire"
+)
+
+// Live-spec service identity (distinct from the paper-table and
+// throughput programs).
+const (
+	liveProg = uint32(0x20000532)
+	liveVers = uint32(1)
+)
+
+// Procedure numbers: one echo per codec configuration.
+var liveProcs = map[wire.Mode]uint32{
+	wire.Generic:     1,
+	wire.Specialized: 2,
+	wire.Chunked:     3,
+}
+
+// LiveModes lists the three configurations in presentation order.
+var LiveModes = []wire.Mode{wire.Generic, wire.Specialized, wire.Chunked}
+
+// livePlans compiles the int-array echo plan per mode, once.
+var livePlans = map[wire.Mode]*wire.Plan[[]int32]{
+	wire.Generic:     wire.MustPlan[[]int32](wire.VarArrayT(0, wire.Int32T()), wire.Generic),
+	wire.Specialized: wire.MustPlan[[]int32](wire.VarArrayT(0, wire.Int32T()), wire.Specialized),
+	wire.Chunked:     wire.MustPlan[[]int32](wire.VarArrayT(0, wire.Int32T()), wire.Chunked),
+}
+
+// LivePlan returns the compiled int-array plan for a configuration; the
+// benchmarks and the harness share these.
+func LivePlan(m wire.Mode) *wire.Plan[[]int32] { return livePlans[m] }
+
+// LiveSpecOptions configures one live comparison run.
+type LiveSpecOptions struct {
+	// Transports to measure: any of "sim", "udp", "tcp". Default all.
+	Transports []string
+	// Sizes is the int-array grid. Default the paper's Sizes.
+	Sizes []int
+	// Calls per (transport, size, mode) measurement. Default 2000.
+	Calls int
+	// Warmup calls before each measurement. Default 50.
+	Warmup int
+}
+
+func (o *LiveSpecOptions) fill() {
+	if len(o.Transports) == 0 {
+		o.Transports = []string{"sim", "udp", "tcp"}
+	}
+	if len(o.Sizes) == 0 {
+		o.Sizes = Sizes
+	}
+	if o.Calls <= 0 {
+		o.Calls = 2000
+	}
+	if o.Warmup <= 0 {
+		o.Warmup = 50
+	}
+}
+
+// LiveSpecResult is one measured (transport, size, mode) point.
+type LiveSpecResult struct {
+	Transport   string  `json:"transport"`
+	Mode        string  `json:"mode"`
+	N           int     `json:"n"`
+	Calls       int     `json:"calls"`
+	NsPerCall   float64 `json:"ns_per_call"`
+	CallsPerSec float64 `json:"calls_per_sec"`
+}
+
+// newLiveServer builds the echo server with one typed registration per
+// codec configuration, so a single transport setup serves all three.
+func newLiveServer() *server.Server {
+	s := server.New()
+	for _, m := range LiveModes {
+		plan := livePlans[m]
+		server.RegisterTyped(s, liveProg, liveVers, liveProcs[m], plan, plan,
+			func(arg *[]int32) (*[]int32, error) { return arg, nil })
+	}
+	return s
+}
+
+// liveClient dials one caller for a transport, returning a cleanup.
+func liveClient(transport string, s *server.Server) (client.Caller, func(), error) {
+	cfg := client.Config{Prog: liveProg, Vers: liveVers, Timeout: 30 * time.Second}
+	switch transport {
+	case "sim":
+		n := netsim.New()
+		ep := n.Attach("server")
+		go func() { _ = s.ServeUDP(ep) }()
+		cep := n.Attach("client")
+		c := client.NewUDP(cep, netsim.Addr("server"), cfg)
+		return c, func() { _ = c.Close() }, nil
+	case "udp":
+		pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+		if err != nil {
+			return nil, nil, fmt.Errorf("bench: loopback udp: %w", err)
+		}
+		go func() { _ = s.ServeUDP(pc) }()
+		cc, err := net.ListenPacket("udp", "127.0.0.1:0")
+		if err != nil {
+			pc.Close()
+			return nil, nil, fmt.Errorf("bench: client socket: %w", err)
+		}
+		c := client.NewUDP(cc, pc.LocalAddr(), cfg)
+		return c, func() { _ = c.Close() }, nil
+	case "tcp":
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, nil, fmt.Errorf("bench: loopback tcp: %w", err)
+		}
+		go func() { _ = s.ServeTCP(ln) }()
+		conn, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			ln.Close()
+			return nil, nil, fmt.Errorf("bench: dial: %w", err)
+		}
+		c := client.NewTCP(conn, cfg)
+		return c, func() { _ = c.Close() }, nil
+	default:
+		return nil, nil, fmt.Errorf("bench: unknown transport %q", transport)
+	}
+}
+
+// LiveSpec measures the three codec configurations over the requested
+// transports and sizes. Calls are sequential (one in flight): this is a
+// latency comparison of the marshaling layers, not a pipelining test —
+// Throughput covers that.
+func LiveSpec(o LiveSpecOptions) ([]LiveSpecResult, error) {
+	o.fill()
+	var results []LiveSpecResult
+	for _, tr := range o.Transports {
+		s := newLiveServer()
+		c, cleanup, err := liveClient(tr, s)
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+		for _, n := range o.Sizes {
+			in := make([]int32, n)
+			for i := range in {
+				in[i] = int32(i * 13)
+			}
+			out := make([]int32, n)
+			for _, m := range LiveModes {
+				plan := livePlans[m]
+				proc := liveProcs[m]
+				call := func() error {
+					if err := client.CallTyped(c, proc, plan, &in, plan, &out); err != nil {
+						return fmt.Errorf("bench: %s/%v/N=%d: %w", tr, m, n, err)
+					}
+					if len(out) != n || (n > 0 && out[n-1] != in[n-1]) {
+						return fmt.Errorf("bench: %s/%v/N=%d: bad echo", tr, m, n)
+					}
+					return nil
+				}
+				for i := 0; i < o.Warmup; i++ {
+					if err := call(); err != nil {
+						cleanup()
+						s.Close()
+						return nil, err
+					}
+				}
+				start := time.Now()
+				for i := 0; i < o.Calls; i++ {
+					if err := call(); err != nil {
+						cleanup()
+						s.Close()
+						return nil, err
+					}
+				}
+				elapsed := time.Since(start)
+				r := LiveSpecResult{
+					Transport: tr, Mode: m.String(), N: n, Calls: o.Calls,
+					NsPerCall: float64(elapsed.Nanoseconds()) / float64(o.Calls),
+				}
+				if elapsed > 0 {
+					r.CallsPerSec = float64(o.Calls) / elapsed.Seconds()
+				}
+				results = append(results, r)
+			}
+		}
+		cleanup()
+		s.Close()
+	}
+	return results, nil
+}
+
+// FormatLiveSpec renders the comparison grouped per transport, one row
+// per size with the three configurations side by side and the
+// generic/specialized speedup — the live rendering of Table 2's layout.
+func FormatLiveSpec(rows []LiveSpecResult) string {
+	type key struct {
+		tr string
+		n  int
+	}
+	byPoint := map[key]map[string]LiveSpecResult{}
+	var order []key
+	for _, r := range rows {
+		k := key{r.Transport, r.N}
+		if byPoint[k] == nil {
+			byPoint[k] = map[string]LiveSpecResult{}
+			order = append(order, k)
+		}
+		byPoint[k][r.Mode] = r
+	}
+	var sb strings.Builder
+	sb.WriteString("Live specialization: round-trip µs/call by marshal configuration (echo of 4-byte ints)\n")
+	fmt.Fprintf(&sb, "%-9s %6s %12s %12s %12s %9s %9s\n",
+		"Transport", "N", "Generic", "Specialized", "Chunked", "Spd(S)", "Spd(C)")
+	last := ""
+	for _, k := range order {
+		if last != "" && last != k.tr {
+			sb.WriteString("\n")
+		}
+		last = k.tr
+		g := byPoint[k]["generic"]
+		s := byPoint[k]["specialized"]
+		c := byPoint[k]["chunked"]
+		spdS, spdC := 0.0, 0.0
+		if s.NsPerCall > 0 {
+			spdS = g.NsPerCall / s.NsPerCall
+		}
+		if c.NsPerCall > 0 {
+			spdC = g.NsPerCall / c.NsPerCall
+		}
+		fmt.Fprintf(&sb, "%-9s %6d %12.1f %12.1f %12.1f %9.2f %9.2f\n",
+			k.tr, k.n, g.NsPerCall/1e3, s.NsPerCall/1e3, c.NsPerCall/1e3, spdS, spdC)
+	}
+	return sb.String()
+}

@@ -1,0 +1,127 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"specrpc/internal/wire"
+	"specrpc/internal/xdr"
+)
+
+// TestLiveSpecSim runs a small live comparison over netsim and checks
+// shape and self-consistency; the real numbers come from sunbench.
+func TestLiveSpecSim(t *testing.T) {
+	rows, err := LiveSpec(LiveSpecOptions{
+		Transports: []string{"sim"},
+		Sizes:      []int{20, 250},
+		Calls:      40,
+		Warmup:     5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2*len(LiveModes) {
+		t.Fatalf("%d rows, want %d", len(rows), 2*len(LiveModes))
+	}
+	for _, r := range rows {
+		if r.NsPerCall <= 0 || r.CallsPerSec <= 0 {
+			t.Errorf("%s/%s/N=%d: non-positive measurement %+v", r.Transport, r.Mode, r.N, r)
+		}
+	}
+	out := FormatLiveSpec(rows)
+	for _, want := range []string{"Transport", "Generic", "Specialized", "Chunked", "sim"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("format missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// benchSizes is the paper's grid, the one the acceptance criteria cite.
+var benchSizes = Sizes
+
+// BenchmarkLiveSpecEncode measures the client marshaling stage (paper
+// Table 1) on the live encode path: plan -> pooled growable buffer. The
+// specialized and chunked plans must be allocation-free here.
+func BenchmarkLiveSpecEncode(b *testing.B) {
+	for _, m := range LiveModes {
+		for _, n := range benchSizes {
+			b.Run(fmt.Sprintf("%s/N=%d", m, n), func(b *testing.B) {
+				plan := LivePlan(m)
+				args := make([]int32, n)
+				for i := range args {
+					args[i] = int32(i * 13)
+				}
+				bs := xdr.NewBufEncode(make([]byte, 0, 4*n+64))
+				enc := xdr.NewEncoder(bs)
+				b.ReportAllocs()
+				b.SetBytes(int64(4*n + 4))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					bs.Reset()
+					if err := plan.Marshal(enc, &args); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkLiveSpecDecode measures the unmarshal stage over the memory
+// stream the transports decode replies from.
+func BenchmarkLiveSpecDecode(b *testing.B) {
+	for _, m := range LiveModes {
+		for _, n := range benchSizes {
+			b.Run(fmt.Sprintf("%s/N=%d", m, n), func(b *testing.B) {
+				plan := LivePlan(m)
+				args := make([]int32, n)
+				for i := range args {
+					args[i] = int32(i * 13)
+				}
+				bs := xdr.NewBufEncode(nil)
+				if err := plan.Marshal(xdr.NewEncoder(bs), &args); err != nil {
+					b.Fatal(err)
+				}
+				raw := bs.Buffer()
+				out := make([]int32, n)
+				ms := xdr.NewMemDecode(raw)
+				dec := xdr.NewDecoder(ms)
+				b.ReportAllocs()
+				b.SetBytes(int64(len(raw)))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					ms.Reset()
+					if err := plan.Marshal(dec, &out); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestLiveSpecEncodeAllocFree pins the acceptance criterion directly:
+// the specialized plan encodes the whole grid with zero allocations.
+func TestLiveSpecEncodeAllocFree(t *testing.T) {
+	for _, m := range []wire.Mode{wire.Specialized, wire.Chunked} {
+		for _, n := range benchSizes {
+			plan := LivePlan(m)
+			args := make([]int32, n)
+			bs := xdr.NewBufEncode(make([]byte, 0, 4*n+64))
+			enc := xdr.NewEncoder(bs)
+			if err := plan.Marshal(enc, &args); err != nil {
+				t.Fatal(err)
+			}
+			allocs := testing.AllocsPerRun(50, func() {
+				bs.Reset()
+				if err := plan.Marshal(enc, &args); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs != 0 {
+				t.Errorf("%v N=%d: %.1f allocs/op on encode, want 0", m, n, allocs)
+			}
+		}
+	}
+}

@@ -1,0 +1,24 @@
+package client
+
+import (
+	"specrpc/internal/wire"
+	"specrpc/internal/xdr"
+)
+
+// CallTyped performs one RPC with the argument and result bodies
+// marshaled by compiled wire plans instead of hand-written closures: the
+// codec-based entry point generated stubs route through. A nil plan
+// marks a void side. The legacy closure-based Call remains the transport
+// core; CallTyped adapts plans onto it, so typed and closure calls
+// multiplex freely on the same connection.
+func CallTyped[A, R any](c Caller, proc uint32, args *wire.Plan[A], arg *A, results *wire.Plan[R], res *R) error {
+	am := Void
+	if args != nil {
+		am = func(x *xdr.XDR) error { return args.Marshal(x, arg) }
+	}
+	rm := Void
+	if results != nil {
+		rm = func(x *xdr.XDR) error { return results.Marshal(x, res) }
+	}
+	return c.Call(proc, am, rm)
+}

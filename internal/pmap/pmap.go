@@ -7,11 +7,11 @@
 package pmap
 
 import (
-	"errors"
 	"sync"
 
 	"specrpc/internal/client"
 	"specrpc/internal/server"
+	"specrpc/internal/wire"
 	"specrpc/internal/xdr"
 )
 
@@ -44,19 +44,23 @@ type Mapping struct {
 	Port uint32
 }
 
-// Marshal encodes or decodes the mapping.
-func (m *Mapping) Marshal(x *xdr.XDR) error {
-	if err := x.Uint32(&m.Prog); err != nil {
-		return err
-	}
-	if err := x.Uint32(&m.Vers); err != nil {
-		return err
-	}
-	if err := x.Uint32(&m.Prot); err != nil {
-		return err
-	}
-	return x.Uint32(&m.Port)
-}
+// Compiled wire plans for the protocol bodies: the four mapping fields
+// fuse into a single 4-unit run, and the scalar replies compile to one
+// instruction each.
+var (
+	mappingType = wire.StructT("mapping",
+		wire.F("prog", wire.Uint32T()),
+		wire.F("vers", wire.Uint32T()),
+		wire.F("prot", wire.Uint32T()),
+		wire.F("port", wire.Uint32T()),
+	)
+	mappingPlan = wire.MustPlan[Mapping](mappingType, wire.Specialized)
+	boolPlan    = wire.MustPlan[bool](wire.BoolT(), wire.Specialized)
+	portPlan    = wire.MustPlan[uint32](wire.Uint32T(), wire.Specialized)
+)
+
+// Marshal encodes or decodes the mapping through its compiled wire plan.
+func (m *Mapping) Marshal(x *xdr.XDR) error { return mappingPlan.Marshal(x, m) }
 
 // Registry is the in-memory mapping table.
 type Registry struct {
@@ -120,43 +124,33 @@ func (r *Registry) Dump() []Mapping {
 	return out
 }
 
-// RegisterService installs the portmapper procedures on srv, backed by reg.
+// RegisterService installs the portmapper procedures on srv, backed by
+// reg. The mapping-shaped procedures route through the compiled wire
+// plans via the typed registration path; Dump keeps a closure because
+// the pmaplist optional-data chain lies outside the wire subset.
 func RegisterService(srv *server.Server, reg *Registry) {
 	srv.Register(Prog, Vers, ProcNull, func(dec *xdr.XDR) (server.Marshal, error) {
 		return func(*xdr.XDR) error { return nil }, nil
 	})
-	srv.Register(Prog, Vers, ProcSet, func(dec *xdr.XDR) (server.Marshal, error) {
-		var m Mapping
-		if err := m.Marshal(dec); err != nil {
-			return nil, errors.Join(server.ErrGarbageArgs, err)
-		}
-		ok := reg.Set(m)
-		return boolReply(ok), nil
-	})
-	srv.Register(Prog, Vers, ProcUnset, func(dec *xdr.XDR) (server.Marshal, error) {
-		var m Mapping
-		if err := m.Marshal(dec); err != nil {
-			return nil, errors.Join(server.ErrGarbageArgs, err)
-		}
-		ok := reg.Unset(m.Prog, m.Vers)
-		return boolReply(ok), nil
-	})
-	srv.Register(Prog, Vers, ProcGetPort, func(dec *xdr.XDR) (server.Marshal, error) {
-		var m Mapping
-		if err := m.Marshal(dec); err != nil {
-			return nil, errors.Join(server.ErrGarbageArgs, err)
-		}
-		port := reg.GetPort(m.Prog, m.Vers, m.Prot)
-		return func(enc *xdr.XDR) error { return enc.Uint32(&port) }, nil
-	})
+	server.RegisterTyped(srv, Prog, Vers, ProcSet, mappingPlan, boolPlan,
+		func(m *Mapping) (*bool, error) {
+			ok := reg.Set(*m)
+			return &ok, nil
+		})
+	server.RegisterTyped(srv, Prog, Vers, ProcUnset, mappingPlan, boolPlan,
+		func(m *Mapping) (*bool, error) {
+			ok := reg.Unset(m.Prog, m.Vers)
+			return &ok, nil
+		})
+	server.RegisterTyped(srv, Prog, Vers, ProcGetPort, mappingPlan, portPlan,
+		func(m *Mapping) (*uint32, error) {
+			port := reg.GetPort(m.Prog, m.Vers, m.Prot)
+			return &port, nil
+		})
 	srv.Register(Prog, Vers, ProcDump, func(dec *xdr.XDR) (server.Marshal, error) {
 		list := reg.Dump()
 		return func(enc *xdr.XDR) error { return marshalList(enc, &list) }, nil
 	})
-}
-
-func boolReply(v bool) server.Marshal {
-	return func(enc *xdr.XDR) error { return enc.Bool(&v) }
 }
 
 // marshalList (de)serializes the linked pmaplist as XDR optional-data
@@ -219,9 +213,7 @@ func (p *Client) Null() error {
 // Set registers a mapping, reporting whether it was newly bound.
 func (p *Client) Set(m Mapping) (bool, error) {
 	var ok bool
-	err := p.c.Call(ProcSet,
-		func(x *xdr.XDR) error { return m.Marshal(x) },
-		func(x *xdr.XDR) error { return x.Bool(&ok) })
+	err := client.CallTyped(p.c, ProcSet, mappingPlan, &m, boolPlan, &ok)
 	return ok, err
 }
 
@@ -229,9 +221,7 @@ func (p *Client) Set(m Mapping) (bool, error) {
 func (p *Client) Unset(prog, vers uint32) (bool, error) {
 	m := Mapping{Prog: prog, Vers: vers}
 	var ok bool
-	err := p.c.Call(ProcUnset,
-		func(x *xdr.XDR) error { return m.Marshal(x) },
-		func(x *xdr.XDR) error { return x.Bool(&ok) })
+	err := client.CallTyped(p.c, ProcUnset, mappingPlan, &m, boolPlan, &ok)
 	return ok, err
 }
 
@@ -239,9 +229,7 @@ func (p *Client) Unset(prog, vers uint32) (bool, error) {
 func (p *Client) GetPort(prog, vers, prot uint32) (uint32, error) {
 	m := Mapping{Prog: prog, Vers: vers, Prot: prot}
 	var port uint32
-	err := p.c.Call(ProcGetPort,
-		func(x *xdr.XDR) error { return m.Marshal(x) },
-		func(x *xdr.XDR) error { return x.Uint32(&port) })
+	err := client.CallTyped(p.c, ProcGetPort, mappingPlan, &m, portPlan, &port)
 	return port, err
 }
 

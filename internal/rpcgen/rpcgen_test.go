@@ -1,6 +1,7 @@
 package rpcgen
 
 import (
+	_ "embed"
 	goparser "go/parser"
 	"go/token"
 	"strings"
@@ -26,48 +27,11 @@ program RMIN_PROG {
 } = 0x20000099;
 `
 
-const richX = `
-const MAXNAME = 255;
-const ARRAY_MAX = 2000;
-
-enum color { RED = 0, GREEN = 1, BLUE = 5 };
-
-typedef int numbers<ARRAY_MAX>;
-typedef opaque blob<1024>;
-
-struct point {
-    int x;
-    int y;
-};
-
-struct shape {
-    color  kind;
-    point  corners[4];
-    string label<MAXNAME>;
-    point* next;
-    unsigned hyper stamp;
-    double weight;
-    bool visible;
-};
-
-union lookup_result switch (int status) {
-case 0:
-    shape s;
-case 1:
-case 2:
-    int errno_val;
-default:
-    void;
-};
-
-program SHAPE_PROG {
-    version SHAPE_VERS {
-        lookup_result LOOKUP(point) = 1;
-        void PING(void) = 2;
-        numbers SCALE(numbers) = 3;
-    } = 2;
-} = 0x20000100;
-`
+// richX is the full-surface spec shared with CI's genstubs step, so the
+// unit tests and the pipeline always exercise the same constructs.
+//
+//go:embed testdata/rich.x
+var richX string
 
 func TestParseRmin(t *testing.T) {
 	spec, err := Parse(rminX)
@@ -182,6 +146,50 @@ func TestGenerateGoClientAndServerShapes(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Fatalf("output missing %q\n%s", want, out)
 		}
+	}
+}
+
+// TestGenerateGoWirePlans checks that subset types compile to wire
+// descriptions with plan-backed stubs, while unions, optional data, and
+// void procedures keep the closure path.
+func TestGenerateGoWirePlans(t *testing.T) {
+	spec, err := Parse(richX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := GenerateGo(spec, GoOptions{Package: "stubs"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		// point and the typedefs are in the wire subset.
+		`wireTypePoint = wire.StructT("point",`,
+		"planPoint = wire.MustPlan[Point](wireTypePoint, wire.Specialized)",
+		"func (v *Point) Marshal(x *xdr.XDR) error { return planPoint.Marshal(x, v) }",
+		"wireTypeNumbers = wire.VarArrayT(2000, wire.Int32T())",
+		"wireTypeBlob = wire.OpaqueVarT(1024)",
+		// SCALE(numbers) = numbers routes through the typed entry points.
+		"rpcclient.CallTyped(c.C, ShapeProgV2ProcScale, planNumbers, arg, planNumbers, res)",
+		"rpcserver.RegisterTyped(srv, ShapeProgV2Prog, ShapeProgV2Vers, ShapeProgV2ProcScale, planNumbers, planNumbers, h.Scale)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	for _, reject := range []string{
+		// shape has an optional field, lookup_result is a union: neither
+		// may get a wire description.
+		"wireTypeShape",
+		"wireTypeLookupResult",
+		// PING is void/void and stays on the closure path.
+		"CallTyped(c.C, ShapeProgV2ProcPing",
+	} {
+		if strings.Contains(out, reject) {
+			t.Errorf("output wrongly contains %q", reject)
+		}
+	}
+	if !strings.Contains(out, "func (c *ShapeProgV2Client) Ping() error") {
+		t.Error("void proc lost its closure stub")
 	}
 }
 

@@ -1,0 +1,47 @@
+package rpcmsg
+
+import (
+	"bytes"
+	"testing"
+
+	"specrpc/internal/xdr"
+)
+
+// FuzzDecodeCallHeader feeds arbitrary bytes to the call-header decoder,
+// the first thing a server interprets from an untrusted datagram. A
+// successful decode must re-encode and decode again to the same header
+// (the marshal routines are their own inverse on the accepted subset).
+func FuzzDecodeCallHeader(f *testing.F) {
+	seed := CallHeader{
+		XID: 7, Prog: 0x20000099, Vers: 1, Proc: 3,
+		Cred: OpaqueAuth{Flavor: AuthSys, Body: []byte{1, 2, 3, 4}},
+		Verf: None(),
+	}
+	bs := xdr.NewBufEncode(nil)
+	if err := seed.Marshal(xdr.NewEncoder(bs)); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(append([]byte(nil), bs.Buffer()...))
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 1, 0, 0, 0, 0}) // xid + CALL, then truncated
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var h CallHeader
+		if err := h.Marshal(xdr.NewDecoder(xdr.NewMemDecode(data))); err != nil {
+			return // rejected input is fine; panics and hangs are the bugs
+		}
+		out := xdr.NewBufEncode(nil)
+		if err := h.Marshal(xdr.NewEncoder(out)); err != nil {
+			t.Fatalf("decoded header does not re-encode: %v (%+v)", err, h)
+		}
+		var h2 CallHeader
+		if err := h2.Marshal(xdr.NewDecoder(xdr.NewMemDecode(out.Buffer()))); err != nil {
+			t.Fatalf("re-encoded header does not decode: %v (%+v)", err, h)
+		}
+		if h2.XID != h.XID || h2.Prog != h.Prog || h2.Vers != h.Vers || h2.Proc != h.Proc ||
+			h2.Cred.Flavor != h.Cred.Flavor || !bytes.Equal(h2.Cred.Body, h.Cred.Body) ||
+			h2.Verf.Flavor != h.Verf.Flavor || !bytes.Equal(h2.Verf.Body, h.Verf.Body) {
+			t.Fatalf("round trip changed the header:\n was %+v\n now %+v", h, h2)
+		}
+	})
+}

@@ -1,0 +1,38 @@
+package server
+
+import (
+	"errors"
+
+	"specrpc/internal/wire"
+	"specrpc/internal/xdr"
+)
+
+// RegisterTyped installs a handler whose argument and result bodies are
+// marshaled by compiled wire plans: the codec-based counterpart of
+// Register, used by generated stubs. A nil args plan decodes nothing; a
+// nil results plan (or a nil result value) replies with an empty body.
+// Argument decode failures become GARBAGE_ARGS, exactly as on the
+// closure path.
+func RegisterTyped[A, R any](s *Server, prog, vers, proc uint32,
+	args *wire.Plan[A], results *wire.Plan[R], h func(arg *A) (*R, error)) {
+	s.Register(prog, vers, proc, func(dec *xdr.XDR) (Marshal, error) {
+		var arg A
+		if args != nil {
+			if err := args.Marshal(dec, &arg); err != nil {
+				return nil, errors.Join(ErrGarbageArgs, err)
+			}
+		}
+		res, err := h(&arg)
+		if err != nil {
+			return nil, err
+		}
+		if results == nil || res == nil {
+			return voidReply, nil
+		}
+		return func(enc *xdr.XDR) error { return results.Marshal(enc, res) }, nil
+	})
+}
+
+// voidReply is the shared empty-body marshaler, so void replies do not
+// allocate a closure per call.
+func voidReply(*xdr.XDR) error { return nil }

@@ -1,0 +1,510 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"reflect"
+	"unsafe"
+
+	"specrpc/internal/xdr"
+)
+
+// Marshal encodes, decodes, or frees the value at p according to the
+// handle mode, exactly like a generated xdr_* routine. p must point at a
+// value of the codec's Go type.
+func (c *Codec) Marshal(x *xdr.XDR, p unsafe.Pointer) error {
+	switch x.Op {
+	case xdr.Encode:
+		return c.Encode(x, p)
+	case xdr.Decode:
+		return c.Decode(x, p)
+	case xdr.Free:
+		return walk(x, &c.root, p)
+	default:
+		return xdr.ErrBadOp
+	}
+}
+
+// Encode serializes the value at p into x's stream.
+func (c *Codec) Encode(x *xdr.XDR, p unsafe.Pointer) error {
+	if c.mode != Generic {
+		// The compiled plan bypasses the Stream interface when the stream
+		// is one it can address directly — which is every stream the live
+		// transport encodes into. Anything else falls back to the walker,
+		// which is correct (if interpretive) against any stream.
+		if bs, ok := x.Stream.(*xdr.BufStream); ok {
+			return encodeProg(bs, c.prog, p, c.chunk())
+		}
+	}
+	return walk(x, &c.root, p)
+}
+
+// Decode deserializes from x's stream into the value at p.
+func (c *Codec) Decode(x *xdr.XDR, p unsafe.Pointer) error {
+	if c.mode != Generic {
+		if ms, ok := x.Stream.(*xdr.MemStream); ok {
+			return decodeProg(ms, c.prog, p, c.chunk())
+		}
+	}
+	return walk(x, &c.root, p)
+}
+
+// chunk reports the run bound in elements: 0 (unbounded) for the fully
+// specialized plan, ChunkUnits for the bounded-unrolling configuration.
+func (c *Codec) chunk() int {
+	if c.mode == Chunked {
+		return ChunkUnits
+	}
+	return 0
+}
+
+// ---------------------------------------------------------------------------
+// Generic codec: the interpretive tree-walker.
+//
+// walk is deliberately structured like the original generic stubs: one
+// recursive routine serving encode, decode, and free, dispatching on the
+// handle mode at every leaf and moving one unit at a time through the
+// Stream interface with its per-unit bounds check. This is the baseline
+// the paper's measurements start from.
+
+func walk(x *xdr.XDR, n *node, p unsafe.Pointer) error {
+	q := unsafe.Add(p, n.off)
+	switch n.t.Kind {
+	case Int32:
+		return x.Long((*int32)(q))
+	case Uint32:
+		return x.Uint32((*uint32)(q))
+	case Bool:
+		return x.Bool((*bool)(q))
+	case Float32:
+		return x.Float32((*float32)(q))
+	case Hyper:
+		return x.Hyper((*int64)(q))
+	case Uhyper:
+		return x.Uint64((*uint64)(q))
+	case Float64:
+		return x.Float64((*float64)(q))
+	case String:
+		return x.String((*string)(q), n.bound)
+	case OpaqueFixed:
+		if n.t.Len == 0 {
+			return nil
+		}
+		return x.Opaque(unsafe.Slice((*byte)(q), n.t.Len))
+	case OpaqueVar:
+		return x.Bytes((*[]byte)(q), n.bound)
+	case Struct:
+		for i := range n.fields {
+			if err := walk(x, &n.fields[i], p); err != nil {
+				return err
+			}
+		}
+		return nil
+	case FixedArray:
+		for i := 0; i < n.t.Len; i++ {
+			if err := walk(x, n.elem, unsafe.Add(q, uintptr(i)*n.stride)); err != nil {
+				return err
+			}
+		}
+		return nil
+	case VarArray:
+		return walkVarArray(x, n, q)
+	default:
+		return fmt.Errorf("wire: cannot marshal kind %s", n.t.Kind)
+	}
+}
+
+func walkVarArray(x *xdr.XDR, n *node, q unsafe.Pointer) error {
+	h := (*sliceHeader)(q)
+	switch x.Op {
+	case xdr.Encode:
+		cnt := uint32(h.len)
+		if cnt > n.bound {
+			return xdr.ErrTooBig
+		}
+		if err := x.Uint32(&cnt); err != nil {
+			return err
+		}
+		for i := 0; i < h.len; i++ {
+			if err := walk(x, n.elem, unsafe.Add(h.data, uintptr(i)*n.stride)); err != nil {
+				return err
+			}
+		}
+		return nil
+	case xdr.Decode:
+		var cnt uint32
+		if err := x.Uint32(&cnt); err != nil {
+			return err
+		}
+		if cnt > n.bound {
+			return xdr.ErrTooBig
+		}
+		data := ensureSlice(q, n.sliceT, int(cnt), n.stride)
+		for i := 0; i < int(cnt); i++ {
+			if err := walk(x, n.elem, unsafe.Add(data, uintptr(i)*n.stride)); err != nil {
+				return err
+			}
+		}
+		return nil
+	case xdr.Free:
+		for i := 0; i < h.len; i++ {
+			if err := walk(x, n.elem, unsafe.Add(h.data, uintptr(i)*n.stride)); err != nil {
+				return err
+			}
+		}
+		h.data, h.len, h.cap = nil, 0, 0
+		return nil
+	default:
+		return xdr.ErrBadOp
+	}
+}
+
+// ensureSlice makes the slice at dst hold exactly cnt elements, reusing
+// the existing backing array when the length already matches (as
+// xdr.Array does), and returns the data pointer. Allocation goes through
+// reflect so element types carrying pointers (strings, nested slices)
+// stay visible to the garbage collector.
+func ensureSlice(dst unsafe.Pointer, sliceT reflect.Type, cnt int, stride uintptr) unsafe.Pointer {
+	h := (*sliceHeader)(dst)
+	if h.len == cnt {
+		return h.data
+	}
+	if cnt == 0 {
+		h.data, h.len, h.cap = nil, 0, 0
+		return nil
+	}
+	ms := reflect.MakeSlice(sliceT, cnt, cnt)
+	reflect.NewAt(sliceT, dst).Elem().Set(ms)
+	return h.data
+}
+
+// ---------------------------------------------------------------------------
+// Specialized / chunked codec: the flat plan executors.
+//
+// Each instruction is one run: one growth or bounds check, then direct
+// big-endian stores or loads over the window. chunk bounds the elements
+// per inner run (0 = unbounded); the chunked configuration drives long
+// runs through an outer loop in ChunkUnits-element chunks, the paper's
+// Table 4 transform.
+
+func encodeProg(bs *xdr.BufStream, prog []instr, p unsafe.Pointer, chunk int) error {
+	for i := range prog {
+		in := &prog[i]
+		q := unsafe.Add(p, in.off)
+		switch in.op {
+		case opUnits:
+			encUnits(bs, q, in.n, chunk)
+		case opUnits8:
+			encUnits8(bs, q, in.n, chunk)
+		case opBools:
+			encBools(bs, q, in.n, chunk)
+		case opBytes:
+			encBytes(bs, q, in.n)
+		case opString:
+			h := (*stringHeader)(q)
+			if uint32(h.len) > in.bound {
+				return xdr.ErrTooBig
+			}
+			encCounted(bs, h.data, h.len)
+		case opOpaqueV:
+			h := (*sliceHeader)(q)
+			if uint32(h.len) > in.bound {
+				return xdr.ErrTooBig
+			}
+			encCounted(bs, h.data, h.len)
+		case opSliceUnits, opSliceUnits8, opSliceBools:
+			h := (*sliceHeader)(q)
+			if uint32(h.len) > in.bound {
+				return xdr.ErrTooBig
+			}
+			binary.BigEndian.PutUint32(bs.Extend(4), uint32(h.len))
+			switch in.op {
+			case opSliceUnits:
+				encUnits(bs, h.data, h.len*in.unitsPer, chunk)
+			case opSliceUnits8:
+				encUnits8(bs, h.data, h.len*in.unitsPer, chunk)
+			default:
+				encBools(bs, h.data, h.len*in.unitsPer, chunk)
+			}
+		case opSliceSub:
+			h := (*sliceHeader)(q)
+			if uint32(h.len) > in.bound {
+				return xdr.ErrTooBig
+			}
+			binary.BigEndian.PutUint32(bs.Extend(4), uint32(h.len))
+			for j := 0; j < h.len; j++ {
+				if err := encodeProg(bs, in.sub, unsafe.Add(h.data, uintptr(j)*in.stride), chunk); err != nil {
+					return err
+				}
+			}
+		case opVecSub:
+			for j := 0; j < in.n; j++ {
+				if err := encodeProg(bs, in.sub, unsafe.Add(q, uintptr(j)*in.stride), chunk); err != nil {
+					return err
+				}
+			}
+		default:
+			return fmt.Errorf("wire: bad instruction %d", in.op)
+		}
+	}
+	return nil
+}
+
+// encUnits writes n 4-byte big-endian units from src: the residual loop
+// of the specialized stub — no dispatch, no per-unit check, just the
+// byte-order store.
+func encUnits(bs *xdr.BufStream, src unsafe.Pointer, n, chunk int) {
+	for done := 0; done < n; {
+		k := runLen(n-done, chunk)
+		w := bs.Extend(4 * k)
+		for j := 0; j < k; j++ {
+			binary.BigEndian.PutUint32(w[4*j:], *(*uint32)(unsafe.Add(src, uintptr(done+j)*4)))
+		}
+		done += k
+	}
+}
+
+func encUnits8(bs *xdr.BufStream, src unsafe.Pointer, n, chunk int) {
+	for done := 0; done < n; {
+		k := runLen(n-done, chunk)
+		w := bs.Extend(8 * k)
+		for j := 0; j < k; j++ {
+			binary.BigEndian.PutUint64(w[8*j:], *(*uint64)(unsafe.Add(src, uintptr(done+j)*8)))
+		}
+		done += k
+	}
+}
+
+func encBools(bs *xdr.BufStream, src unsafe.Pointer, n, chunk int) {
+	for done := 0; done < n; {
+		k := runLen(n-done, chunk)
+		w := bs.Extend(4 * k)
+		for j := 0; j < k; j++ {
+			var u uint32
+			if *(*byte)(unsafe.Add(src, done+j)) != 0 {
+				u = 1
+			}
+			binary.BigEndian.PutUint32(w[4*j:], u)
+		}
+		done += k
+	}
+}
+
+// encBytes writes n fixed opaque bytes plus padding as one memcpy run.
+func encBytes(bs *xdr.BufStream, src unsafe.Pointer, n int) {
+	if n == 0 {
+		return
+	}
+	pad := xdr.Pad(n)
+	w := bs.Extend(n + pad)
+	copy(w, unsafe.Slice((*byte)(src), n))
+	for j := n; j < n+pad; j++ {
+		w[j] = 0
+	}
+}
+
+// encCounted writes a 4-byte count, n raw bytes, and padding.
+func encCounted(bs *xdr.BufStream, src unsafe.Pointer, n int) {
+	pad := xdr.Pad(n)
+	w := bs.Extend(4 + n + pad)
+	binary.BigEndian.PutUint32(w, uint32(n))
+	if n > 0 {
+		copy(w[4:], unsafe.Slice((*byte)(src), n))
+	}
+	for j := 4 + n; j < 4+n+pad; j++ {
+		w[j] = 0
+	}
+}
+
+// runLen bounds one inner run to the chunk size (0 = unbounded).
+func runLen(remaining, chunk int) int {
+	if chunk > 0 && remaining > chunk {
+		return chunk
+	}
+	return remaining
+}
+
+func decodeProg(ms *xdr.MemStream, prog []instr, p unsafe.Pointer, chunk int) error {
+	for i := range prog {
+		in := &prog[i]
+		q := unsafe.Add(p, in.off)
+		switch in.op {
+		case opUnits:
+			if err := decUnits(ms, q, in.n, chunk); err != nil {
+				return err
+			}
+		case opUnits8:
+			if err := decUnits8(ms, q, in.n, chunk); err != nil {
+				return err
+			}
+		case opBools:
+			if err := decBools(ms, q, in.n, chunk); err != nil {
+				return err
+			}
+		case opBytes:
+			pad := xdr.Pad(in.n)
+			b, err := ms.Take(in.n + pad)
+			if err != nil {
+				return err
+			}
+			if in.n > 0 {
+				copy(unsafe.Slice((*byte)(q), in.n), b)
+			}
+		case opString:
+			cnt, err := decCount(ms, in.bound)
+			if err != nil {
+				return err
+			}
+			b, err := ms.Take(cnt + xdr.Pad(cnt))
+			if err != nil {
+				return err
+			}
+			*(*string)(q) = string(b[:cnt])
+		case opOpaqueV:
+			cnt, err := decCount(ms, in.bound)
+			if err != nil {
+				return err
+			}
+			b, err := ms.Take(cnt + xdr.Pad(cnt))
+			if err != nil {
+				return err
+			}
+			dst := (*[]byte)(q)
+			if len(*dst) != cnt {
+				*dst = make([]byte, cnt)
+			}
+			copy(*dst, b[:cnt])
+		case opSliceUnits, opSliceUnits8, opSliceBools:
+			cnt, err := decCount(ms, in.bound)
+			if err != nil {
+				return err
+			}
+			// Reject counts the remaining bytes cannot possibly satisfy
+			// before allocating, so a hostile length prefix cannot force a
+			// huge allocation.
+			wirePer := 4 * in.unitsPer
+			if in.op == opSliceUnits8 {
+				wirePer = 8 * in.unitsPer
+			}
+			if int64(cnt)*int64(wirePer) > int64(ms.Remaining()) {
+				return xdr.ErrOverflow
+			}
+			data := ensureSlicePtrFree(q, cnt, in.stride)
+			switch in.op {
+			case opSliceUnits:
+				err = decUnits(ms, data, cnt*in.unitsPer, chunk)
+			case opSliceUnits8:
+				err = decUnits8(ms, data, cnt*in.unitsPer, chunk)
+			default:
+				err = decBools(ms, data, cnt*in.unitsPer, chunk)
+			}
+			if err != nil {
+				return err
+			}
+		case opSliceSub:
+			cnt, err := decCount(ms, in.bound)
+			if err != nil {
+				return err
+			}
+			// Every non-degenerate element costs at least 4 wire bytes;
+			// use that conservative floor to reject hostile counts before
+			// allocating.
+			if len(in.sub) > 0 && int64(cnt)*4 > int64(ms.Remaining()) {
+				return xdr.ErrOverflow
+			}
+			data := ensureSlice(q, in.sliceT, cnt, in.stride)
+			for j := 0; j < cnt; j++ {
+				if err := decodeProg(ms, in.sub, unsafe.Add(data, uintptr(j)*in.stride), chunk); err != nil {
+					return err
+				}
+			}
+		case opVecSub:
+			for j := 0; j < in.n; j++ {
+				if err := decodeProg(ms, in.sub, unsafe.Add(q, uintptr(j)*in.stride), chunk); err != nil {
+					return err
+				}
+			}
+		default:
+			return fmt.Errorf("wire: bad instruction %d", in.op)
+		}
+	}
+	return nil
+}
+
+func decCount(ms *xdr.MemStream, bound uint32) (int, error) {
+	b, err := ms.Take(4)
+	if err != nil {
+		return 0, err
+	}
+	cnt := binary.BigEndian.Uint32(b)
+	if cnt > bound {
+		return 0, xdr.ErrTooBig
+	}
+	return int(cnt), nil
+}
+
+func decUnits(ms *xdr.MemStream, dst unsafe.Pointer, n, chunk int) error {
+	for done := 0; done < n; {
+		k := runLen(n-done, chunk)
+		b, err := ms.Take(4 * k)
+		if err != nil {
+			return err
+		}
+		for j := 0; j < k; j++ {
+			*(*uint32)(unsafe.Add(dst, uintptr(done+j)*4)) = binary.BigEndian.Uint32(b[4*j:])
+		}
+		done += k
+	}
+	return nil
+}
+
+func decUnits8(ms *xdr.MemStream, dst unsafe.Pointer, n, chunk int) error {
+	for done := 0; done < n; {
+		k := runLen(n-done, chunk)
+		b, err := ms.Take(8 * k)
+		if err != nil {
+			return err
+		}
+		for j := 0; j < k; j++ {
+			*(*uint64)(unsafe.Add(dst, uintptr(done+j)*8)) = binary.BigEndian.Uint64(b[8*j:])
+		}
+		done += k
+	}
+	return nil
+}
+
+func decBools(ms *xdr.MemStream, dst unsafe.Pointer, n, chunk int) error {
+	for done := 0; done < n; {
+		k := runLen(n-done, chunk)
+		b, err := ms.Take(4 * k)
+		if err != nil {
+			return err
+		}
+		for j := 0; j < k; j++ {
+			*(*bool)(unsafe.Add(dst, done+j)) = binary.BigEndian.Uint32(b[4*j:]) != 0
+		}
+		done += k
+	}
+	return nil
+}
+
+// ensureSlicePtrFree is ensureSlice for element types the compiler proved
+// pointer-free (unit and bool runs): the backing array is allocated as
+// raw 8-byte-aligned storage without reflection, keeping the hot decode
+// path cheap. The slice header written is a valid header for the field's
+// own (pointer-free) element type, so the GC tracks the backing array
+// through the field as usual.
+func ensureSlicePtrFree(dst unsafe.Pointer, cnt int, stride uintptr) unsafe.Pointer {
+	h := (*sliceHeader)(dst)
+	if h.len == cnt {
+		return h.data
+	}
+	if cnt == 0 {
+		h.data, h.len, h.cap = nil, 0, 0
+		return nil
+	}
+	words := (uintptr(cnt)*stride + 7) / 8
+	backing := make([]uint64, words)
+	h.data, h.len, h.cap = unsafe.Pointer(&backing[0]), cnt, cnt
+	return h.data
+}

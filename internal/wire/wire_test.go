@@ -1,0 +1,430 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+
+	"specrpc/internal/xdr"
+)
+
+// everything exercises every wire kind, nesting, fusion breaks (bool,
+// string) between fusible runs, and composite array elements.
+type point struct {
+	X int32
+	Y int32
+}
+
+type everything struct {
+	A       int32
+	B       uint32
+	Flag    bool
+	F       float32
+	H       int64
+	UH      uint64
+	D       float64
+	Name    string
+	Tag     [4]byte
+	Blob    []byte
+	Fixed   [3]int32
+	Nums    []int32
+	Pts     []point
+	Corners [2]point
+	Nested  point
+	Words   []string
+	Bools   []bool
+	Longs   []int64
+}
+
+func everythingType() *Type {
+	pt := StructT("point", F("x", Int32T()), F("y", Int32T()))
+	return StructT("everything",
+		F("a", Int32T()),
+		F("b", Uint32T()),
+		F("flag", BoolT()),
+		F("f", Float32T()),
+		F("h", HyperT()),
+		F("uh", UhyperT()),
+		F("d", Float64T()),
+		F("name", StringT(64)),
+		F("tag", OpaqueFixedT(4)),
+		F("blob", OpaqueVarT(128)),
+		F("fixed", FixedArrayT(3, Int32T())),
+		F("nums", VarArrayT(1000, Int32T())),
+		F("pts", VarArrayT(100, pt)),
+		F("corners", FixedArrayT(2, pt)),
+		F("nested", pt),
+		F("words", VarArrayT(10, StringT(32))),
+		F("bools", VarArrayT(50, BoolT())),
+		F("longs", VarArrayT(50, HyperT())),
+	)
+}
+
+func sampleEverything() everything {
+	return everything{
+		A: -7, B: 0xdeadbeef, Flag: true, F: 2.5, H: -1 << 40, UH: 1 << 60, D: -0.125,
+		Name: "specialize", Tag: [4]byte{1, 2, 3, 4}, Blob: []byte{9, 8, 7, 6, 5},
+		Fixed: [3]int32{10, 20, 30}, Nums: []int32{1, -2, 3, -4, 5},
+		Pts:     []point{{1, 2}, {3, 4}, {5, 6}},
+		Corners: [2]point{{7, 8}, {9, 10}},
+		Nested:  point{11, 12},
+		Words:   []string{"a", "bcd", "ef"},
+		Bools:   []bool{true, false, true},
+		Longs:   []int64{1 << 33, -5, 0},
+	}
+}
+
+var modes = []Mode{Generic, Specialized, Chunked}
+
+// handwritten is the reference encoding via the micro-layered xdr calls
+// a hand-written stub would make; every codec must match it byte for
+// byte.
+func handwritten(t *testing.T, v *everything) []byte {
+	t.Helper()
+	bs := xdr.NewBufEncode(nil)
+	x := xdr.NewEncoder(bs)
+	ptProc := func(x *xdr.XDR, p *point) error {
+		if err := x.Long(&p.X); err != nil {
+			return err
+		}
+		return x.Long(&p.Y)
+	}
+	var err error
+	step := func(e error) {
+		if err == nil {
+			err = e
+		}
+	}
+	step(x.Long(&v.A))
+	step(x.Uint32(&v.B))
+	step(x.Bool(&v.Flag))
+	step(x.Float32(&v.F))
+	step(x.Hyper(&v.H))
+	step(x.Uint64(&v.UH))
+	step(x.Float64(&v.D))
+	step(x.String(&v.Name, 64))
+	step(x.Opaque(v.Tag[:]))
+	step(x.Bytes(&v.Blob, 128))
+	step(xdr.Vector(x, v.Fixed[:], (*xdr.XDR).Long))
+	step(xdr.Array(x, &v.Nums, 1000, (*xdr.XDR).Long))
+	step(xdr.Array(x, &v.Pts, 100, ptProc))
+	step(xdr.Vector(x, v.Corners[:], ptProc))
+	step(ptProc(x, &v.Nested))
+	step(xdr.Array(x, &v.Words, 10, func(x *xdr.XDR, s *string) error { return x.String(s, 32) }))
+	step(xdr.Array(x, &v.Bools, 50, (*xdr.XDR).Bool))
+	step(xdr.Array(x, &v.Longs, 50, (*xdr.XDR).Hyper))
+	if err != nil {
+		t.Fatalf("reference encode: %v", err)
+	}
+	return append([]byte(nil), bs.Buffer()...)
+}
+
+func encodeWith(t *testing.T, p *Plan[everything], v *everything) []byte {
+	t.Helper()
+	bs := xdr.NewBufEncode(nil)
+	if err := p.Marshal(xdr.NewEncoder(bs), v); err != nil {
+		t.Fatalf("%v encode: %v", p.Mode(), err)
+	}
+	return append([]byte(nil), bs.Buffer()...)
+}
+
+func TestCodecsMatchHandwrittenBytes(t *testing.T) {
+	v := sampleEverything()
+	want := handwritten(t, &v)
+	for _, m := range modes {
+		p := MustPlan[everything](everythingType(), m)
+		got := encodeWith(t, p, &v)
+		if !bytes.Equal(got, want) {
+			t.Errorf("%v: encoding differs from hand-written stub\n got %x\nwant %x", m, got, want)
+		}
+	}
+}
+
+func TestRoundTripAllModes(t *testing.T) {
+	v := sampleEverything()
+	for _, encM := range modes {
+		for _, decM := range modes {
+			enc := MustPlan[everything](everythingType(), encM)
+			dec := MustPlan[everything](everythingType(), decM)
+			wireBytes := encodeWith(t, enc, &v)
+			var got everything
+			if err := dec.Marshal(xdr.NewDecoder(xdr.NewMemDecode(wireBytes)), &got); err != nil {
+				t.Fatalf("%v->%v decode: %v", encM, decM, err)
+			}
+			assertEverythingEqual(t, &got, &v)
+		}
+	}
+}
+
+func assertEverythingEqual(t *testing.T, got, want *everything) {
+	t.Helper()
+	if got.A != want.A || got.B != want.B || got.Flag != want.Flag || got.F != want.F ||
+		got.H != want.H || got.UH != want.UH || got.D != want.D || got.Name != want.Name ||
+		got.Tag != want.Tag || !bytes.Equal(got.Blob, want.Blob) ||
+		got.Fixed != want.Fixed || got.Corners != want.Corners || got.Nested != want.Nested {
+		t.Fatalf("scalar/fixed mismatch:\n got %+v\nwant %+v", got, want)
+	}
+	if len(got.Nums) != len(want.Nums) || len(got.Pts) != len(want.Pts) ||
+		len(got.Words) != len(want.Words) || len(got.Bools) != len(want.Bools) ||
+		len(got.Longs) != len(want.Longs) {
+		t.Fatalf("length mismatch:\n got %+v\nwant %+v", got, want)
+	}
+	for i := range want.Nums {
+		if got.Nums[i] != want.Nums[i] {
+			t.Fatalf("Nums[%d] = %d, want %d", i, got.Nums[i], want.Nums[i])
+		}
+	}
+	for i := range want.Pts {
+		if got.Pts[i] != want.Pts[i] {
+			t.Fatalf("Pts[%d] = %+v, want %+v", i, got.Pts[i], want.Pts[i])
+		}
+	}
+	for i := range want.Words {
+		if got.Words[i] != want.Words[i] {
+			t.Fatalf("Words[%d] = %q, want %q", i, got.Words[i], want.Words[i])
+		}
+	}
+	for i := range want.Bools {
+		if got.Bools[i] != want.Bools[i] {
+			t.Fatalf("Bools[%d] mismatch", i)
+		}
+	}
+	for i := range want.Longs {
+		if got.Longs[i] != want.Longs[i] {
+			t.Fatalf("Longs[%d] mismatch", i)
+		}
+	}
+}
+
+// TestChunkedCrossesChunkBoundary exercises runs longer than ChunkUnits
+// so the chunked driver loop actually iterates.
+func TestChunkedCrossesChunkBoundary(t *testing.T) {
+	n := 3*ChunkUnits + 17
+	in := make([]int32, n)
+	for i := range in {
+		in[i] = int32(i * 3)
+	}
+	ty := VarArrayT(0, Int32T())
+	ref := encodeInts(t, MustPlan[[]int32](ty, Generic), in)
+	for _, m := range []Mode{Specialized, Chunked} {
+		got := encodeInts(t, MustPlan[[]int32](ty, m), in)
+		if !bytes.Equal(got, ref) {
+			t.Fatalf("%v: bytes differ from generic at N=%d", m, n)
+		}
+		var out []int32
+		if err := MustPlan[[]int32](ty, m).Marshal(xdr.NewDecoder(xdr.NewMemDecode(got)), &out); err != nil {
+			t.Fatalf("%v decode: %v", m, err)
+		}
+		if len(out) != n || out[0] != 0 || out[n-1] != in[n-1] {
+			t.Fatalf("%v: bad round trip", m)
+		}
+	}
+}
+
+func encodeInts(t *testing.T, p *Plan[[]int32], v []int32) []byte {
+	t.Helper()
+	bs := xdr.NewBufEncode(nil)
+	if err := p.Marshal(xdr.NewEncoder(bs), &v); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	return append([]byte(nil), bs.Buffer()...)
+}
+
+// TestSpecializedEncodeAllocFree is the paper's claim on the live path:
+// the compiled plan encodes through the pooled buffer without a single
+// allocation.
+func TestSpecializedEncodeAllocFree(t *testing.T) {
+	v := sampleEverything()
+	v.Words = nil // string slice encode is alloc-free too, but keep the
+	// steady-state shape the transport sees: ints dominating
+	p := MustPlan[everything](everythingType(), Specialized)
+	bs := xdr.NewBufEncode(make([]byte, 0, 4096))
+	x := xdr.NewEncoder(bs)
+	if err := p.Marshal(x, &v); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		bs.Reset()
+		if err := p.Marshal(x, &v); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("specialized encode allocates %.1f per op, want 0", allocs)
+	}
+}
+
+func TestFusionCollapsesRuns(t *testing.T) {
+	// point fuses into one 2-unit run; [2]point into one 4-unit run; a
+	// struct of two contiguous int32 fields plus a fixed array fuses into
+	// a single instruction.
+	type flat struct {
+		A int32
+		B int32
+		C [5]int32
+	}
+	ty := StructT("flat", F("a", Int32T()), F("b", Int32T()), F("c", FixedArrayT(5, Int32T())))
+	c, err := Compile(ty, reflect.TypeOf(flat{}), Specialized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Instructions() != 1 {
+		t.Fatalf("flat struct compiled to %d instructions, want 1 fused run", c.Instructions())
+	}
+	// []point keeps a count but fuses its element: one instruction.
+	pty := VarArrayT(0, StructT("point", F("x", Int32T()), F("y", Int32T())))
+	pc, err := Compile(pty, reflect.TypeOf([]point(nil)), Specialized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pc.Instructions() != 1 {
+		t.Fatalf("[]point compiled to %d instructions, want 1", pc.Instructions())
+	}
+}
+
+func TestCompileMismatches(t *testing.T) {
+	type s struct{ A int32 }
+	cases := []struct {
+		name string
+		ty   *Type
+	}{
+		{"kind", StructT("s", F("a", Uint32T()))},
+		{"fieldcount", StructT("s", F("a", Int32T()), F("b", Int32T()))},
+		{"fieldname", StructT("s", F("zzz", Int32T()))},
+	}
+	for _, tc := range cases {
+		if _, err := NewPlan[s](tc.ty, Specialized); err == nil {
+			t.Errorf("%s: compile succeeded, want error", tc.name)
+		}
+	}
+	if _, err := NewPlan[int32](Uint32T(), Generic); err == nil {
+		t.Error("int32 vs uint32: compile succeeded, want error")
+	}
+}
+
+func TestDecodeBoundsAndTruncation(t *testing.T) {
+	ty := VarArrayT(4, Int32T())
+	enc := MustPlan[[]int32](ty, Generic)
+	over := []int32{1, 2, 3, 4, 5}
+	bs := xdr.NewBufEncode(nil)
+	if err := enc.Marshal(xdr.NewEncoder(bs), &over); !errors.Is(err, xdr.ErrTooBig) {
+		t.Fatalf("encode over bound: %v, want ErrTooBig", err)
+	}
+	// A count larger than the bound must be rejected on decode in every
+	// mode.
+	loose := MustPlan[[]int32](VarArrayT(0, Int32T()), Specialized)
+	bs = xdr.NewBufEncode(nil)
+	if err := loose.Marshal(xdr.NewEncoder(bs), &over); err != nil {
+		t.Fatal(err)
+	}
+	raw := bs.Buffer()
+	for _, m := range modes {
+		dec := MustPlan[[]int32](ty, m)
+		var out []int32
+		if err := dec.Marshal(xdr.NewDecoder(xdr.NewMemDecode(raw)), &out); !errors.Is(err, xdr.ErrTooBig) {
+			t.Errorf("%v decode over bound: %v, want ErrTooBig", m, err)
+		}
+	}
+	// Truncated input must surface ErrOverflow, not panic or over-read.
+	for _, m := range modes {
+		dec := MustPlan[[]int32](VarArrayT(0, Int32T()), m)
+		for cut := 0; cut < len(raw); cut++ {
+			var out []int32
+			if err := dec.Marshal(xdr.NewDecoder(xdr.NewMemDecode(raw[:cut])), &out); err == nil {
+				t.Errorf("%v: decode of %d/%d bytes succeeded", m, cut, len(raw))
+			}
+		}
+	}
+	// A hostile count with no data behind it must not allocate wildly; it
+	// fails on the remaining-bytes check.
+	hostile := []byte{0x3f, 0xff, 0xff, 0xff}
+	for _, m := range modes {
+		dec := MustPlan[[]int32](VarArrayT(0, Int32T()), m)
+		var out []int32
+		if err := dec.Marshal(xdr.NewDecoder(xdr.NewMemDecode(hostile)), &out); err == nil {
+			t.Errorf("%v: hostile count decoded", m)
+		}
+	}
+}
+
+func TestFreeModeZeroes(t *testing.T) {
+	v := sampleEverything()
+	p := MustPlan[everything](everythingType(), Generic)
+	if err := p.Marshal(xdr.NewFreer(), &v); err != nil {
+		t.Fatal(err)
+	}
+	if v.Blob != nil || v.Nums != nil || v.Pts != nil || v.Name != "" || v.Words != nil {
+		t.Fatalf("free left data: %+v", v)
+	}
+}
+
+// TestFallbackStream drives the specialized plan against a stream it has
+// no fast path for (the record stream), exercising the generic fallback.
+func TestFallbackStream(t *testing.T) {
+	v := sampleEverything()
+	p := MustPlan[everything](everythingType(), Specialized)
+	var buf bytes.Buffer
+	rs := xdr.NewRecStream(&buf, 0)
+	if err := p.Marshal(xdr.NewEncoder(rs), &v); err != nil {
+		t.Fatal(err)
+	}
+	if err := rs.EndRecord(); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := xdr.NewRecStream(&buf, 0).ReadRecord(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := handwritten(t, &v)
+	if !bytes.Equal(rec, want) {
+		t.Fatalf("fallback bytes differ")
+	}
+}
+
+// TestFusedBoolArraySlice pins a regression: a var-array whose element
+// fuses to a multi-unit bool run ([][2]bool) must move len*unitsPer wire
+// units, byte-identical across codecs.
+func TestFusedBoolArraySlice(t *testing.T) {
+	ty := VarArrayT(0, FixedArrayT(2, BoolT()))
+	v := [][2]bool{{true, false}, {false, true}, {true, true}}
+	var ref []byte
+	for i, m := range modes {
+		p := MustPlan[[][2]bool](ty, m)
+		bs := xdr.NewBufEncode(nil)
+		if err := p.Marshal(xdr.NewEncoder(bs), &v); err != nil {
+			t.Fatalf("%v encode: %v", m, err)
+		}
+		got := append([]byte(nil), bs.Buffer()...)
+		if wantLen := 4 + 4*2*len(v); len(got) != wantLen {
+			t.Fatalf("%v: %d wire bytes, want %d", m, len(got), wantLen)
+		}
+		if i == 0 {
+			ref = got
+		} else if !bytes.Equal(got, ref) {
+			t.Fatalf("%v: bytes differ from generic\n got %x\nwant %x", m, got, ref)
+		}
+		var out [][2]bool
+		if err := p.Marshal(xdr.NewDecoder(xdr.NewMemDecode(got)), &out); err != nil {
+			t.Fatalf("%v decode: %v", m, err)
+		}
+		if len(out) != len(v) || out[0] != v[0] || out[2] != v[2] {
+			t.Fatalf("%v: bad round trip: %v", m, out)
+		}
+	}
+}
+
+func TestDecodeReusesBacking(t *testing.T) {
+	ty := VarArrayT(0, Int32T())
+	p := MustPlan[[]int32](ty, Specialized)
+	in := []int32{1, 2, 3}
+	raw := encodeInts(t, p, in)
+	out := make([]int32, 3)
+	first := &out[0]
+	if err := p.Marshal(xdr.NewDecoder(xdr.NewMemDecode(raw)), &out); err != nil {
+		t.Fatal(err)
+	}
+	if &out[0] != first {
+		t.Fatal("matching-length decode reallocated the slice")
+	}
+}

@@ -48,6 +48,22 @@ func (b *BufStream) SetPos(pos int) error {
 	return nil
 }
 
+// Extend grows the stream by n bytes and returns the writable window
+// covering them. It is the bulk counterpart of PutLong/PutBytes: a
+// compiled marshal plan reserves one run of output with a single growth
+// check and then stores directly, instead of paying a per-unit call
+// through the Stream interface. The window is only valid until the next
+// operation on the stream.
+func (b *BufStream) Extend(n int) []byte {
+	l := len(b.buf)
+	if cap(b.buf)-l < n {
+		b.buf = append(b.buf[:l], make([]byte, n)...)
+	} else {
+		b.buf = b.buf[:l+n]
+	}
+	return b.buf[l : l+n]
+}
+
 // Buffer returns the bytes encoded so far.
 func (b *BufStream) Buffer() []byte { return b.buf }
 

@@ -1,0 +1,52 @@
+package xdr
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRecRead feeds arbitrary bytes to the record-marking reader: the
+// first decode boundary a hostile TCP peer reaches. The reader must
+// never panic, never return more bytes than arrived, and never allocate
+// ahead of the data backing a fragment header's claimed length.
+func FuzzRecRead(f *testing.F) {
+	// A well-formed single-fragment record.
+	var good bytes.Buffer
+	rs := NewRecStream(&good, 0)
+	if err := rs.PutBytes([]byte("hello world!")); err != nil {
+		f.Fatal(err)
+	}
+	if err := rs.EndRecord(); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good.Bytes())
+	// A record split across two fragments.
+	var multi bytes.Buffer
+	rs = NewRecStream(&multi, 8)
+	if err := rs.PutBytes(bytes.Repeat([]byte{0xab}, 20)); err != nil {
+		f.Fatal(err)
+	}
+	if err := rs.EndRecord(); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(multi.Bytes())
+	// An empty final fragment, a truncated header, and a fragment header
+	// whose length lies far beyond the data behind it.
+	f.Add([]byte{0x80, 0, 0, 0})
+	f.Add([]byte{0x80, 0})
+	f.Add([]byte{0x7f, 0xff, 0xff, 0xff, 1, 2, 3})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec, err := NewRecStream(bytes.NewBuffer(data), 0).ReadRecord(nil)
+		if err == nil && len(rec) > len(data) {
+			t.Fatalf("record %d bytes from %d input bytes", len(rec), len(data))
+		}
+		// The streaming reader and skipper over the same input must not
+		// panic either.
+		s := NewRecStream(bytes.NewBuffer(data), 0)
+		var v int32
+		for s.GetLong(&v) == nil {
+		}
+		_ = NewRecStream(bytes.NewBuffer(data), 0).SkipRecord()
+	})
+}

@@ -89,6 +89,22 @@ func (m *MemStream) GetBytes(p []byte) error {
 	return nil
 }
 
+// Take consumes the next n bytes and returns them as a window into the
+// underlying buffer. It is the bulk counterpart of GetLong/GetBytes: a
+// compiled marshal plan performs one x_handy check for a whole run of
+// fields and then loads directly from the window, which is exactly the
+// per-unit overflow checking the paper's specializer removes. The window
+// aliases the stream's buffer and must not be retained.
+func (m *MemStream) Take(n int) ([]byte, error) {
+	if m.handy -= n; m.handy < 0 {
+		m.handy = 0
+		return nil, ErrOverflow
+	}
+	p := m.buf[m.pos : m.pos+n]
+	m.pos += n
+	return p, nil
+}
+
 // Pos reports the current offset within the buffer (XDR_GETPOS).
 func (m *MemStream) Pos() int { return m.pos }
 

@@ -162,19 +162,30 @@ func (r *RecStream) readFragmentHeader() error {
 	return nil
 }
 
+// maxFragStep bounds how much ReadRecord grows its buffer ahead of the
+// bytes actually arriving: a fragment header is attacker-controlled, so
+// trusting its length for one big allocation would let a single bogus
+// record claim up to 2 GiB before the read fails. Growing in bounded
+// steps keeps memory proportional to data received.
+const maxFragStep = 1 << 20
+
 // ReadRecord appends one complete record to dst and returns the extended
 // slice. It reads fragment-at-a-time, so it is the efficient way for a
 // server to slurp a whole request before dispatching.
 func (r *RecStream) ReadRecord(dst []byte) ([]byte, error) {
 	for {
-		if r.rfrag > 0 {
+		for r.rfrag > 0 {
+			step := r.rfrag
+			if step > maxFragStep {
+				step = maxFragStep
+			}
 			start := len(dst)
-			dst = append(dst, make([]byte, r.rfrag)...)
+			dst = append(dst, make([]byte, step)...)
 			if _, err := io.ReadFull(r.rw, dst[start:]); err != nil {
 				return dst, fmt.Errorf("xdr: read record payload: %w", err)
 			}
-			r.rcons += r.rfrag
-			r.rfrag = 0
+			r.rcons += step
+			r.rfrag -= step
 		}
 		if r.rinit && r.rlast {
 			r.rinit = false
