@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json fuzz genstubs fmt vet ci
+.PHONY: all build test race bench bench-json bench-diff fuzz genstubs fmt vet ci
 
 all: build
 
@@ -21,16 +21,30 @@ bench:
 	$(GO) test -run=NONE -bench=. -benchtime=1x -benchmem ./...
 
 # Machine-readable live benchmark: the generic/specialized/chunked codec
-# comparison over netsim, UDP, and TCP, written to BENCH_live.json so the
-# perf trajectory is tracked from PR to PR.
+# comparison over netsim, UDP, and TCP plus the header-path series,
+# written to BENCH_live.json so the perf trajectory is tracked from PR
+# to PR.
 bench-json:
-	$(GO) run ./cmd/sunbench -live-spec -calls 2000 -json BENCH_live.json
+	$(GO) run ./cmd/sunbench -live-spec -header-path -calls 2000 -json BENCH_live.json
 
-# Short native-fuzz smoke over the decode boundary: the record-marking
-# reader and the RPC call-header decoder, fed raw bytes.
+# Non-fatal perf report: re-measure a quick live series (netsim only, so
+# it is fast and socket-free) and diff it against the committed
+# baseline. Numbers on shared CI runners are noisy — the report informs,
+# it never gates (the leading `-` keeps make going on any failure).
+bench-diff:
+	$(GO) run ./cmd/sunbench -live-spec -transport sim -calls 300 -header-path -json bench_head.json >/dev/null
+	-$(GO) run ./cmd/benchdiff BENCH_live.json bench_head.json
+	rm -f bench_head.json
+
+# Short native-fuzz smoke over the decode boundary (the record-marking
+# reader and the RPC call-header decoder, fed raw bytes) and the header
+# template differentials (template bytes == generic marshaler bytes).
 fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzRecRead -fuzztime=10s ./internal/xdr
 	$(GO) test -run=NONE -fuzz=FuzzDecodeCallHeader -fuzztime=10s ./internal/rpcmsg
+	$(GO) test -run=NONE -fuzz=FuzzCallTemplate -fuzztime=10s ./internal/rpcmsg
+	$(GO) test -run=NONE -fuzz='FuzzReplyTemplate$$' -fuzztime=10s ./internal/rpcmsg
+	$(GO) test -run=NONE -fuzz=FuzzAcceptedSuccessBody -fuzztime=10s ./internal/rpcmsg
 
 # Build the rpcgen-generated stubs as part of the pipeline: generate from
 # the richest testdata spec into a temp package and vet it, so codegen
@@ -52,4 +66,4 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-ci: fmt vet build race bench genstubs fuzz
+ci: fmt vet build race bench genstubs bench-diff fuzz

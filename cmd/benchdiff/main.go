@@ -1,0 +1,132 @@
+// Command benchdiff compares two BENCH_live.json files produced by
+// `sunbench -json` and prints a per-series ns/op delta table, so a PR's
+// effect on the live benchmarks is visible at a glance. It is a report,
+// not a gate: CI runs it non-fatally against the committed baseline
+// because loopback numbers on shared runners are noisy.
+//
+// Usage:
+//
+//	benchdiff OLD.json NEW.json
+//
+// Series present in only one file are listed as added or removed.
+// The exit status is 0 whenever both files parse; regressions do not
+// fail the command.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// report mirrors the envelope sunbench writes; unknown fields are
+// ignored so the two files may come from different tool versions.
+type report struct {
+	GeneratedAt string `json:"generated_at"`
+	Go          string `json:"go"`
+	LiveSpec    []struct {
+		Transport string  `json:"transport"`
+		Mode      string  `json:"mode"`
+		N         int     `json:"n"`
+		NsPerCall float64 `json:"ns_per_call"`
+	} `json:"live_spec"`
+	HeaderPath []struct {
+		Series  string  `json:"series"`
+		Impl    string  `json:"impl"`
+		NsPerOp float64 `json:"ns_per_op"`
+	} `json:"header_path"`
+	Throughput []struct {
+		Transport   string  `json:"transport"`
+		Clients     int     `json:"clients"`
+		Depth       int     `json:"depth"`
+		N           int     `json:"n"`
+		CallsPerSec float64 `json:"calls_per_sec"`
+	} `json:"throughput"`
+}
+
+// series flattens every measurement into name -> ns/op (throughput is
+// inverted into ns/call so "lower is better" holds for every row).
+func (r *report) series() map[string]float64 {
+	out := make(map[string]float64)
+	for _, s := range r.LiveSpec {
+		out[fmt.Sprintf("live-spec/%s/%s/N=%d", s.Transport, s.Mode, s.N)] = s.NsPerCall
+	}
+	for _, h := range r.HeaderPath {
+		out[fmt.Sprintf("header-path/%s/%s", h.Series, h.Impl)] = h.NsPerOp
+	}
+	for _, t := range r.Throughput {
+		if t.CallsPerSec > 0 {
+			out[fmt.Sprintf("throughput/%s/c%d_d%d/N=%d", t.Transport, t.Clients, t.Depth, t.N)] =
+				1e9 / t.CallsPerSec
+		}
+	}
+	return out
+}
+
+func load(path string) (*report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r report
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff OLD.json NEW.json")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	oldRep, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+	newRep, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+
+	oldS, newS := oldRep.series(), newRep.series()
+	var names []string
+	for k := range oldS {
+		names = append(names, k)
+	}
+	for k := range newS {
+		if _, ok := oldS[k]; !ok {
+			names = append(names, k)
+		}
+	}
+	sort.Strings(names)
+
+	fmt.Printf("benchdiff: %s (%s)  ->  %s (%s)\n",
+		flag.Arg(0), oldRep.GeneratedAt, flag.Arg(1), newRep.GeneratedAt)
+	fmt.Printf("%-44s %12s %12s %9s\n", "series (ns/op, lower is better)", "old", "new", "delta")
+	for _, name := range names {
+		o, haveOld := oldS[name]
+		n, haveNew := newS[name]
+		switch {
+		case !haveOld:
+			fmt.Printf("%-44s %12s %12.1f %9s\n", name, "-", n, "added")
+		case !haveNew:
+			fmt.Printf("%-44s %12.1f %12s %9s\n", name, o, "-", "removed")
+		default:
+			delta := "n/a"
+			if o > 0 {
+				delta = fmt.Sprintf("%+.1f%%", (n-o)/o*100)
+			}
+			fmt.Printf("%-44s %12.1f %12.1f %9s\n", name, o, n, delta)
+		}
+	}
+}

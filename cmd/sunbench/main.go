@@ -12,7 +12,9 @@
 //	sunbench -throughput      # live throughput over sim, udp, and tcp
 //	sunbench -throughput -transport tcp -clients 4 -depth 16 -calls 50000
 //	sunbench -live-spec       # live codec comparison over sim, udp, tcp
-//	sunbench -live-spec -json BENCH_live.json
+//	sunbench -live-spec -header-path -json BENCH_live.json
+//	sunbench -header-path     # generic vs templated RPC header work
+//	sunbench -throughput -cpuprofile cpu.out -memprofile mem.out
 package main
 
 import (
@@ -21,6 +23,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -28,33 +31,86 @@ import (
 	"specrpc/internal/platform"
 )
 
+// main delegates to realMain so the profile-finalizing defers run
+// before the process exits; os.Exit directly from the work path would
+// truncate an in-progress CPU profile.
 func main() {
+	os.Exit(realMain())
+}
+
+func realMain() int {
 	table := flag.Int("table", 0, "print only this table (1..4)")
 	figure := flag.Int("figure", 0, "print only this figure (6)")
 	throughput := flag.Bool("throughput", false, "measure live transport throughput instead of the paper tables")
 	liveSpec := flag.Bool("live-spec", false, "measure the generic/specialized/chunked marshal plans over the live transports")
+	headerPath := flag.Bool("header-path", false, "measure the generic vs templated RPC header encode/decode paths")
 	transports := flag.String("transport", "sim,udp,tcp", "comma-separated transports for -throughput and -live-spec")
 	clients := flag.Int("clients", 2, "concurrent connections for -throughput")
 	depth := flag.Int("depth", 8, "in-flight calls per connection for -throughput")
 	calls := flag.Int("calls", 0, "total calls for -throughput (default 20000); calls per point for -live-spec (default 2000)")
 	size := flag.Int("size", 100, "echoed int32 array size for -throughput")
 	jsonOut := flag.String("json", "", "also write machine-readable results of the live modes to this file")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile taken at the end of the run to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sunbench:", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "sunbench:", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			fmt.Fprintf(os.Stderr, "sunbench: wrote %s\n", *cpuprofile)
+		}()
+	}
+	defer func() {
+		if *memprofile == "" {
+			return
+		}
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sunbench:", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC() // up-to-date live-object statistics
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "sunbench:", err)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "sunbench: wrote %s\n", *memprofile)
+	}()
 
 	out := &jsonReport{GeneratedAt: time.Now().UTC().Format(time.RFC3339), Go: runtime.Version()}
 	var err error
-	switch {
-	case *liveSpec:
+	live := false
+	if *liveSpec {
+		live = true
 		err = runLiveSpec(*transports, *calls, out)
-	case *throughput:
+	}
+	if err == nil && *headerPath {
+		live = true
+		out.HeaderPath = bench.HeaderPath()
+		fmt.Print(bench.FormatHeaderPath(out.HeaderPath))
+	}
+	if err == nil && *throughput {
+		live = true
 		if *calls <= 0 {
 			*calls = 20000
 		}
 		err = runThroughput(*transports, *clients, *depth, *calls, *size, out)
-	default:
+	}
+	if err == nil && !live {
 		if *jsonOut != "" {
-			fmt.Fprintln(os.Stderr, "sunbench: -json requires -live-spec or -throughput")
-			os.Exit(2)
+			fmt.Fprintln(os.Stderr, "sunbench: -json requires -live-spec, -header-path, or -throughput")
+			return 2
 		}
 		all := *table == 0 && *figure == 0
 		err = run(all, *table, *figure)
@@ -64,17 +120,19 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sunbench:", err)
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 // jsonReport is the machine-readable result envelope of the live modes:
 // the file BENCH_live.json that tracks the perf trajectory across PRs.
 type jsonReport struct {
-	GeneratedAt string                 `json:"generated_at"`
-	Go          string                 `json:"go"`
-	LiveSpec    []bench.LiveSpecResult `json:"live_spec,omitempty"`
-	Throughput  []throughputJSON       `json:"throughput,omitempty"`
+	GeneratedAt string                   `json:"generated_at"`
+	Go          string                   `json:"go"`
+	LiveSpec    []bench.LiveSpecResult   `json:"live_spec,omitempty"`
+	HeaderPath  []bench.HeaderPathResult `json:"header_path,omitempty"`
+	Throughput  []throughputJSON         `json:"throughput,omitempty"`
 }
 
 // throughputJSON flattens ThroughputResult for stable JSON output.

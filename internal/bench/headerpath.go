@@ -1,0 +1,164 @@
+package bench
+
+// Header-path mode: the per-call constant work of the RPC message layer
+// — call-header encode, reply-header encode, reply-header decode —
+// measured generic (interpretive marshaler walk) vs specialized
+// (precompiled template / fixed-offset decode). This is the PR-4
+// counterpart of the live-spec argument-codec comparison: at small
+// argument sizes the header work dominates a call, so this series is
+// where the template win shows.
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"specrpc/internal/rpcmsg"
+	"specrpc/internal/xdr"
+)
+
+// HeaderPathResult is one measured (series, impl) point.
+type HeaderPathResult struct {
+	// Series is the operation measured: "call-encode", "reply-encode",
+	// or "reply-decode".
+	Series string `json:"series"`
+	// Impl is "generic" or "template" ("fastpath" for reply-decode).
+	Impl        string  `json:"impl"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// headerPathCase is one measurable point: step performs a single
+// operation, carrying its reusable state in the closure.
+type headerPathCase struct {
+	series, impl string
+	step         func() error
+}
+
+// headerPathCases builds the six measurements. Shared by the public
+// HeaderPath runner, the Go benchmarks, and the alloc-free test, so all
+// three report the same code paths.
+func headerPathCases() []headerPathCase {
+	hdr := rpcmsg.CallHeader{
+		XID: 1, Prog: 0x20000532, Vers: 1, Proc: 2,
+		Cred: rpcmsg.None(), Verf: rpcmsg.None(),
+	}
+	tmpl, err := rpcmsg.NewCallTemplate(hdr.Prog, hdr.Vers, hdr.Cred, hdr.Verf)
+	if err != nil {
+		panic(err)
+	}
+	rtmpl := rpcmsg.MustReplyTemplate(rpcmsg.None())
+	reply := append(rtmpl.AppendReply(nil, 7), 0, 0, 0, 42)
+
+	genCallBS := xdr.NewBufEncode(make([]byte, 0, 256))
+	genCallEnc := xdr.NewEncoder(genCallBS)
+	genCallHdr := hdr
+	tmplBuf := make([]byte, 0, 256)
+	genReplyBS := xdr.NewBufEncode(make([]byte, 0, 256))
+	genReplyEnc := xdr.NewEncoder(genReplyBS)
+	rtmplBuf := make([]byte, 0, 256)
+	decMS := xdr.NewMemDecode(reply)
+	decHandle := xdr.NewDecoder(decMS)
+	var i uint32
+
+	return []headerPathCase{
+		{"call-encode", "generic", func() error {
+			genCallBS.Reset()
+			i++
+			genCallHdr.XID = i
+			return genCallHdr.Marshal(genCallEnc)
+		}},
+		{"call-encode", "template", func() error {
+			i++
+			tmplBuf = tmpl.AppendCall(tmplBuf[:0], i, 2)
+			return nil
+		}},
+		{"reply-encode", "generic", func() error {
+			genReplyBS.Reset()
+			i++
+			rh := rpcmsg.AcceptedReply(i)
+			return rh.Marshal(genReplyEnc)
+		}},
+		{"reply-encode", "template", func() error {
+			i++
+			rtmplBuf = rtmpl.AppendReply(rtmplBuf[:0], i)
+			return nil
+		}},
+		{"reply-decode", "generic", func() error {
+			decMS.Reset()
+			var rh rpcmsg.ReplyHeader
+			return rh.Marshal(decHandle)
+		}},
+		{"reply-decode", "fastpath", func() error {
+			if _, ok := rpcmsg.AcceptedSuccessBody(reply); !ok {
+				return fmt.Errorf("fast path rejected a success reply")
+			}
+			return nil
+		}},
+	}
+}
+
+// bench adapts a case to the benchmark runner.
+func (c headerPathCase) bench(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := c.step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// HeaderPath measures the six points with the standard benchmark
+// machinery (testing.Benchmark), so sunbench reports the same numbers
+// `go test -bench HeaderPath` does.
+func HeaderPath() []HeaderPathResult {
+	var out []HeaderPathResult
+	for _, c := range headerPathCases() {
+		r := testing.Benchmark(c.bench)
+		out = append(out, HeaderPathResult{
+			Series:      c.series,
+			Impl:        c.impl,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+		})
+	}
+	return out
+}
+
+// FormatHeaderPath renders the series pairs side by side with the
+// generic/specialized speedup, mirroring the live-spec table layout.
+func FormatHeaderPath(rows []HeaderPathResult) string {
+	bySeries := map[string][]HeaderPathResult{}
+	var order []string
+	for _, r := range rows {
+		if _, seen := bySeries[r.Series]; !seen {
+			order = append(order, r.Series)
+		}
+		bySeries[r.Series] = append(bySeries[r.Series], r)
+	}
+	var sb strings.Builder
+	sb.WriteString("Header path: per-call constant work, generic marshaler vs precompiled template\n")
+	fmt.Fprintf(&sb, "%-13s %10s %8s %12s %8s %9s\n",
+		"Series", "Generic", "allocs", "Specialized", "allocs", "Speedup")
+	for _, s := range order {
+		var gen, spec *HeaderPathResult
+		for i := range bySeries[s] {
+			r := &bySeries[s][i]
+			if r.Impl == "generic" {
+				gen = r
+			} else {
+				spec = r
+			}
+		}
+		if gen == nil || spec == nil {
+			continue
+		}
+		speedup := 0.0
+		if spec.NsPerOp > 0 {
+			speedup = gen.NsPerOp / spec.NsPerOp
+		}
+		fmt.Fprintf(&sb, "%-13s %8.1fns %8d %10.1fns %8d %8.2fx\n",
+			s, gen.NsPerOp, gen.AllocsPerOp, spec.NsPerOp, spec.AllocsPerOp, speedup)
+	}
+	return sb.String()
+}

@@ -1,0 +1,63 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// BenchmarkHeaderPath exposes the six header-path measurements to the
+// ordinary benchmark runner (the sunbench -header-path mode runs the
+// identical closures through testing.Benchmark).
+func BenchmarkHeaderPath(b *testing.B) {
+	for _, c := range headerPathCases() {
+		b.Run(fmt.Sprintf("%s/%s", c.series, c.impl), c.bench)
+	}
+}
+
+// TestHeaderPathSpecializedAllocFree pins the acceptance criterion on
+// the header layer: every specialized point runs allocation-free, and
+// every series is measured in both implementations.
+func TestHeaderPathSpecializedAllocFree(t *testing.T) {
+	type pair struct{ generic, specialized bool }
+	series := map[string]pair{}
+	for _, c := range headerPathCases() {
+		c := c
+		if c.impl == "generic" {
+			p := series[c.series]
+			p.generic = true
+			series[c.series] = p
+			continue
+		}
+		p := series[c.series]
+		p.specialized = true
+		series[c.series] = p
+		allocs := testing.AllocsPerRun(200, func() {
+			if err := c.step(); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("%s/%s: %.1f allocs/op, want 0", c.series, c.impl, allocs)
+		}
+	}
+	for s, p := range series {
+		if !p.generic || !p.specialized {
+			t.Errorf("series %s missing an implementation: %+v", s, p)
+		}
+	}
+}
+
+// TestFormatHeaderPath checks the rendered table shape.
+func TestFormatHeaderPath(t *testing.T) {
+	rows := []HeaderPathResult{
+		{Series: "call-encode", Impl: "generic", NsPerOp: 100, AllocsPerOp: 2},
+		{Series: "call-encode", Impl: "template", NsPerOp: 10, AllocsPerOp: 0},
+	}
+	out := FormatHeaderPath(rows)
+	for _, want := range []string{"call-encode", "Speedup", "10.00x"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("format missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -230,23 +230,50 @@ func (l *lifecycle) closeOnce(conn io.Closer, dmx *demux) error {
 // ---------------------------------------------------------------------------
 // Shared call-side helpers
 
-// marshalCall encodes the call header and arguments into a pooled buffer.
-// The returned buffer must go back via xdr.PutBuf.
-func marshalCall(cfg *Config, xid, proc uint32, args Marshal) (*[]byte, error) {
-	bp := xdr.GetBuf(cfg.BufSize)
-	bs := xdr.NewBufEncode(*bp)
-	enc := xdr.NewEncoder(bs)
-	hdr := rpcmsg.CallHeader{
-		XID: xid, Prog: cfg.Prog, Vers: cfg.Vers, Proc: proc,
-		Cred: cfg.Cred, Verf: rpcmsg.None(),
-	}
-	err := hdr.Marshal(enc)
+// callTemplate compiles the per-client header template: Prog, Vers,
+// Cred, and Verf are constant for a client's lifetime, so the header
+// bytes are folded once and only the XID and procedure number are
+// patched per call. A nil result (auth material the template compiler
+// rejects — which the generic encoder rejects too) selects the generic
+// interpretive path in marshalCall.
+func callTemplate(cfg *Config) *rpcmsg.CallTemplate {
+	t, err := rpcmsg.NewCallTemplate(cfg.Prog, cfg.Vers, cfg.Cred, rpcmsg.None())
 	if err != nil {
-		err = fmt.Errorf("client: marshal call header: %w", err)
-	} else if err = args(enc); err != nil {
-		err = fmt.Errorf("client: marshal args: %w", err)
+		return nil
 	}
-	*bp = bs.Buffer() // keep any growth pooled
+	return t
+}
+
+// marshalCall encodes the call header and arguments into a pooled
+// buffer, leaving prefix reserved bytes at its head (the TCP transport
+// reserves the record mark there, so the record layer frames and writes
+// the message without copying it again). With a template the header is
+// one copy plus two 4-byte stores; without one it runs the generic
+// encoder. Both produce byte-identical headers. The returned buffer
+// must go back via xdr.PutBuf.
+func marshalCall(cfg *Config, tmpl *rpcmsg.CallTemplate, xid, proc uint32, args Marshal, prefix int) (*[]byte, error) {
+	bp := xdr.GetBuf(cfg.BufSize + prefix)
+	buf := (*bp)[:prefix]
+	e := xdr.GetEnc(buf)
+	var err error
+	if tmpl != nil {
+		e.BS.SetBuffer(tmpl.AppendCall(buf, xid, proc))
+		if err = args(&e.X); err != nil {
+			err = fmt.Errorf("client: marshal args: %w", err)
+		}
+	} else {
+		hdr := rpcmsg.CallHeader{
+			XID: xid, Prog: cfg.Prog, Vers: cfg.Vers, Proc: proc,
+			Cred: cfg.Cred, Verf: rpcmsg.None(),
+		}
+		if err = hdr.Marshal(&e.X); err != nil {
+			err = fmt.Errorf("client: marshal call header: %w", err)
+		} else if err = args(&e.X); err != nil {
+			err = fmt.Errorf("client: marshal args: %w", err)
+		}
+	}
+	*bp = e.BS.Buffer() // keep any growth pooled
+	xdr.PutEnc(e)
 	if err != nil {
 		xdr.PutBuf(bp)
 		return nil, err
@@ -261,17 +288,31 @@ func marshalCall(cfg *Config, xid, proc uint32, args Marshal) (*[]byte, error) {
 var errIllFormed = errors.New("ill-formed reply header")
 
 // decodeReply interprets one complete reply message and runs the caller's
-// result unmarshaler.
+// result unmarshaler. The common shape — an accepted SUCCESS with an
+// in-bounds verifier — is recognized at fixed offsets without touching
+// the interpretive walker; anything unusual (error statuses, denials,
+// ill-formed headers) falls back to the generic ReplyHeader.Marshal so
+// the full failure detail is still extracted.
 func decodeReply(raw []byte, reply Marshal) error {
-	dec := xdr.NewDecoder(xdr.NewMemDecode(raw))
+	if body, ok := rpcmsg.AcceptedSuccessBody(raw); ok {
+		d := xdr.GetDec(body)
+		err := reply(&d.X)
+		xdr.PutDec(d)
+		if err != nil {
+			return fmt.Errorf("client: unmarshal results: %w", err)
+		}
+		return nil
+	}
+	d := xdr.GetDec(raw)
+	defer xdr.PutDec(d)
 	var rh rpcmsg.ReplyHeader
-	if err := rh.Marshal(dec); err != nil {
+	if err := rh.Marshal(&d.X); err != nil {
 		return errIllFormed
 	}
 	if err := checkReply(&rh); err != nil {
 		return err
 	}
-	if err := reply(dec); err != nil {
+	if err := reply(&d.X); err != nil {
 		return fmt.Errorf("client: unmarshal results: %w", err)
 	}
 	return nil
@@ -319,6 +360,7 @@ func checkReply(rh *rpcmsg.ReplyHeader) error {
 // replies.
 type UDP struct {
 	cfg    Config
+	tmpl   *rpcmsg.CallTemplate
 	conn   net.PacketConn
 	server net.Addr
 
@@ -332,7 +374,7 @@ type UDP struct {
 // over conn. The caller retains ownership of conn's lifetime via Close.
 func NewUDP(conn net.PacketConn, server net.Addr, cfg Config) *UDP {
 	cfg.fill()
-	c := &UDP{cfg: cfg, conn: conn, server: server, dmx: newDemux()}
+	c := &UDP{cfg: cfg, tmpl: callTemplate(&cfg), conn: conn, server: server, dmx: newDemux()}
 	c.xid.Store(cfg.FirstXID)
 	return c
 }
@@ -355,7 +397,7 @@ func (c *UDP) Call(proc uint32, args, reply Marshal) error {
 	}
 	defer c.dmx.unregister(xid)
 
-	req, err := marshalCall(&c.cfg, xid, proc, args)
+	req, err := marshalCall(&c.cfg, c.tmpl, xid, proc, args, 0)
 	if err != nil {
 		return err
 	}
@@ -474,6 +516,7 @@ func (c *UDP) Close() error { return c.life.closeOnce(c.conn, c.dmx) }
 // its call by XID, so replies may be consumed out of order.
 type TCP struct {
 	cfg  Config
+	tmpl *rpcmsg.CallTemplate
 	conn net.Conn
 
 	xid    atomic.Uint32
@@ -488,7 +531,7 @@ type TCP struct {
 // NewTCP returns a client issuing calls over the established connection.
 func NewTCP(conn net.Conn, cfg Config) *TCP {
 	cfg.fill()
-	c := &TCP{cfg: cfg, conn: conn, dmx: newDemux(), wrec: xdr.NewRecStream(conn, 0)}
+	c := &TCP{cfg: cfg, tmpl: callTemplate(&cfg), conn: conn, dmx: newDemux(), wrec: xdr.NewRecStream(conn, 0)}
 	c.xid.Store(cfg.FirstXID)
 	return c
 }
@@ -510,7 +553,10 @@ func (c *TCP) Call(proc uint32, args, reply Marshal) error {
 	}
 	defer c.dmx.unregister(xid)
 
-	req, err := marshalCall(&c.cfg, xid, proc, args)
+	// The record mark is reserved at the head of the marshal buffer, so
+	// the record layer patches it in place and the whole call leaves in
+	// one Write — the message is never copied into the fragment buffer.
+	req, err := marshalCall(&c.cfg, c.tmpl, xid, proc, args, xdr.RecordMarkLen)
 	if err != nil {
 		return err
 	}
@@ -520,10 +566,7 @@ func (c *TCP) Call(proc uint32, args, reply Marshal) error {
 	// hang past Config.Timeout with its timer never even started.
 	werr := c.conn.SetWriteDeadline(time.Now().Add(c.cfg.Timeout))
 	if werr == nil {
-		werr = c.wrec.PutBytes(*req)
-	}
-	if werr == nil {
-		werr = c.wrec.EndRecord()
+		werr = c.wrec.WriteRecord(*req)
 	}
 	c.wmu.Unlock()
 	xdr.PutBuf(req)

@@ -1,11 +1,18 @@
 package client
 
 import (
+	"bytes"
+	"errors"
+	"net"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
+	"specrpc/internal/netsim"
 	"specrpc/internal/rpcmsg"
+	"specrpc/internal/xdr"
 )
 
 func TestConfigDefaults(t *testing.T) {
@@ -65,5 +72,296 @@ func TestRPCErrorStrings(t *testing.T) {
 func TestVoidMarshaler(t *testing.T) {
 	if err := Void(nil); err != nil {
 		t.Fatalf("Void = %v", err)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Call-path specialization: differential and allocation tests
+
+// TestMarshalCallTemplateMatchesGeneric pins the tentpole property on
+// the client: the templated marshal path emits byte-identical requests
+// to the generic interpretive path, with and without a reserved record
+// mark prefix.
+func TestMarshalCallTemplateMatchesGeneric(t *testing.T) {
+	sysCred, err := (&rpcmsg.SysCred{Stamp: 1, MachineName: "pc", UID: 2, GID: 3}).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cred := range []rpcmsg.OpaqueAuth{rpcmsg.None(), sysCred} {
+		cfg := Config{Prog: 0x20000099, Vers: 2, Cred: cred}
+		cfg.fill()
+		tmpl := callTemplate(&cfg)
+		if tmpl == nil {
+			t.Fatal("template compile failed for ordinary auth")
+		}
+		args := func(x *xdr.XDR) error {
+			v := uint32(0xFEEDFACE)
+			return x.Uint32(&v)
+		}
+		spec, err := marshalCall(&cfg, tmpl, 77, 5, args, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen, err := marshalCall(&cfg, nil, 77, 5, args, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(*spec, *gen) {
+			t.Fatalf("templated call diverged:\n got %x\nwant %x", *spec, *gen)
+		}
+		pre, err := marshalCall(&cfg, tmpl, 77, 5, args, xdr.RecordMarkLen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal((*pre)[xdr.RecordMarkLen:], *gen) {
+			t.Fatalf("prefixed call diverged after the mark:\n got %x\nwant %x",
+				(*pre)[xdr.RecordMarkLen:], *gen)
+		}
+		xdr.PutBuf(spec)
+		xdr.PutBuf(gen)
+		xdr.PutBuf(pre)
+	}
+}
+
+// TestMarshalCallOversizedAuthFallsBack: auth the template compiler
+// rejects must still fail identically through the generic path.
+func TestMarshalCallOversizedAuthFallsBack(t *testing.T) {
+	cfg := Config{Prog: 1, Vers: 1,
+		Cred: rpcmsg.OpaqueAuth{Flavor: rpcmsg.AuthSys, Body: make([]byte, rpcmsg.MaxAuthBytes+1)}}
+	cfg.fill()
+	if tmpl := callTemplate(&cfg); tmpl != nil {
+		t.Fatal("oversized cred compiled to a template")
+	}
+	if _, err := marshalCall(&cfg, nil, 1, 1, Void, 0); err == nil {
+		t.Fatal("oversized cred marshaled")
+	}
+}
+
+// TestCallPathAllocFree pins the perf acceptance criterion: with the
+// header template and pooled buffers/handles, the transport layers —
+// header marshal, framing, reply header decode — allocate nothing.
+// The body marshalers here use the stream bulk primitives, as compiled
+// wire plans do; the per-primitive escape of the generic x.Uint32 path
+// is the interpretive-layer cost the plans exist to remove, and is
+// measured separately by the header-path benchmarks.
+func TestCallPathAllocFree(t *testing.T) {
+	cfg := Config{Prog: 0x20000099, Vers: 2}
+	cfg.fill()
+	tmpl := callTemplate(&cfg)
+	args := func(x *xdr.XDR) error { return x.Stream.PutLong(7) }
+	if allocs := testing.AllocsPerRun(100, func() {
+		req, err := marshalCall(&cfg, tmpl, 42, 1, args, xdr.RecordMarkLen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		xdr.PutBuf(req)
+	}); allocs != 0 {
+		t.Errorf("templated marshalCall: %.1f allocs/op, want 0", allocs)
+	}
+
+	reply := rpcmsg.MustReplyTemplate(rpcmsg.None()).AppendReply(nil, 42)
+	reply = append(reply, 0, 0, 0, 9)
+	var got int32
+	dec := func(x *xdr.XDR) error { return x.Stream.GetLong(&got) }
+	if allocs := testing.AllocsPerRun(100, func() {
+		if err := decodeReply(reply, dec); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("fast-path decodeReply: %.1f allocs/op, want 0", allocs)
+	}
+	if got != 9 {
+		t.Fatalf("result = %d, want 9", got)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Error-path coverage: the demux guards
+
+// successReplyBytes builds an accepted-success reply carrying one uint32.
+func successReplyBytes(t *testing.T, xid, result uint32) []byte {
+	t.Helper()
+	bs := xdr.NewBufEncode(nil)
+	enc := xdr.NewEncoder(bs)
+	rh := rpcmsg.AcceptedReply(xid)
+	if err := rh.Marshal(enc); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Uint32(&result); err != nil {
+		t.Fatal(err)
+	}
+	return append([]byte(nil), bs.Buffer()...)
+}
+
+func pooledCopy(b []byte) *[]byte {
+	bp := xdr.GetBuf(len(b))
+	*bp = append((*bp)[:0], b...)
+	return bp
+}
+
+// TestDrainReply exercises the last-instant check Call makes before
+// returning a transport error: a decodable reply already in the channel
+// must win, an ill-formed one must not, an empty channel reports none.
+func TestDrainReply(t *testing.T) {
+	var got uint32
+	dec := func(x *xdr.XDR) error { return x.Uint32(&got) }
+
+	ch := make(chan *[]byte, 1)
+	ch <- pooledCopy(successReplyBytes(t, 9, 1234))
+	ok, err := drainReply(ch, dec)
+	if !ok || err != nil || got != 1234 {
+		t.Fatalf("success reply: ok=%v err=%v got=%d", ok, err, got)
+	}
+
+	ch <- pooledCopy([]byte{1, 2, 3})
+	if ok, err := drainReply(ch, dec); ok || err != nil {
+		t.Fatalf("ill-formed reply: ok=%v err=%v", ok, err)
+	}
+
+	if ok, err := drainReply(ch, dec); ok || err != nil {
+		t.Fatalf("empty channel: ok=%v err=%v", ok, err)
+	}
+
+	// An error reply is still an answer: it must surface as *RPCError,
+	// not be masked by the transport error.
+	bs := xdr.NewBufEncode(nil)
+	eh := rpcmsg.ErrorReply(9, rpcmsg.SystemErr)
+	if err := eh.Marshal(xdr.NewEncoder(bs)); err != nil {
+		t.Fatal(err)
+	}
+	ch <- pooledCopy(bs.Buffer())
+	ok, err = drainReply(ch, Void)
+	var rpcErr *RPCError
+	if !ok || !errors.As(err, &rpcErr) || rpcErr.AcceptStat != rpcmsg.SystemErr {
+		t.Fatalf("error reply: ok=%v err=%v", ok, err)
+	}
+}
+
+// dieAfterReplyConn answers the first request with a success reply and
+// then fails every read: the reply and the terminal transport error
+// race to the caller, which must prefer the reply (via drainReply) no
+// matter which select arm wins.
+type dieAfterReplyConn struct {
+	t     *testing.T
+	reply chan []byte
+	once  sync.Once
+}
+
+func newDieAfterReplyConn(t *testing.T) *dieAfterReplyConn {
+	return &dieAfterReplyConn{t: t, reply: make(chan []byte, 1)}
+}
+
+func (c *dieAfterReplyConn) WriteTo(p []byte, _ net.Addr) (int, error) {
+	c.once.Do(func() {
+		xid, ok := rpcmsg.PeekXID(p)
+		if !ok {
+			c.t.Error("request without XID")
+		}
+		c.reply <- successReplyBytes(c.t, xid, 4321)
+		close(c.reply)
+	})
+	return len(p), nil
+}
+
+func (c *dieAfterReplyConn) ReadFrom(p []byte) (int, net.Addr, error) {
+	r, ok := <-c.reply
+	if !ok {
+		return 0, nil, errors.New("socket died")
+	}
+	return copy(p, r), fakeAddr{}, nil
+}
+
+func (c *dieAfterReplyConn) Close() error                     { return nil }
+func (c *dieAfterReplyConn) LocalAddr() net.Addr              { return fakeAddr{} }
+func (c *dieAfterReplyConn) SetDeadline(time.Time) error      { return nil }
+func (c *dieAfterReplyConn) SetReadDeadline(time.Time) error  { return nil }
+func (c *dieAfterReplyConn) SetWriteDeadline(time.Time) error { return nil }
+
+type fakeAddr struct{}
+
+func (fakeAddr) Network() string { return "fake" }
+func (fakeAddr) String() string  { return "fake" }
+
+// TestUDPCallPrefersReplyOverTransportError: the reader delivers a valid
+// reply and immediately afterwards the socket dies, closing dmx.done.
+// Call's select then has two ready arms; whichever fires, the call must
+// return the reply, not the transport error. Iterated because select
+// picks ready arms at random.
+func TestUDPCallPrefersReplyOverTransportError(t *testing.T) {
+	for i := 0; i < 25; i++ {
+		conn := newDieAfterReplyConn(t)
+		c := NewUDP(conn, fakeAddr{}, Config{
+			Prog: 1, Vers: 1,
+			Timeout:    10 * time.Second,
+			Retransmit: time.Hour, // keep retransmission out of the race
+		})
+		var got uint32
+		err := c.Call(1, Void, func(x *xdr.XDR) error { return x.Uint32(&got) })
+		if err != nil {
+			t.Fatalf("iteration %d: Call = %v, want reply 4321", i, err)
+		}
+		if got != 4321 {
+			t.Fatalf("iteration %d: result = %d", i, got)
+		}
+		_ = c.Close()
+	}
+}
+
+// TestUDPRetransmitAfterDrop: the first request datagram is dropped by
+// the network; the call must retransmit after cfg.Retransmit and
+// complete against the echoing responder.
+func TestUDPRetransmitAfterDrop(t *testing.T) {
+	var sends atomic.Int32
+	n := netsim.New(netsim.WithFaults(func(from, to net.Addr, seq int, p []byte) netsim.Verdict {
+		if to.String() == "server" && sends.Add(1) == 1 {
+			return netsim.Drop
+		}
+		return netsim.Deliver
+	}))
+	sep := n.Attach("server")
+	defer sep.Close()
+	go func() {
+		buf := make([]byte, 9000)
+		for {
+			nr, from, err := sep.ReadFrom(buf)
+			if err != nil {
+				return
+			}
+			dec := xdr.NewDecoder(xdr.NewMemDecode(buf[:nr]))
+			var hdr rpcmsg.CallHeader
+			if hdr.Marshal(dec) != nil {
+				continue
+			}
+			var v uint32
+			if dec.Uint32(&v) != nil {
+				continue
+			}
+			if _, err := sep.WriteTo(successReplyBytes(t, hdr.XID, v+1), from); err != nil {
+				return
+			}
+		}
+	}()
+
+	cep := n.Attach("client")
+	c := NewUDP(cep, netsim.Addr("server"), Config{
+		Prog: 1, Vers: 1,
+		Timeout:    5 * time.Second,
+		Retransmit: 20 * time.Millisecond,
+	})
+	defer c.Close()
+
+	arg := uint32(41)
+	var got uint32
+	err := c.Call(1,
+		func(x *xdr.XDR) error { return x.Uint32(&arg) },
+		func(x *xdr.XDR) error { return x.Uint32(&got) })
+	if err != nil {
+		t.Fatalf("Call after dropped datagram: %v", err)
+	}
+	if got != 42 {
+		t.Fatalf("result = %d, want 42", got)
+	}
+	if s := sends.Load(); s < 2 {
+		t.Fatalf("saw %d request sends, want a retransmission", s)
 	}
 }

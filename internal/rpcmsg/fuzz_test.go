@@ -11,6 +11,118 @@ import (
 // the first thing a server interprets from an untrusted datagram. A
 // successful decode must re-encode and decode again to the same header
 // (the marshal routines are their own inverse on the accepted subset).
+// FuzzCallTemplate is the differential fuzz for the compiled call-header
+// path: across random identities, procedures, and auth payloads, the
+// template bytes must be identical to CallHeader.Marshal output, and the
+// template compiler must reject exactly the inputs the generic encoder
+// rejects.
+func FuzzCallTemplate(f *testing.F) {
+	f.Add(uint32(7), uint32(0x20000099), uint32(1), uint32(3),
+		int32(AuthSys), []byte{1, 2, 3, 4}, int32(AuthNone), []byte{})
+	f.Add(uint32(0), uint32(0), uint32(0), uint32(0),
+		int32(0), []byte{}, int32(AuthShort), []byte{9, 9, 9})
+	f.Add(uint32(0xFFFFFFFF), uint32(1), uint32(2), uint32(0xFFFFFFFF),
+		int32(-1), make([]byte, MaxAuthBytes), int32(2), []byte{1})
+
+	f.Fuzz(func(t *testing.T, xid, prog, vers, proc uint32,
+		credFlavor int32, credBody []byte, verfFlavor int32, verfBody []byte) {
+		cred := OpaqueAuth{Flavor: AuthFlavor(credFlavor), Body: credBody}
+		verf := OpaqueAuth{Flavor: AuthFlavor(verfFlavor), Body: verfBody}
+		hdr := CallHeader{XID: xid, Prog: prog, Vers: vers, Proc: proc, Cred: cred, Verf: verf}
+		bs := xdr.NewBufEncode(nil)
+		genErr := hdr.Marshal(xdr.NewEncoder(bs))
+
+		tmpl, tmplErr := NewCallTemplate(prog, vers, cred, verf)
+		if (genErr == nil) != (tmplErr == nil) {
+			t.Fatalf("acceptance diverged: generic err %v, template err %v", genErr, tmplErr)
+		}
+		if genErr != nil {
+			return
+		}
+		want := bs.Buffer()
+		got := tmpl.AppendCall(nil, xid, proc)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("template diverged:\n got %x\nwant %x", got, want)
+		}
+		// A template is reused across calls: a second append with other
+		// per-call values must not be affected by the first patch.
+		again := tmpl.AppendCall(nil, xid+1, proc^0x55)
+		hdr2 := CallHeader{XID: xid + 1, Prog: prog, Vers: vers, Proc: proc ^ 0x55, Cred: cred, Verf: verf}
+		bs2 := xdr.NewBufEncode(nil)
+		if err := hdr2.Marshal(xdr.NewEncoder(bs2)); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(again, bs2.Buffer()) {
+			t.Fatalf("template not reusable:\n got %x\nwant %x", again, bs2.Buffer())
+		}
+	})
+}
+
+// FuzzReplyTemplate: same differential property for the success-reply
+// template across random XIDs and verifier payloads.
+func FuzzReplyTemplate(f *testing.F) {
+	f.Add(uint32(7), int32(AuthNone), []byte{})
+	f.Add(uint32(0xDEADBEEF), int32(AuthShort), []byte{1, 2, 3})
+
+	f.Fuzz(func(t *testing.T, xid uint32, verfFlavor int32, verfBody []byte) {
+		verf := OpaqueAuth{Flavor: AuthFlavor(verfFlavor), Body: verfBody}
+		rh := ReplyHeader{XID: xid, Stat: MsgAccepted, Verf: verf, AcceptStat: Success}
+		bs := xdr.NewBufEncode(nil)
+		genErr := rh.Marshal(xdr.NewEncoder(bs))
+
+		tmpl, tmplErr := NewReplyTemplate(verf)
+		if (genErr == nil) != (tmplErr == nil) {
+			t.Fatalf("acceptance diverged: generic err %v, template err %v", genErr, tmplErr)
+		}
+		if genErr != nil {
+			return
+		}
+		want := bs.Buffer()
+		if got := tmpl.AppendReply(nil, xid); !bytes.Equal(got, want) {
+			t.Fatalf("template diverged:\n got %x\nwant %x", got, want)
+		}
+		// The bytes the template emits must take the client's fast decode
+		// path and land on the body right after the header.
+		raw := append(tmpl.AppendReply(nil, xid), 0xAA, 0xBB, 0xCC, 0xDD)
+		body, ok := AcceptedSuccessBody(raw)
+		if !ok || len(body) != 4 || body[0] != 0xAA {
+			t.Fatalf("fast decode rejected template output: ok=%v body=%x", ok, body)
+		}
+	})
+}
+
+// FuzzAcceptedSuccessBody feeds arbitrary bytes to the fixed-offset
+// reply fast path and checks it agrees exactly with the generic
+// ReplyHeader.Marshal walker: same accept/reject decision on the
+// accepted-success shape, same body offset.
+func FuzzAcceptedSuccessBody(f *testing.F) {
+	ok := ReplyHeader{XID: 1, Stat: MsgAccepted, Verf: None(), AcceptStat: Success}
+	bs := xdr.NewBufEncode(nil)
+	if err := ok.Marshal(xdr.NewEncoder(bs)); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(append(append([]byte(nil), bs.Buffer()...), 1, 2, 3, 4))
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 1, 0, 0, 0, 1}) // xid + REPLY, then truncated
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		body, fastOK := AcceptedSuccessBody(data)
+
+		var rh ReplyHeader
+		dec := xdr.NewDecoder(xdr.NewMemDecode(data))
+		genErr := rh.Marshal(dec)
+		genOK := genErr == nil && rh.Stat == MsgAccepted && rh.AcceptStat == Success
+
+		if fastOK != genOK {
+			t.Fatalf("fast=%v generic=%v (err %v, header %+v) on %x", fastOK, genOK, genErr, rh, data)
+		}
+		if fastOK && len(data)-len(body) != dec.Pos() {
+			t.Fatalf("body offset %d, generic walker stopped at %d on %x",
+				len(data)-len(body), dec.Pos(), data)
+		}
+	})
+}
+
 func FuzzDecodeCallHeader(f *testing.F) {
 	seed := CallHeader{
 		XID: 7, Prog: 0x20000099, Vers: 1, Proc: 3,

@@ -1,0 +1,152 @@
+package rpcmsg
+
+import (
+	"bytes"
+	"testing"
+
+	"specrpc/internal/xdr"
+)
+
+// genericCallBytes marshals a call header through the interpretive
+// encoder — the reference the templates must match byte for byte.
+func genericCallBytes(t *testing.T, h CallHeader) []byte {
+	t.Helper()
+	bs := xdr.NewBufEncode(nil)
+	if err := h.Marshal(xdr.NewEncoder(bs)); err != nil {
+		t.Fatalf("generic marshal: %v", err)
+	}
+	return append([]byte(nil), bs.Buffer()...)
+}
+
+func genericReplyBytes(t *testing.T, rh ReplyHeader) []byte {
+	t.Helper()
+	bs := xdr.NewBufEncode(nil)
+	if err := rh.Marshal(xdr.NewEncoder(bs)); err != nil {
+		t.Fatalf("generic marshal: %v", err)
+	}
+	return append([]byte(nil), bs.Buffer()...)
+}
+
+// TestCallTemplateMatchesGeneric pins the differential property across
+// representative auth material: template bytes == generic bytes.
+func TestCallTemplateMatchesGeneric(t *testing.T) {
+	sysCred, err := (&SysCred{Stamp: 9, MachineName: "ipx", UID: 10, GID: 20,
+		GIDs: []uint32{20, 33}}).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	auths := []struct {
+		name       string
+		cred, verf OpaqueAuth
+	}{
+		{"null", None(), None()},
+		{"sys", sysCred, None()},
+		{"odd-body", OpaqueAuth{Flavor: AuthShort, Body: []byte{1, 2, 3}}, None()},
+		{"both", sysCred, OpaqueAuth{Flavor: AuthShort, Body: []byte{0xFF}}},
+	}
+	for _, a := range auths {
+		tmpl, err := NewCallTemplate(0x20000099, 3, a.cred, a.verf)
+		if err != nil {
+			t.Fatalf("%s: %v", a.name, err)
+		}
+		for _, pair := range [][2]uint32{{0, 0}, {1, 2}, {0xFFFFFFFF, 7}, {0x5CA1AB1E, 0x5CA1AB1E}} {
+			xid, proc := pair[0], pair[1]
+			want := genericCallBytes(t, CallHeader{
+				XID: xid, Prog: 0x20000099, Vers: 3, Proc: proc,
+				Cred: a.cred, Verf: a.verf,
+			})
+			got := tmpl.AppendCall(nil, xid, proc)
+			if !bytes.Equal(got, want) {
+				t.Errorf("%s xid=%d proc=%d:\n got %x\nwant %x", a.name, xid, proc, got, want)
+			}
+			if tmpl.Len() != len(got) {
+				t.Errorf("%s: Len() = %d, appended %d", a.name, tmpl.Len(), len(got))
+			}
+		}
+		// Appending after existing content must not disturb it.
+		prefix := []byte{9, 8, 7}
+		out := tmpl.AppendCall(append([]byte(nil), prefix...), 5, 6)
+		if !bytes.Equal(out[:3], prefix) {
+			t.Errorf("%s: prefix clobbered: %x", a.name, out[:3])
+		}
+	}
+}
+
+// TestCallTemplateRejectsOversizedAuth: the template compiler must fail
+// exactly where the generic encoder fails, so a nil-template fallback
+// loses no capability.
+func TestCallTemplateRejectsOversizedAuth(t *testing.T) {
+	big := OpaqueAuth{Flavor: AuthSys, Body: make([]byte, MaxAuthBytes+1)}
+	if _, err := NewCallTemplate(1, 1, big, None()); err == nil {
+		t.Fatal("oversized cred accepted")
+	}
+	if _, err := NewReplyTemplate(big); err == nil {
+		t.Fatal("oversized verf accepted")
+	}
+}
+
+// TestReplyTemplateMatchesGeneric covers AppendReply and CopyTo against
+// the generic success-reply encoder.
+func TestReplyTemplateMatchesGeneric(t *testing.T) {
+	verfs := []OpaqueAuth{None(), {Flavor: AuthShort, Body: []byte{1, 2, 3, 4, 5}}}
+	for _, verf := range verfs {
+		tmpl, err := NewReplyTemplate(verf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, xid := range []uint32{0, 1, 77, 0xDEADBEEF} {
+			want := genericReplyBytes(t, ReplyHeader{
+				XID: xid, Stat: MsgAccepted, Verf: verf, AcceptStat: Success,
+			})
+			got := tmpl.AppendReply(nil, xid)
+			if !bytes.Equal(got, want) {
+				t.Errorf("xid=%d:\n got %x\nwant %x", xid, got, want)
+			}
+			dst := make([]byte, tmpl.Len())
+			tmpl.CopyTo(dst, xid)
+			if !bytes.Equal(dst, want) {
+				t.Errorf("CopyTo xid=%d:\n got %x\nwant %x", xid, dst, want)
+			}
+		}
+	}
+}
+
+// TestAcceptedSuccessBody checks the fixed-offset fast path on crafted
+// replies: it must accept exactly the accepted-success shape and report
+// the same body offset the generic walker reaches.
+func TestAcceptedSuccessBody(t *testing.T) {
+	body := []byte{0, 0, 0, 42}
+	success := func(verf OpaqueAuth) []byte {
+		raw := genericReplyBytes(t, ReplyHeader{XID: 3, Stat: MsgAccepted, Verf: verf, AcceptStat: Success})
+		return append(raw, body...)
+	}
+
+	for _, verf := range []OpaqueAuth{None(), {Flavor: AuthShort, Body: []byte{1, 2, 3}}} {
+		got, ok := AcceptedSuccessBody(success(verf))
+		if !ok || !bytes.Equal(got, body) {
+			t.Errorf("verf %+v: ok=%v body=%x", verf, ok, got)
+		}
+	}
+
+	rejects := map[string][]byte{
+		"prog-unavail": genericReplyBytes(t, ErrorReply(3, ProgUnavail)),
+		"system-err":   genericReplyBytes(t, ErrorReply(3, SystemErr)),
+		"denied":       genericReplyBytes(t, DeniedReply(3, AuthBadCred)),
+		"truncated":    genericReplyBytes(t, AcceptedReply(3))[:20],
+		"short":        {0, 0, 0, 1},
+		"call-msg": genericCallBytes(t, CallHeader{XID: 3, Prog: 1, Vers: 1, Proc: 1,
+			Cred: None(), Verf: None()}),
+	}
+	for name, raw := range rejects {
+		if _, ok := AcceptedSuccessBody(raw); ok {
+			t.Errorf("%s: fast path accepted %x", name, raw)
+		}
+	}
+
+	// Oversized verifier length: both paths must reject.
+	raw := success(None())
+	raw[16], raw[17], raw[18], raw[19] = 0, 0, 0xFF, 0xFF
+	if _, ok := AcceptedSuccessBody(raw); ok {
+		t.Error("fast path accepted an oversized verifier length")
+	}
+}

@@ -149,14 +149,22 @@ func (s *Server) dispatch(h *rpcmsg.CallHeader) (Proc, rpcmsg.ReplyHeader) {
 	return proc, rpcmsg.AcceptedReply(h.XID)
 }
 
+// successTemplate is the precompiled accepted-success reply header
+// (AUTH_NULL verifier) that every healthy reply starts with; only the
+// XID varies per call, so the hot path copies the template and patches
+// one word instead of walking the generic header encoder.
+var successTemplate = rpcmsg.MustReplyTemplate(rpcmsg.None())
+
 // handleCall decodes one request from req and produces the reply bytes,
-// appending into replyBuf's backing array (growing it when the reply is
-// larger). It is shared by the UDP and TCP paths and safe to run from
+// appending after replyBuf's existing contents (the TCP path reserves
+// the record mark there) and growing the backing array when the reply
+// is larger. It is shared by the UDP and TCP paths and safe to run from
 // many workers at once.
 func (s *Server) handleCall(req []byte, replyBuf []byte) ([]byte, error) {
-	dec := xdr.NewDecoder(xdr.NewMemDecode(req))
+	d := xdr.GetDec(req)
+	defer xdr.PutDec(d)
 	var hdr rpcmsg.CallHeader
-	if err := hdr.Marshal(dec); err != nil {
+	if err := hdr.Marshal(&d.X); err != nil {
 		// Undecodable header: no XID to reply to; drop, as svc_udp did.
 		return nil, fmt.Errorf("server: bad call header: %w", err)
 	}
@@ -165,7 +173,7 @@ func (s *Server) handleCall(req []byte, replyBuf []byte) ([]byte, error) {
 	var results Marshal
 	if proc != nil {
 		var err error
-		results, err = proc(dec)
+		results, err = proc(&d.X)
 		switch {
 		case err == nil:
 		case errors.Is(err, ErrGarbageArgs):
@@ -177,22 +185,29 @@ func (s *Server) handleCall(req []byte, replyBuf []byte) ([]byte, error) {
 		}
 	}
 
-	buf := xdr.NewBufEncode(replyBuf)
-	enc := xdr.NewEncoder(buf)
-	if err := rh.Marshal(enc); err != nil {
+	base := len(replyBuf)
+	e := xdr.GetEnc(replyBuf)
+	defer xdr.PutEnc(e)
+	if rh.Stat == rpcmsg.MsgAccepted && rh.AcceptStat == rpcmsg.Success &&
+		rh.Verf.Flavor == rpcmsg.AuthNone && len(rh.Verf.Body) == 0 {
+		successTemplate.CopyTo(e.BS.Extend(successTemplate.Len()), rh.XID)
+	} else if err := rh.Marshal(&e.X); err != nil {
 		return nil, fmt.Errorf("server: marshal reply header: %w", err)
 	}
 	if results != nil {
-		if err := results(enc); err != nil {
-			// Results failed to encode: restart with SYSTEM_ERR.
-			buf.Reset()
+		if err := results(&e.X); err != nil {
+			// Results failed to encode: restart with SYSTEM_ERR, keeping
+			// any reserved prefix in place.
+			if err2 := e.BS.SetPos(base); err2 != nil {
+				return nil, fmt.Errorf("server: marshal error reply: %w", err2)
+			}
 			se := rpcmsg.ErrorReply(hdr.XID, rpcmsg.SystemErr)
-			if err2 := se.Marshal(enc); err2 != nil {
+			if err2 := se.Marshal(&e.X); err2 != nil {
 				return nil, fmt.Errorf("server: marshal error reply: %w", err2)
 			}
 		}
 	}
-	return buf.Buffer(), nil
+	return e.BS.Buffer(), nil
 }
 
 // dgram is one received datagram in flight to a worker.
@@ -378,7 +393,11 @@ func (s *Server) serveConn(conn net.Conn) {
 			defer xdr.PutBuf(bp)
 			rp := xdr.GetBuf(s.bufSize)
 			defer xdr.PutBuf(rp)
-			out, err := s.handleCall(*bp, *rp)
+			// Reserve the record mark at the head of the reply buffer:
+			// handleCall marshals the reply behind it and WriteRecord
+			// patches the mark in place, so the fully-formed reply goes
+			// to the socket in one Write with no second copy.
+			out, err := s.handleCall(*bp, (*rp)[:xdr.RecordMarkLen])
 			if err != nil {
 				// Undecodable call header: the stream is suspect and there
 				// is no XID to reply to; close the connection so the peer
@@ -388,17 +407,14 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			*rp = out
 			wmu.Lock()
-			defer wmu.Unlock()
-			if err := wrec.PutBytes(out); err == nil {
-				err = wrec.EndRecord()
-				if err == nil {
-					return
-				}
+			err = wrec.WriteRecord(out)
+			wmu.Unlock()
+			if err != nil {
+				// A failed reply write leaves the record stream unusable;
+				// close the connection so the read loop exits and the peer
+				// fails fast instead of waiting out its call timeouts.
+				_ = conn.Close()
 			}
-			// A failed reply write leaves the record stream unusable;
-			// close the connection so the read loop exits and the peer
-			// fails fast instead of waiting out its call timeouts.
-			_ = conn.Close()
 		}(bp)
 	}
 }

@@ -71,7 +71,7 @@ func TestHandleCallSuccess(t *testing.T) {
 	req := buildCall(t, 11, testVers, procEcho, func(x *xdr.XDR) error {
 		return xdr.Array(x, &in, xdr.NoSizeLimit, (*xdr.XDR).Long)
 	})
-	out, err := s.handleCall(req, make([]byte, 4096))
+	out, err := s.handleCall(req, make([]byte, 0, 4096))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +93,7 @@ func TestHandleCallProgUnavail(t *testing.T) {
 	req := buildCall(t, 1, testVers, procEcho, nil)
 	// Rewrite prog field (word index 3) to an unregistered program.
 	req[15] = 0x01
-	out, err := s.handleCall(req, make([]byte, 1024))
+	out, err := s.handleCall(req, make([]byte, 0, 1024))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +106,7 @@ func TestHandleCallProgUnavail(t *testing.T) {
 func TestHandleCallProgMismatch(t *testing.T) {
 	s := newTestServer()
 	req := buildCall(t, 2, testVers+7, procEcho, nil)
-	out, err := s.handleCall(req, make([]byte, 1024))
+	out, err := s.handleCall(req, make([]byte, 0, 1024))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +122,7 @@ func TestHandleCallProgMismatch(t *testing.T) {
 func TestHandleCallProcUnavail(t *testing.T) {
 	s := newTestServer()
 	req := buildCall(t, 3, testVers, 99, nil)
-	out, err := s.handleCall(req, make([]byte, 1024))
+	out, err := s.handleCall(req, make([]byte, 0, 1024))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +136,7 @@ func TestHandleCallGarbageArgs(t *testing.T) {
 	s := newTestServer()
 	// Echo expects an array; send a truncated message (header only).
 	req := buildCall(t, 4, testVers, procEcho, nil)
-	out, err := s.handleCall(req, make([]byte, 1024))
+	out, err := s.handleCall(req, make([]byte, 0, 1024))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +149,7 @@ func TestHandleCallGarbageArgs(t *testing.T) {
 func TestHandleCallSystemErr(t *testing.T) {
 	s := newTestServer()
 	req := buildCall(t, 5, testVers, procFail, nil)
-	out, err := s.handleCall(req, make([]byte, 1024))
+	out, err := s.handleCall(req, make([]byte, 0, 1024))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,7 +171,7 @@ func TestRegisterVersionRange(t *testing.T) {
 	s.Register(testProg, 3, 1, echoProc)
 	s.Register(testProg, 5, 1, echoProc)
 	req := buildCall(t, 6, 4, procEcho, nil)
-	out, err := s.handleCall(req, make([]byte, 1024))
+	out, err := s.handleCall(req, make([]byte, 0, 1024))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,7 +183,7 @@ func TestRegisterVersionRange(t *testing.T) {
 	}
 
 	req = buildCall(t, 7, 9, procEcho, nil)
-	out, err = s.handleCall(req, make([]byte, 1024))
+	out, err = s.handleCall(req, make([]byte, 0, 1024))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -226,7 +226,7 @@ func TestHandlerExecutionCount(t *testing.T) {
 		return func(*xdr.XDR) error { return nil }, nil
 	})
 	req := buildCall(t, 8, testVers, 1, nil)
-	if _, err := s.handleCall(req, make([]byte, 1024)); err != nil {
+	if _, err := s.handleCall(req, make([]byte, 0, 1024)); err != nil {
 		t.Fatal(err)
 	}
 	if count.Load() != 1 {

@@ -17,6 +17,13 @@ func NewBufEncode(backing []byte) *BufStream {
 	return &BufStream{buf: backing[:0]}
 }
 
+// SetBuffer rearms the stream to append after backing's existing
+// contents instead of truncating them — how a caller lays down a
+// precompiled prefix (a header template, a reserved record mark) and
+// continues encoding behind it — keeping the BufStream itself reusable
+// (and poolable) across calls.
+func (b *BufStream) SetBuffer(backing []byte) { b.buf = backing }
+
 // PutLong appends v as a big-endian 4-byte integer.
 func (b *BufStream) PutLong(v int32) error {
 	u := uint32(v)

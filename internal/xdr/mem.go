@@ -39,6 +39,16 @@ func (m *MemStream) Reset() {
 	m.handy = len(m.buf) - m.base
 }
 
+// SetBuffer rearms the stream to decode (or encode over) buf from its
+// start, keeping the MemStream itself reusable — and poolable — across
+// calls.
+func (m *MemStream) SetBuffer(buf []byte) {
+	m.buf = buf
+	m.pos = 0
+	m.base = 0
+	m.handy = len(buf)
+}
+
 // PutLong appends v as a big-endian 4-byte integer. The explicit
 // decrement-and-test is the Figure 3 overflow check.
 func (m *MemStream) PutLong(v int32) error {

@@ -44,3 +44,54 @@ func PutBuf(bp *[]byte) {
 	}
 	bufPool.Put(bp)
 }
+
+// PooledEnc couples a growable BufStream with its encode handle so the
+// per-call stream+handle pair is recycled instead of allocated: the XDR
+// handle escapes into the marshal closures it is passed to, so without
+// pooling every call pays two heap objects before a single byte moves.
+type PooledEnc struct {
+	BS BufStream
+	X  XDR
+}
+
+var encPool = sync.Pool{New: func() any { return new(PooledEnc) }}
+
+// GetEnc borrows an encode handle appending after backing's existing
+// contents. Capture BS.Buffer() before handing it back with PutEnc.
+func GetEnc(backing []byte) *PooledEnc {
+	e := encPool.Get().(*PooledEnc)
+	e.BS.SetBuffer(backing)
+	e.X = XDR{Op: Encode, Stream: &e.BS}
+	return e
+}
+
+// PutEnc returns an encode handle to the pool. The caller must not use
+// e — or any stream window obtained from it — afterwards.
+func PutEnc(e *PooledEnc) {
+	e.BS.SetBuffer(nil)
+	encPool.Put(e)
+}
+
+// PooledDec is the decode-side counterpart of PooledEnc: a MemStream
+// plus its decode handle, recycled across calls.
+type PooledDec struct {
+	MS MemStream
+	X  XDR
+}
+
+var decPool = sync.Pool{New: func() any { return new(PooledDec) }}
+
+// GetDec borrows a decode handle over buf.
+func GetDec(buf []byte) *PooledDec {
+	d := decPool.Get().(*PooledDec)
+	d.MS.SetBuffer(buf)
+	d.X = XDR{Op: Decode, Stream: &d.MS}
+	return d
+}
+
+// PutDec returns a decode handle to the pool. The caller must not use
+// d afterwards and must not retain windows into the decoded buffer.
+func PutDec(d *PooledDec) {
+	d.MS.SetBuffer(nil)
+	decPool.Put(d)
+}

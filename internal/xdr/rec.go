@@ -90,6 +90,58 @@ func (r *RecStream) EndRecord() error {
 	return nil
 }
 
+// RecordMarkLen is the size of the record-marking header. Callers of
+// WriteRecord reserve this many bytes at the head of their message
+// buffer for the mark to be patched into.
+const RecordMarkLen = BytesPerUnit
+
+// maxFragPayload is the largest payload one fragment can carry: the low
+// 31 bits of the record mark.
+const maxFragPayload = int(^lastFragFlag)
+
+// WriteRecord frames buf as one complete record and writes it with a
+// single Write call. buf's first RecordMarkLen bytes are reserved for
+// the record mark — the caller marshals the message immediately after
+// them — so the message reaches the socket without ever being copied
+// into the fragment buffer, and the mark plus payload leave in one
+// syscall instead of two-per-fragment. The record content is identical
+// to PutBytes+EndRecord on the same payload (byte-identical on the wire
+// for payloads within one fragment, which covers every datagram-sized
+// message; larger payloads ride in one big final fragment instead of
+// 4000-byte slices — both framings every RFC 1057 peer must accept).
+//
+// Data already buffered by PutBytes, or a payload too large for a
+// single fragment, completes through the generic fragmenting path, so
+// the two write APIs compose on one stream.
+func (r *RecStream) WriteRecord(buf []byte) error {
+	if r.werr != nil {
+		return r.werr
+	}
+	if len(buf) < RecordMarkLen {
+		return fmt.Errorf("xdr: WriteRecord: buffer shorter than the %d-byte record mark", RecordMarkLen)
+	}
+	payload := len(buf) - RecordMarkLen
+	// An open record — pending bytes in the fragment buffer OR fragments
+	// already flushed (r.sent) — must complete through the fragmenting
+	// path: the single-write fast path would inject this record's mark
+	// into the middle of the open record and corrupt the stream framing.
+	if r.wpos != 0 || r.sent != 0 || payload > maxFragPayload {
+		if err := r.PutBytes(buf[RecordMarkLen:]); err != nil {
+			return err
+		}
+		return r.EndRecord()
+	}
+	u := uint32(payload) | lastFragFlag
+	buf[0], buf[1], buf[2], buf[3] = byte(u>>24), byte(u>>16), byte(u>>8), byte(u)
+	if _, err := r.rw.Write(buf); err != nil {
+		r.werr = fmt.Errorf("xdr: write record: %w", err)
+		return r.werr
+	}
+	r.sent = 0
+	r.wseal = true
+	return nil
+}
+
 func (r *RecStream) flushFragment(last bool) error {
 	header := uint32(r.wpos)
 	if last {

@@ -276,3 +276,174 @@ func TestReadRecordAppends(t *testing.T) {
 		t.Fatalf("appended record = %v", got)
 	}
 }
+
+// preframed builds a WriteRecord buffer: the reserved mark hole followed
+// by payload.
+func preframed(payload []byte) []byte {
+	return append(make([]byte, RecordMarkLen), payload...)
+}
+
+func TestWriteRecordRoundTrip(t *testing.T) {
+	var wire bytes.Buffer
+	w := NewRecStream(&wire, 0)
+	payload := []byte("one-syscall record framing")
+	if err := w.WriteRecord(preframed(payload)); err != nil {
+		t.Fatal(err)
+	}
+	r := NewRecStream(&wire, 0)
+	rec, err := r.ReadRecord(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rec, payload) {
+		t.Fatalf("got %q, want %q", rec, payload)
+	}
+}
+
+// TestWriteRecordMatchesStreamingPath: for payloads below the fragment
+// size (at exactly the fragment size the streaming path eagerly flushes
+// a non-final fragment and then an empty final one) the single-write
+// path must be byte-identical on the wire to PutBytes+EndRecord — old
+// and new peers interoperate.
+func TestWriteRecordMatchesStreamingPath(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 4, 100, DefaultFragmentSize - 1} {
+		payload := make([]byte, n)
+		for i := range payload {
+			payload[i] = byte(i * 7)
+		}
+		var oldWire, newWire bytes.Buffer
+		ow := NewRecStream(&oldWire, 0)
+		if err := ow.PutBytes(payload); err != nil {
+			t.Fatal(err)
+		}
+		if err := ow.EndRecord(); err != nil {
+			t.Fatal(err)
+		}
+		nw := NewRecStream(&newWire, 0)
+		if err := nw.WriteRecord(preframed(payload)); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(oldWire.Bytes(), newWire.Bytes()) {
+			t.Fatalf("n=%d: wire bytes diverged:\n old %x\n new %x", n, oldWire.Bytes(), newWire.Bytes())
+		}
+	}
+}
+
+// TestWriteRecordSingleWrite asserts the copy-free property observable
+// from outside: the mark and payload arrive in exactly one Write call,
+// even past the fragment buffer size.
+func TestWriteRecordSingleWrite(t *testing.T) {
+	var cw countingWriter
+	w := NewRecStream(&rwPair{Writer: &cw}, 0)
+	payload := make([]byte, 3*DefaultFragmentSize)
+	if err := w.WriteRecord(preframed(payload)); err != nil {
+		t.Fatal(err)
+	}
+	if cw.writes != 1 {
+		t.Fatalf("WriteRecord issued %d writes, want 1", cw.writes)
+	}
+	if cw.bytes != RecordMarkLen+len(payload) {
+		t.Fatalf("wrote %d bytes, want %d", cw.bytes, RecordMarkLen+len(payload))
+	}
+
+	// The streaming path pays two writes per fragment on the same record.
+	cw = countingWriter{}
+	ow := NewRecStream(&rwPair{Writer: &cw}, 0)
+	if err := ow.PutBytes(payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := ow.EndRecord(); err != nil {
+		t.Fatal(err)
+	}
+	if cw.writes <= 1 {
+		t.Fatalf("streaming path issued %d writes; counting is broken", cw.writes)
+	}
+}
+
+type countingWriter struct {
+	writes int
+	bytes  int
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	c.writes++
+	c.bytes += len(p)
+	return len(p), nil
+}
+
+// TestWriteRecordAfterPutBytes: pending streamed data completes through
+// the fragmenting path, producing one record carrying both.
+func TestWriteRecordAfterPutBytes(t *testing.T) {
+	var wire bytes.Buffer
+	w := NewRecStream(&wire, 0)
+	if err := w.PutLong(42); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteRecord(preframed([]byte("tail"))); err != nil {
+		t.Fatal(err)
+	}
+	r := NewRecStream(&wire, 0)
+	rec, err := r.ReadRecord(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]byte{0, 0, 0, 42}, "tail"...)
+	if !bytes.Equal(rec, want) {
+		t.Fatalf("got %x, want %x", rec, want)
+	}
+}
+
+func TestWriteRecordTooShort(t *testing.T) {
+	w := NewRecStream(&rwPair{Writer: io.Discard}, 0)
+	if err := w.WriteRecord([]byte{1, 2}); err == nil {
+		t.Fatal("accepted a buffer shorter than the record mark")
+	}
+}
+
+func TestWriteRecordStickyError(t *testing.T) {
+	w := NewRecStream(&rwPair{Writer: failWriter{}}, 0)
+	if err := w.WriteRecord(preframed([]byte("x"))); err == nil {
+		t.Fatal("expected write error")
+	}
+	if err := w.WriteRecord(preframed([]byte("y"))); err == nil {
+		t.Fatal("expected sticky error")
+	}
+}
+
+// TestWriteRecordAfterFlushedFragment: an open record whose bytes were
+// already flushed (PutBytes of exactly one fragment leaves wpos == 0
+// but the record unfinished) must also complete through the fragmenting
+// path — the fast path would inject a record mark into the open record.
+func TestWriteRecordAfterFlushedFragment(t *testing.T) {
+	var wire bytes.Buffer
+	w := NewRecStream(&wire, 0)
+	head := make([]byte, DefaultFragmentSize) // flushes eagerly, wpos back to 0
+	for i := range head {
+		head[i] = byte(i)
+	}
+	if err := w.PutBytes(head); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteRecord(preframed([]byte("tail"))); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh WriteRecord on the now-sealed stream is its own record.
+	if err := w.WriteRecord(preframed([]byte("second"))); err != nil {
+		t.Fatal(err)
+	}
+	r := NewRecStream(&wire, 0)
+	rec1, err := r.ReadRecord(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := append(append([]byte(nil), head...), "tail"...); !bytes.Equal(rec1, want) {
+		t.Fatalf("first record: got %d bytes, want %d of head+tail", len(rec1), len(want))
+	}
+	rec2, err := r.ReadRecord(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rec2, []byte("second")) {
+		t.Fatalf("second record: got %q", rec2)
+	}
+}
