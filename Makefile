@@ -37,14 +37,20 @@ bench-diff:
 	rm -f bench_head.json
 
 # Short native-fuzz smoke over the decode boundary (the record-marking
-# reader and the RPC call-header decoder, fed raw bytes) and the header
-# template differentials (template bytes == generic marshaler bytes).
+# reader and the RPC call-header decoder, fed raw bytes), the header
+# template differentials (template bytes == generic marshaler bytes),
+# the call-body accept-set differential (fixed-offset parse == header
+# walker), and the whole-call fusion differentials (fused bytes ==
+# template-copy + plan bytes).
 fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzRecRead -fuzztime=10s ./internal/xdr
 	$(GO) test -run=NONE -fuzz=FuzzDecodeCallHeader -fuzztime=10s ./internal/rpcmsg
 	$(GO) test -run=NONE -fuzz=FuzzCallTemplate -fuzztime=10s ./internal/rpcmsg
 	$(GO) test -run=NONE -fuzz='FuzzReplyTemplate$$' -fuzztime=10s ./internal/rpcmsg
 	$(GO) test -run=NONE -fuzz=FuzzAcceptedSuccessBody -fuzztime=10s ./internal/rpcmsg
+	$(GO) test -run=NONE -fuzz='FuzzCallBody$$' -fuzztime=10s ./internal/rpcmsg
+	$(GO) test -run=NONE -fuzz=FuzzCallPlanFused -fuzztime=10s ./internal/wire
+	$(GO) test -run=NONE -fuzz=FuzzReplyPlanFused -fuzztime=10s ./internal/wire
 
 # Build the rpcgen-generated stubs as part of the pipeline: generate from
 # the richest testdata spec into a temp package and vet it, so codegen

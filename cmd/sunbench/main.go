@@ -11,7 +11,8 @@
 //	sunbench -figure 6        # the Figure 6 panels
 //	sunbench -throughput      # live throughput over sim, udp, and tcp
 //	sunbench -throughput -transport tcp -clients 4 -depth 16 -calls 50000
-//	sunbench -live-spec       # live codec comparison over sim, udp, tcp
+//	sunbench -live-spec       # live codec comparison (incl. fused whole-call) over sim, udp, tcp
+//	sunbench -live-spec -fused=false          # the three plan series only
 //	sunbench -live-spec -header-path -json BENCH_live.json
 //	sunbench -header-path     # generic vs templated RPC header work
 //	sunbench -throughput -cpuprofile cpu.out -memprofile mem.out
@@ -43,6 +44,7 @@ func realMain() int {
 	figure := flag.Int("figure", 0, "print only this figure (6)")
 	throughput := flag.Bool("throughput", false, "measure live transport throughput instead of the paper tables")
 	liveSpec := flag.Bool("live-spec", false, "measure the generic/specialized/chunked marshal plans over the live transports")
+	fused := flag.Bool("fused", true, "include the fused whole-call series in -live-spec (-fused=false for the three plan series only)")
 	headerPath := flag.Bool("header-path", false, "measure the generic vs templated RPC header encode/decode paths")
 	transports := flag.String("transport", "sim,udp,tcp", "comma-separated transports for -throughput and -live-spec")
 	clients := flag.Int("clients", 2, "concurrent connections for -throughput")
@@ -93,7 +95,7 @@ func realMain() int {
 	live := false
 	if *liveSpec {
 		live = true
-		err = runLiveSpec(*transports, *calls, out)
+		err = runLiveSpec(*transports, *calls, !*fused, out)
 	}
 	if err == nil && *headerPath {
 		live = true
@@ -172,10 +174,11 @@ func splitTransports(transports string) []string {
 
 // runLiveSpec prints the paper's three-configuration comparison measured
 // on the live wire path.
-func runLiveSpec(transports string, calls int, out *jsonReport) error {
+func runLiveSpec(transports string, calls int, skipFused bool, out *jsonReport) error {
 	rows, err := bench.LiveSpec(bench.LiveSpecOptions{
 		Transports: splitTransports(transports),
 		Calls:      calls,
+		SkipFused:  skipFused,
 	})
 	if err != nil {
 		return err

@@ -10,6 +10,7 @@ package bench
 // paper's claim transplanted onto the live wire path.
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"strings"
@@ -19,6 +20,7 @@ import (
 	"specrpc/internal/netsim"
 	"specrpc/internal/server"
 	"specrpc/internal/wire"
+	"specrpc/internal/xdr"
 )
 
 // Live-spec service identity (distinct from the paper-table and
@@ -35,7 +37,16 @@ var liveProcs = map[wire.Mode]uint32{
 	wire.Chunked:     3,
 }
 
-// LiveModes lists the three configurations in presentation order.
+// liveProcFused is the whole-call configuration: the same specialized
+// plan, but registered and called through the typed entry points so the
+// header template and argument plan execute as one fused codec.
+const liveProcFused = uint32(4)
+
+// FusedSeries names the fused configuration in results and reports.
+const FusedSeries = "fused"
+
+// LiveModes lists the three plan configurations in presentation order;
+// the fused series rides alongside them under FusedSeries.
 var LiveModes = []wire.Mode{wire.Generic, wire.Specialized, wire.Chunked}
 
 // livePlans compiles the int-array echo plan per mode, once.
@@ -59,6 +70,9 @@ type LiveSpecOptions struct {
 	Calls int
 	// Warmup calls before each measurement. Default 50.
 	Warmup int
+	// SkipFused drops the fused whole-call series, leaving only the
+	// three template+plan configurations.
+	SkipFused bool
 }
 
 func (o *LiveSpecOptions) fill() {
@@ -86,15 +100,27 @@ type LiveSpecResult struct {
 	CallsPerSec float64 `json:"calls_per_sec"`
 }
 
-// newLiveServer builds the echo server with one typed registration per
-// codec configuration, so a single transport setup serves all three.
+// newLiveServer builds the echo server: the three plan configurations
+// register through explicit closures — pinning them to the
+// template+plan reply path, so their series keep measuring what they
+// measured before fusion existed — and the fused configuration
+// registers through RegisterTyped, which installs the specialized
+// dispatch entry (fixed-offset header parse, fused success reply).
 func newLiveServer() *server.Server {
 	s := server.New()
 	for _, m := range LiveModes {
 		plan := livePlans[m]
-		server.RegisterTyped(s, liveProg, liveVers, liveProcs[m], plan, plan,
-			func(arg *[]int32) (*[]int32, error) { return arg, nil })
+		s.Register(liveProg, liveVers, liveProcs[m], func(dec *xdr.XDR) (server.Marshal, error) {
+			var arr []int32
+			if err := plan.Marshal(dec, &arr); err != nil {
+				return nil, errors.Join(server.ErrGarbageArgs, err)
+			}
+			return func(enc *xdr.XDR) error { return plan.Marshal(enc, &arr) }, nil
+		})
 	}
+	sp := livePlans[wire.Specialized]
+	server.RegisterTyped(s, liveProg, liveVers, liveProcFused, sp, sp,
+		func(arg *[]int32) (*[]int32, error) { return arg, nil })
 	return s
 }
 
@@ -160,15 +186,36 @@ func LiveSpec(o LiveSpecOptions) ([]LiveSpecResult, error) {
 				in[i] = int32(i * 13)
 			}
 			out := make([]int32, n)
+
+			// The three plan series call through explicit closures — the
+			// pre-fusion template+plan client path — and the fused series
+			// through CallTyped, which routes onto the whole-call codec.
+			type series struct {
+				name string
+				call func() error
+			}
+			var runs []series
 			for _, m := range LiveModes {
 				plan := livePlans[m]
 				proc := liveProcs[m]
+				am := func(x *xdr.XDR) error { return plan.Marshal(x, &in) }
+				rm := func(x *xdr.XDR) error { return plan.Marshal(x, &out) }
+				runs = append(runs, series{m.String(), func() error { return c.Call(proc, am, rm) }})
+			}
+			if !o.SkipFused {
+				sp := livePlans[wire.Specialized]
+				runs = append(runs, series{FusedSeries, func() error {
+					return client.CallTyped(c, liveProcFused, sp, &in, sp, &out)
+				}})
+			}
+			for _, sr := range runs {
+				doCall := sr.call
 				call := func() error {
-					if err := client.CallTyped(c, proc, plan, &in, plan, &out); err != nil {
-						return fmt.Errorf("bench: %s/%v/N=%d: %w", tr, m, n, err)
+					if err := doCall(); err != nil {
+						return fmt.Errorf("bench: %s/%s/N=%d: %w", tr, sr.name, n, err)
 					}
 					if len(out) != n || (n > 0 && out[n-1] != in[n-1]) {
-						return fmt.Errorf("bench: %s/%v/N=%d: bad echo", tr, m, n)
+						return fmt.Errorf("bench: %s/%s/N=%d: bad echo", tr, sr.name, n)
 					}
 					return nil
 				}
@@ -189,7 +236,7 @@ func LiveSpec(o LiveSpecOptions) ([]LiveSpecResult, error) {
 				}
 				elapsed := time.Since(start)
 				r := LiveSpecResult{
-					Transport: tr, Mode: m.String(), N: n, Calls: o.Calls,
+					Transport: tr, Mode: sr.name, N: n, Calls: o.Calls,
 					NsPerCall: float64(elapsed.Nanoseconds()) / float64(o.Calls),
 				}
 				if elapsed > 0 {
@@ -222,10 +269,25 @@ func FormatLiveSpec(rows []LiveSpecResult) string {
 		}
 		byPoint[k][r.Mode] = r
 	}
+	// Render the fused column only when the series was measured, so a
+	// SkipFused run prints the three-configuration table instead of a
+	// column of zeros masquerading as measurements.
+	hasFused := false
+	for _, r := range rows {
+		if r.Mode == FusedSeries {
+			hasFused = true
+			break
+		}
+	}
 	var sb strings.Builder
 	sb.WriteString("Live specialization: round-trip µs/call by marshal configuration (echo of 4-byte ints)\n")
-	fmt.Fprintf(&sb, "%-9s %6s %12s %12s %12s %9s %9s\n",
-		"Transport", "N", "Generic", "Specialized", "Chunked", "Spd(S)", "Spd(C)")
+	if hasFused {
+		fmt.Fprintf(&sb, "%-9s %6s %12s %12s %12s %12s %8s %8s %8s\n",
+			"Transport", "N", "Generic", "Specialized", "Chunked", "Fused", "Spd(S)", "Spd(C)", "Spd(F)")
+	} else {
+		fmt.Fprintf(&sb, "%-9s %6s %12s %12s %12s %9s %9s\n",
+			"Transport", "N", "Generic", "Specialized", "Chunked", "Spd(S)", "Spd(C)")
+	}
 	last := ""
 	for _, k := range order {
 		if last != "" && last != k.tr {
@@ -242,8 +304,18 @@ func FormatLiveSpec(rows []LiveSpecResult) string {
 		if c.NsPerCall > 0 {
 			spdC = g.NsPerCall / c.NsPerCall
 		}
-		fmt.Fprintf(&sb, "%-9s %6d %12.1f %12.1f %12.1f %9.2f %9.2f\n",
-			k.tr, k.n, g.NsPerCall/1e3, s.NsPerCall/1e3, c.NsPerCall/1e3, spdS, spdC)
+		if !hasFused {
+			fmt.Fprintf(&sb, "%-9s %6d %12.1f %12.1f %12.1f %9.2f %9.2f\n",
+				k.tr, k.n, g.NsPerCall/1e3, s.NsPerCall/1e3, c.NsPerCall/1e3, spdS, spdC)
+			continue
+		}
+		fu := byPoint[k][FusedSeries]
+		spdF := 0.0
+		if fu.NsPerCall > 0 {
+			spdF = g.NsPerCall / fu.NsPerCall
+		}
+		fmt.Fprintf(&sb, "%-9s %6d %12.1f %12.1f %12.1f %12.1f %8.2f %8.2f %8.2f\n",
+			k.tr, k.n, g.NsPerCall/1e3, s.NsPerCall/1e3, c.NsPerCall/1e3, fu.NsPerCall/1e3, spdS, spdC, spdF)
 	}
 	return sb.String()
 }

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"specrpc/internal/rpcmsg"
 	"specrpc/internal/wire"
 	"specrpc/internal/xdr"
 )
@@ -21,8 +22,8 @@ func TestLiveSpecSim(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 2*len(LiveModes) {
-		t.Fatalf("%d rows, want %d", len(rows), 2*len(LiveModes))
+	if want := 2 * (len(LiveModes) + 1); len(rows) != want { // +1: the fused series
+		t.Fatalf("%d rows, want %d", len(rows), want)
 	}
 	for _, r := range rows {
 		if r.NsPerCall <= 0 || r.CallsPerSec <= 0 {
@@ -30,9 +31,31 @@ func TestLiveSpecSim(t *testing.T) {
 		}
 	}
 	out := FormatLiveSpec(rows)
-	for _, want := range []string{"Transport", "Generic", "Specialized", "Chunked", "sim"} {
+	for _, want := range []string{"Transport", "Generic", "Specialized", "Chunked", "Fused", "sim"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("format missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestLiveSpecSkipFused keeps the three-series shape reachable.
+func TestLiveSpecSkipFused(t *testing.T) {
+	rows, err := LiveSpec(LiveSpecOptions{
+		Transports: []string{"sim"},
+		Sizes:      []int{20},
+		Calls:      10,
+		Warmup:     2,
+		SkipFused:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(LiveModes) {
+		t.Fatalf("%d rows, want %d", len(rows), len(LiveModes))
+	}
+	for _, r := range rows {
+		if r.Mode == FusedSeries {
+			t.Fatalf("fused series present despite SkipFused")
 		}
 	}
 }
@@ -122,6 +145,113 @@ func TestLiveSpecEncodeAllocFree(t *testing.T) {
 			if allocs != 0 {
 				t.Errorf("%v N=%d: %.1f allocs/op on encode, want 0", m, n, allocs)
 			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Fused whole-call series: the complete message (header + args) in one
+// codec pass, measured against the same grid.
+
+// fusedBenchPlans compiles the whole-call codecs the live fused series
+// runs on: client identity, fused procedure, specialized int-array plan.
+func fusedBenchPlans(tb testing.TB) (*wire.CallPlan[[]int32], *wire.ReplyPlan[[]int32]) {
+	tb.Helper()
+	tmpl, err := rpcmsg.NewCallTemplate(liveProg, liveVers, rpcmsg.None(), rpcmsg.None())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	cp, err := wire.NewCallPlan(tmpl, liveProcFused, LivePlan(wire.Specialized))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	rp, err := wire.NewReplyPlan(rpcmsg.MustReplyTemplate(rpcmsg.None()), LivePlan(wire.Specialized))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return cp, rp
+}
+
+// BenchmarkLiveFusedEncode measures the whole call message — header and
+// arguments fused into one codec pass — on the paper's grid.
+func BenchmarkLiveFusedEncode(b *testing.B) {
+	cp, _ := fusedBenchPlans(b)
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			args := make([]int32, n)
+			for i := range args {
+				args[i] = int32(i * 13)
+			}
+			buf := make([]byte, 0, 4*n+128)
+			bs := xdr.NewBufEncode(buf)
+			b.ReportAllocs()
+			b.SetBytes(int64(4*n + 4 + 40))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				bs.SetBuffer(buf[:0])
+				if err := cp.AppendCall(bs, uint32(i), &args); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkLiveFusedDecode measures result decode straight out of the
+// raw accepted-success reply, no intermediate handle.
+func BenchmarkLiveFusedDecode(b *testing.B) {
+	_, rp := fusedBenchPlans(b)
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			res := make([]int32, n)
+			bs := xdr.NewBufEncode(nil)
+			if err := rp.AppendReply(bs, 7, &res); err != nil {
+				b.Fatal(err)
+			}
+			raw := append([]byte(nil), bs.Buffer()...)
+			out := make([]int32, n)
+			b.ReportAllocs()
+			b.SetBytes(int64(len(raw)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if handled, err := rp.DecodeReply(raw, &out); !handled || err != nil {
+					b.Fatal(handled, err)
+				}
+			}
+		})
+	}
+}
+
+// TestLiveFusedAllocFree pins the fused series' acceptance criterion:
+// whole-call encode and whole-reply decode at zero allocations per
+// operation over the entire grid.
+func TestLiveFusedAllocFree(t *testing.T) {
+	cp, rp := fusedBenchPlans(t)
+	for _, n := range benchSizes {
+		args := make([]int32, n)
+		buf := make([]byte, 0, 4*n+128)
+		bs := xdr.NewBufEncode(buf)
+		if allocs := testing.AllocsPerRun(50, func() {
+			bs.SetBuffer(buf[:0])
+			if err := cp.AppendCall(bs, 9, &args); err != nil {
+				t.Fatal(err)
+			}
+		}); allocs != 0 {
+			t.Errorf("fused encode N=%d: %.1f allocs/op, want 0", n, allocs)
+		}
+
+		bs.SetBuffer(buf[:0])
+		if err := rp.AppendReply(bs, 9, &args); err != nil {
+			t.Fatal(err)
+		}
+		raw := append([]byte(nil), bs.Buffer()...)
+		out := make([]int32, n)
+		if allocs := testing.AllocsPerRun(50, func() {
+			if handled, err := rp.DecodeReply(raw, &out); !handled || err != nil {
+				t.Fatal(handled, err)
+			}
+		}); allocs != 0 {
+			t.Errorf("fused decode N=%d: %.1f allocs/op, want 0", n, allocs)
 		}
 	}
 }

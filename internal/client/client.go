@@ -27,8 +27,10 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+	"unsafe"
 
 	"specrpc/internal/rpcmsg"
+	"specrpc/internal/wire"
 	"specrpc/internal/xdr"
 )
 
@@ -134,14 +136,27 @@ func newDemux() *demux {
 	return &demux{calls: make(map[uint32]chan *[]byte), done: make(chan struct{})}
 }
 
+// errXIDInFlight reports a registration colliding with a call already
+// in flight on the same XID. Never surfaced to callers: registerCall
+// absorbs it by advancing to the next XID.
+var errXIDInFlight = errors.New("client: xid already in flight")
+
 // register installs a reply channel for xid. The channel stays registered
 // until unregister, so duplicate replies and ill-formed datagrams can be
-// absorbed without losing the slot.
+// absorbed without losing the slot. A second registration on an XID that
+// is still in flight is rejected: silently replacing the slot — what an
+// unchecked map store would do — loses the first call's channel, and a
+// reply for that XID would then be delivered to the wrong waiter. The
+// collision is reachable once the 32-bit counter wraps on a long-lived
+// connection while a slow call from the previous epoch is still waiting.
 func (d *demux) register(xid uint32) (chan *[]byte, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.err != nil {
 		return nil, d.err
+	}
+	if _, busy := d.calls[xid]; busy {
+		return nil, errXIDInFlight
 	}
 	ch := make(chan *[]byte, 1)
 	d.calls[xid] = ch
@@ -227,6 +242,21 @@ func (l *lifecycle) closeOnce(conn io.Closer, dmx *demux) error {
 	return err
 }
 
+// registerCall assigns the next XID and registers its reply slot,
+// skipping over XIDs still claimed by in-flight calls from a previous
+// counter epoch (post-wrap collisions). The loop terminates because
+// fewer than 2^32 calls can be in flight at once.
+func registerCall(xid *atomic.Uint32, dmx *demux) (uint32, chan *[]byte, error) {
+	for {
+		id := xid.Add(1)
+		ch, err := dmx.register(id)
+		if errors.Is(err, errXIDInFlight) {
+			continue
+		}
+		return id, ch, err
+	}
+}
+
 // ---------------------------------------------------------------------------
 // Shared call-side helpers
 
@@ -281,6 +311,69 @@ func marshalCall(cfg *Config, tmpl *rpcmsg.CallTemplate, xid, proc uint32, args 
 	return bp, nil
 }
 
+// callReq selects how a call's request bytes are produced: args is the
+// closure path (the legacy Marshal API), cc+argp is the fused path (one
+// whole-call codec pass). Exactly one is set.
+type callReq struct {
+	args Marshal
+	cc   *wire.CallCodec
+	argp unsafe.Pointer
+}
+
+// marshalReq encodes one complete request into a pooled buffer with
+// prefix reserved bytes at its head. The fused path reserves header and
+// fixed-size argument bytes in one bounds check and stamps the XID into
+// the image; the closure path is marshalCall unchanged. Both produce
+// byte-identical messages.
+func marshalReq(cfg *Config, tmpl *rpcmsg.CallTemplate, r callReq, xid, proc uint32, prefix int) (*[]byte, error) {
+	if r.cc == nil {
+		return marshalCall(cfg, tmpl, xid, proc, r.args, prefix)
+	}
+	bp := xdr.GetBuf(cfg.BufSize + prefix)
+	var bs xdr.BufStream
+	bs.SetBuffer((*bp)[:prefix])
+	err := r.cc.Append(&bs, xid, r.argp)
+	*bp = bs.Buffer() // keep any growth pooled
+	if err != nil {
+		xdr.PutBuf(bp)
+		return nil, fmt.Errorf("client: marshal args: %w", err)
+	}
+	return bp, nil
+}
+
+// replySink selects how a call's reply bytes are consumed: fn is the
+// closure path, rc+resp the fused path. The fused path decodes results
+// straight out of the accepted-success reply; any other reply shape
+// falls back to the generic header walk (via resc for the results), so
+// failure detail is identical on both paths.
+type replySink struct {
+	fn   Marshal
+	rc   *wire.ReplyCodec
+	resc *wire.Codec // fallback result codec; nil for void results
+	resp unsafe.Pointer
+}
+
+func (s *replySink) decode(raw []byte) error {
+	if s.rc == nil {
+		return decodeReply(raw, s.fn)
+	}
+	if handled, err := s.rc.DecodeReply(raw, s.resp); handled {
+		if err != nil {
+			return fmt.Errorf("client: unmarshal results: %w", err)
+		}
+		return nil
+	}
+	// Non-success, exotic, or ill-formed reply: cold path — extract the
+	// full failure detail interpretively, exactly as the closure path
+	// would.
+	rm := Void
+	if s.resc != nil {
+		resc, resp := s.resc, s.resp
+		rm = func(x *xdr.XDR) error { return resc.Marshal(x, resp) }
+	}
+	return decodeReply(raw, rm)
+}
+
 // errIllFormed marks a reply buffer whose header failed to decode; over a
 // datagram transport the call keeps waiting, as clntudp_call ignored
 // undecodable datagrams. It only surfaces wrapped (stream transports
@@ -323,10 +416,10 @@ func decodeReply(raw []byte, reply Marshal) error {
 // delivered a valid reply in the same instant the connection failed, and
 // select picks among ready arms at random, so without this a call could
 // discard its own answer. Reports true when a decodable reply was found.
-func drainReply(ch chan *[]byte, reply Marshal) (bool, error) {
+func drainReply(ch chan *[]byte, sink *replySink) (bool, error) {
 	select {
 	case bp := <-ch:
-		err := decodeReply(*bp, reply)
+		err := sink.decode(*bp)
 		xdr.PutBuf(bp)
 		if errors.Is(err, errIllFormed) {
 			return false, nil
@@ -335,6 +428,85 @@ func drainReply(ch chan *[]byte, reply Marshal) (bool, error) {
 	default:
 		return false, nil
 	}
+}
+
+// ---------------------------------------------------------------------------
+// Fused whole-call plans
+
+// plannedProcs caches the fused whole-call codecs a client compiles on
+// first typed use of each (procedure, plan pair): the call side fuses
+// the client's header template with the argument plan, the reply side
+// wraps the result plan for direct decode. An entry with no codecs
+// records that its plan pair cannot fuse (exotic auth, generic-mode
+// plans). The cache keys on the procedure and re-resolves when the
+// caller's plans differ from the cached pair, so the fusion decision
+// always belongs to the plans in hand, never to whichever caller
+// happened to arrive first.
+type plannedProcs struct {
+	mu sync.RWMutex
+	m  map[uint32]*plannedProc
+}
+
+type plannedProc struct {
+	argc, resc *wire.Codec // identity of the plans the entry was compiled for
+	call       *wire.CallCodec
+	rep        *wire.ReplyCodec // call == nil marks an unfusable pair
+}
+
+// lookup resolves (compiling on first use, or when the plans changed)
+// the fused codecs for proc. It returns nil — route through the
+// closure path — when this plan pair cannot fuse.
+func (ps *plannedProcs) lookup(tmpl *rpcmsg.CallTemplate, proc uint32, argc, resc *wire.Codec) *plannedProc {
+	ps.mu.RLock()
+	e := ps.m[proc]
+	ps.mu.RUnlock()
+	if e == nil || e.argc != argc || e.resc != resc {
+		e = compilePlanned(tmpl, proc, argc, resc)
+		ps.mu.Lock()
+		if ps.m == nil {
+			ps.m = make(map[uint32]*plannedProc)
+		}
+		// Last writer wins: concurrent compilations for the same pair are
+		// equivalent, and a different pair claims the slot for its own
+		// steady state (alternating pairs on one procedure would thrash
+		// the cache, but each call still gets a correct codec).
+		ps.m[proc] = e
+		ps.mu.Unlock()
+	}
+	if e.call == nil {
+		return nil
+	}
+	return e
+}
+
+// compilePlanned builds the fused entry for one plan pair; when the
+// pair must stay on the template+plan path — no template (auth material
+// the template compiler rejects) or interpretive-mode plans — the entry
+// carries no codecs and records the negative decision for that pair.
+func compilePlanned(tmpl *rpcmsg.CallTemplate, proc uint32, argc, resc *wire.Codec) *plannedProc {
+	e := &plannedProc{argc: argc, resc: resc}
+	if tmpl == nil {
+		return e
+	}
+	// Generic-mode codecs are rejected by the constructors themselves
+	// (no flat program to fuse), so no mode pre-check is needed here.
+	call, err := wire.NewCallCodec(tmpl, proc, argc)
+	if err != nil {
+		return e
+	}
+	rep, err := wire.NewReplyCodec(nil, resc)
+	if err != nil {
+		return e
+	}
+	e.call, e.rep = call, rep
+	return e
+}
+
+// plannedCaller is the transport hook CallTyped probes for: transports
+// that can compile fused whole-call codecs report handled=true and
+// perform the call; anything else falls back to the closure path.
+type plannedCaller interface {
+	callPlanned(proc uint32, argc *wire.Codec, arg unsafe.Pointer, resc *wire.Codec, res unsafe.Pointer) (bool, error)
 }
 
 func checkReply(rh *rpcmsg.ReplyHeader) error {
@@ -364,10 +536,12 @@ type UDP struct {
 	conn   net.PacketConn
 	server net.Addr
 
-	xid    atomic.Uint32
-	dmx    *demux
-	reader sync.Once
-	life   lifecycle
+	xid       atomic.Uint32
+	dmx       *demux
+	planned   plannedProcs
+	truncated atomic.Uint64
+	reader    sync.Once
+	life      lifecycle
 }
 
 // NewUDP returns a client sending calls for cfg.Prog/cfg.Vers to server
@@ -385,32 +559,52 @@ func NewUDP(conn net.PacketConn, server net.Addr, cfg Config) *UDP {
 // the original one-socket client, concurrent calls proceed in parallel
 // and replies may arrive in any order.
 func (c *UDP) Call(proc uint32, args, reply Marshal) error {
+	return c.doCall(proc, callReq{args: args}, replySink{fn: reply})
+}
+
+// callPlanned is the fused entry point CallTyped routes typed calls
+// through: same transport semantics as Call, with the request encoded
+// by a whole-call codec and the results decoded straight from the
+// reply. handled=false sends the caller to the closure path.
+func (c *UDP) callPlanned(proc uint32, argc *wire.Codec, arg unsafe.Pointer, resc *wire.Codec, res unsafe.Pointer) (bool, error) {
+	e := c.planned.lookup(c.tmpl, proc, argc, resc)
+	if e == nil {
+		return false, nil
+	}
+	return true, c.doCall(proc,
+		callReq{cc: e.call, argp: arg},
+		replySink{rc: e.rep, resc: resc, resp: res})
+}
+
+func (c *UDP) doCall(proc uint32, req callReq, sink replySink) error {
 	if c.isClosed() {
 		return ErrClosed
 	}
 	c.reader.Do(func() { go c.readLoop() })
 
-	xid := c.xid.Add(1)
-	ch, err := c.dmx.register(xid)
+	xid, ch, err := registerCall(&c.xid, c.dmx)
 	if err != nil {
 		return err
 	}
 	defer c.dmx.unregister(xid)
 
-	req, err := marshalCall(&c.cfg, c.tmpl, xid, proc, args, 0)
+	reqBuf, err := marshalReq(&c.cfg, c.tmpl, req, xid, proc, 0)
 	if err != nil {
 		return err
 	}
-	defer xdr.PutBuf(req)
-	if len(*req) > c.cfg.BufSize {
+	defer xdr.PutBuf(reqBuf)
+	if len(*reqBuf) >= c.cfg.BufSize {
 		// The growable marshal buffer fits any request, but a datagram
 		// transport must still bound it: reject client-side, as the
-		// original fixed-buffer client did with a marshal overflow.
-		return fmt.Errorf("client: marshal args: %w (request %d bytes exceeds datagram buffer %d)",
-			xdr.ErrOverflow, len(*req), c.cfg.BufSize)
+		// original fixed-buffer client did with a marshal overflow. The
+		// bound is exclusive: a datagram that *fills* the receiver's
+		// buffer is indistinguishable from a truncated one and is
+		// dropped on arrival, so sending it would only burn the timeout.
+		return fmt.Errorf("client: marshal args: %w (request %d bytes reaches datagram buffer %d)",
+			xdr.ErrOverflow, len(*reqBuf), c.cfg.BufSize)
 	}
 
-	if err := c.send(*req); err != nil {
+	if err := c.send(*reqBuf); err != nil {
 		return err
 	}
 	overall := time.NewTimer(c.cfg.Timeout)
@@ -420,27 +614,27 @@ func (c *UDP) Call(proc uint32, args, reply Marshal) error {
 	for {
 		select {
 		case bp := <-ch:
-			err := decodeReply(*bp, reply)
+			err := sink.decode(*bp)
 			xdr.PutBuf(bp)
 			if errors.Is(err, errIllFormed) {
 				continue // undecodable datagram: ignore, keep waiting
 			}
 			return err
 		case <-retrans.C:
-			if err := c.send(*req); err != nil {
-				if ok, derr := drainReply(ch, reply); ok {
+			if err := c.send(*reqBuf); err != nil {
+				if ok, derr := drainReply(ch, &sink); ok {
 					return derr
 				}
 				return err
 			}
 			retrans.Reset(c.cfg.Retransmit)
 		case <-overall.C:
-			if ok, err := drainReply(ch, reply); ok {
+			if ok, err := drainReply(ch, &sink); ok {
 				return err
 			}
 			return ErrTimeout
 		case <-c.dmx.done:
-			if ok, err := drainReply(ch, reply); ok {
+			if ok, err := drainReply(ch, &sink); ok {
 				return err
 			}
 			return c.dmx.error()
@@ -492,6 +686,16 @@ func (c *UDP) readLoop() {
 			continue
 		}
 		consecErrs = 0
+		if n == c.cfg.BufSize {
+			// A datagram that fills the read buffer exactly cannot be told
+			// apart from one the kernel truncated to fit it; handing it to
+			// the reply decoder would risk parsing a prefix of the real
+			// message as if complete. Drop it — the call retransmits — and
+			// count the drop so operators can size BufSize accordingly.
+			c.truncated.Add(1)
+			xdr.PutBuf(bp)
+			continue
+		}
 		*bp = buf[:n]
 		xid, ok := rpcmsg.PeekXID(*bp)
 		if !ok || !c.dmx.deliver(xid, bp) {
@@ -499,6 +703,10 @@ func (c *UDP) readLoop() {
 		}
 	}
 }
+
+// TruncatedDrops reports how many possibly-truncated reply datagrams
+// (received length == BufSize) the reader has discarded.
+func (c *UDP) TruncatedDrops() uint64 { return c.truncated.Load() }
 
 func (c *UDP) isClosed() bool { return c.life.isClosed() }
 
@@ -519,10 +727,11 @@ type TCP struct {
 	tmpl *rpcmsg.CallTemplate
 	conn net.Conn
 
-	xid    atomic.Uint32
-	dmx    *demux
-	reader sync.Once
-	life   lifecycle
+	xid     atomic.Uint32
+	dmx     *demux
+	planned plannedProcs
+	reader  sync.Once
+	life    lifecycle
 
 	wmu  sync.Mutex // serializes record writes onto the stream
 	wrec *xdr.RecStream
@@ -541,13 +750,28 @@ func NewTCP(conn net.Conn, cfg Config) *TCP {
 // connection. The arguments are marshaled into a pooled buffer outside
 // the write lock, so slow marshaling never blocks other senders.
 func (c *TCP) Call(proc uint32, args, reply Marshal) error {
+	return c.doCall(proc, callReq{args: args}, replySink{fn: reply})
+}
+
+// callPlanned is the fused entry point CallTyped routes typed calls
+// through; see (*UDP).callPlanned.
+func (c *TCP) callPlanned(proc uint32, argc *wire.Codec, arg unsafe.Pointer, resc *wire.Codec, res unsafe.Pointer) (bool, error) {
+	e := c.planned.lookup(c.tmpl, proc, argc, resc)
+	if e == nil {
+		return false, nil
+	}
+	return true, c.doCall(proc,
+		callReq{cc: e.call, argp: arg},
+		replySink{rc: e.rep, resc: resc, resp: res})
+}
+
+func (c *TCP) doCall(proc uint32, req callReq, sink replySink) error {
 	if c.isClosed() {
 		return ErrClosed
 	}
 	c.reader.Do(func() { go c.readLoop() })
 
-	xid := c.xid.Add(1)
-	ch, err := c.dmx.register(xid)
+	xid, ch, err := registerCall(&c.xid, c.dmx)
 	if err != nil {
 		return err
 	}
@@ -556,7 +780,7 @@ func (c *TCP) Call(proc uint32, args, reply Marshal) error {
 	// The record mark is reserved at the head of the marshal buffer, so
 	// the record layer patches it in place and the whole call leaves in
 	// one Write — the message is never copied into the fragment buffer.
-	req, err := marshalCall(&c.cfg, c.tmpl, xid, proc, args, xdr.RecordMarkLen)
+	reqBuf, err := marshalReq(&c.cfg, c.tmpl, req, xid, proc, xdr.RecordMarkLen)
 	if err != nil {
 		return err
 	}
@@ -566,10 +790,10 @@ func (c *TCP) Call(proc uint32, args, reply Marshal) error {
 	// hang past Config.Timeout with its timer never even started.
 	werr := c.conn.SetWriteDeadline(time.Now().Add(c.cfg.Timeout))
 	if werr == nil {
-		werr = c.wrec.WriteRecord(*req)
+		werr = c.wrec.WriteRecord(*reqBuf)
 	}
 	c.wmu.Unlock()
-	xdr.PutBuf(req)
+	xdr.PutBuf(reqBuf)
 	if werr != nil {
 		if c.isClosed() {
 			return ErrClosed
@@ -587,19 +811,19 @@ func (c *TCP) Call(proc uint32, args, reply Marshal) error {
 	defer overall.Stop()
 	select {
 	case bp := <-ch:
-		err := decodeReply(*bp, reply)
+		err := sink.decode(*bp)
 		xdr.PutBuf(bp)
 		if errors.Is(err, errIllFormed) {
 			return fmt.Errorf("client: read reply: %w", err)
 		}
 		return err
 	case <-overall.C:
-		if ok, err := drainReply(ch, reply); ok {
+		if ok, err := drainReply(ch, &sink); ok {
 			return err
 		}
 		return ErrTimeout
 	case <-c.dmx.done:
-		if ok, err := drainReply(ch, reply); ok {
+		if ok, err := drainReply(ch, &sink); ok {
 			return err
 		}
 		return c.dmx.error()
@@ -645,6 +869,8 @@ type Caller interface {
 }
 
 var (
-	_ Caller = (*UDP)(nil)
-	_ Caller = (*TCP)(nil)
+	_ Caller        = (*UDP)(nil)
+	_ Caller        = (*TCP)(nil)
+	_ plannedCaller = (*UDP)(nil)
+	_ plannedCaller = (*TCP)(nil)
 )

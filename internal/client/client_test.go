@@ -208,17 +208,17 @@ func TestDrainReply(t *testing.T) {
 
 	ch := make(chan *[]byte, 1)
 	ch <- pooledCopy(successReplyBytes(t, 9, 1234))
-	ok, err := drainReply(ch, dec)
+	ok, err := drainReply(ch, &replySink{fn: dec})
 	if !ok || err != nil || got != 1234 {
 		t.Fatalf("success reply: ok=%v err=%v got=%d", ok, err, got)
 	}
 
 	ch <- pooledCopy([]byte{1, 2, 3})
-	if ok, err := drainReply(ch, dec); ok || err != nil {
+	if ok, err := drainReply(ch, &replySink{fn: dec}); ok || err != nil {
 		t.Fatalf("ill-formed reply: ok=%v err=%v", ok, err)
 	}
 
-	if ok, err := drainReply(ch, dec); ok || err != nil {
+	if ok, err := drainReply(ch, &replySink{fn: dec}); ok || err != nil {
 		t.Fatalf("empty channel: ok=%v err=%v", ok, err)
 	}
 
@@ -230,7 +230,7 @@ func TestDrainReply(t *testing.T) {
 		t.Fatal(err)
 	}
 	ch <- pooledCopy(bs.Buffer())
-	ok, err = drainReply(ch, Void)
+	ok, err = drainReply(ch, &replySink{fn: Void})
 	var rpcErr *RPCError
 	if !ok || !errors.As(err, &rpcErr) || rpcErr.AcceptStat != rpcmsg.SystemErr {
 		t.Fatalf("error reply: ok=%v err=%v", ok, err)

@@ -1,6 +1,8 @@
 package client
 
 import (
+	"unsafe"
+
 	"specrpc/internal/wire"
 	"specrpc/internal/xdr"
 )
@@ -8,10 +10,30 @@ import (
 // CallTyped performs one RPC with the argument and result bodies
 // marshaled by compiled wire plans instead of hand-written closures: the
 // codec-based entry point generated stubs route through. A nil plan
-// marks a void side. The legacy closure-based Call remains the transport
-// core; CallTyped adapts plans onto it, so typed and closure calls
-// multiplex freely on the same connection.
+// marks a void side.
+//
+// On the package's own transports the call runs through a fused
+// whole-call codec: the header template and the argument plan execute
+// as one residual program over one buffer (compiled on first use of
+// each procedure and cached), and the results decode straight out of
+// the accepted-success reply. Procedures that cannot fuse — exotic
+// auth the template compiler rejects, or interpretive-mode plans —
+// take the closure adapter below, byte-identical on the wire either
+// way, so typed and closure calls multiplex freely on one connection.
 func CallTyped[A, R any](c Caller, proc uint32, args *wire.Plan[A], arg *A, results *wire.Plan[R], res *R) error {
+	if pc, ok := c.(plannedCaller); ok {
+		var argc, resc *wire.Codec
+		var ap, rp unsafe.Pointer
+		if args != nil {
+			argc, ap = args.Codec(), unsafe.Pointer(arg)
+		}
+		if results != nil {
+			resc, rp = results.Codec(), unsafe.Pointer(res)
+		}
+		if handled, err := pc.callPlanned(proc, argc, ap, resc, rp); handled {
+			return err
+		}
+	}
 	am := Void
 	if args != nil {
 		am = func(x *xdr.XDR) error { return args.Marshal(x, arg) }

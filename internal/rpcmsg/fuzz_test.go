@@ -123,6 +123,50 @@ func FuzzAcceptedSuccessBody(f *testing.F) {
 	})
 }
 
+// FuzzCallBody is the call-side accept-set differential: the
+// fixed-offset fast parse must accept exactly the messages the generic
+// CallHeader walker accepts, agree on the routing fields, and hand back
+// the argument bytes at exactly the walker's stop position. This is
+// what lets the server's fused dispatch skip the walker without
+// changing which requests it serves.
+func FuzzCallBody(f *testing.F) {
+	seed := CallHeader{
+		XID: 7, Prog: 0x20000099, Vers: 1, Proc: 3,
+		Cred: OpaqueAuth{Flavor: AuthSys, Body: []byte{1, 2, 3, 4}},
+		Verf: None(),
+	}
+	bs := xdr.NewBufEncode(nil)
+	if err := seed.Marshal(xdr.NewEncoder(bs)); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(append(append([]byte(nil), bs.Buffer()...), 9, 9, 9, 9))
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 1, 0, 0, 0, 0}) // xid + CALL, then truncated
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		xid, prog, vers, proc, body, fastOK := CallBody(data)
+
+		var h CallHeader
+		dec := xdr.NewDecoder(xdr.NewMemDecode(data))
+		genOK := h.Marshal(dec) == nil
+
+		if fastOK != genOK {
+			t.Fatalf("fast=%v generic=%v on %x", fastOK, genOK, data)
+		}
+		if !fastOK {
+			return
+		}
+		if xid != h.XID || prog != h.Prog || vers != h.Vers || proc != h.Proc {
+			t.Fatalf("routing mismatch: fast (%d %d %d %d) generic (%d %d %d %d) on %x",
+				xid, prog, vers, proc, h.XID, h.Prog, h.Vers, h.Proc, data)
+		}
+		if len(data)-len(body) != dec.Pos() {
+			t.Fatalf("body offset %d, generic walker stopped at %d on %x",
+				len(data)-len(body), dec.Pos(), data)
+		}
+	})
+}
+
 func FuzzDecodeCallHeader(f *testing.F) {
 	seed := CallHeader{
 		XID: 7, Prog: 0x20000099, Vers: 1, Proc: 3,

@@ -30,6 +30,16 @@ const (
 	callProcOffset = 20
 )
 
+// CallXIDOffset and ReplyXIDOffset are the byte offsets of the
+// transaction id inside a marshaled call and reply message: zero for
+// both, as RFC 1057 leads every message with the XID (which is also what
+// makes PeekXID possible). Exported so fused whole-message codecs can
+// stamp the XID into a precompiled image without re-deriving the layout.
+const (
+	CallXIDOffset  = callXIDOffset
+	ReplyXIDOffset = 0
+)
+
 // errTemplateDrift reports that the generic marshaler no longer places
 // the patchable fields at their RFC offsets — a programming error caught
 // at template-compile time, never on the wire path.
@@ -170,6 +180,44 @@ func AcceptedSuccessBody(b []byte) ([]byte, bool) {
 		return nil, false
 	}
 	return b[off+4:], true
+}
+
+// CallBody is the call-side counterpart of AcceptedSuccessBody: a
+// fixed-offset parse of a marshaled call message, returning the routing
+// triple and the argument bytes that follow the header. It accepts
+// exactly the messages CallHeader.Marshal accepts (fuzz-asserted) — any
+// RPC-version-2 call whose credential and verifier are within
+// MaxAuthBytes — and reports false for anything else, sending the caller
+// to the generic interpretive walk. This is what lets a server's
+// per-procedure dispatch table skip the header walker entirely on the
+// hot path.
+func CallBody(b []byte) (xid, prog, vers, proc uint32, body []byte, ok bool) {
+	// Fixed prefix: xid, msg_type, rpcvers, prog, vers, proc, cred
+	// flavor, cred length — eight words — then the cred body (padded),
+	// the verf flavor and length words, and the verf body (padded).
+	if len(b) < 32 {
+		return 0, 0, 0, 0, nil, false
+	}
+	if be32(b[4:]) != uint32(Call) || be32(b[8:]) != Version {
+		return 0, 0, 0, 0, nil, false
+	}
+	clen := be32(b[28:])
+	if clen > MaxAuthBytes {
+		return 0, 0, 0, 0, nil, false
+	}
+	off := 32 + int(clen) + xdr.Pad(int(clen))
+	if off+8 > len(b) {
+		return 0, 0, 0, 0, nil, false
+	}
+	vlen := be32(b[off+4:])
+	if vlen > MaxAuthBytes {
+		return 0, 0, 0, 0, nil, false
+	}
+	off += 8 + int(vlen) + xdr.Pad(int(vlen))
+	if off > len(b) {
+		return 0, 0, 0, 0, nil, false
+	}
+	return be32(b), be32(b[12:]), be32(b[16:]), be32(b[20:]), b[off:], true
 }
 
 func be32(b []byte) uint32 {

@@ -1,0 +1,274 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"specrpc/internal/netsim"
+	"specrpc/internal/rpcmsg"
+	"specrpc/internal/wire"
+	"specrpc/internal/xdr"
+)
+
+// The fused dispatch path must be observationally identical to the
+// generic walk: same replies byte for byte, for success and for every
+// error outcome. These tests register the same echo through
+// RegisterTyped (which installs both the fused entry and the generic
+// fallback) and through an equivalent closure-only registration, then
+// compare handleCall outputs.
+
+var fusedTestPlan = wire.MustPlan[[]int32](wire.VarArrayT(0, wire.Int32T()), wire.Specialized)
+
+// newTypedServer registers the echo (and a failing proc) through the
+// typed entry points, engaging the fused dispatch table.
+func newTypedServer() *Server {
+	s := New()
+	RegisterTyped(s, testProg, testVers, procEcho, fusedTestPlan, fusedTestPlan,
+		func(arg *[]int32) (*[]int32, error) { return arg, nil })
+	RegisterTyped(s, testProg, testVers, procFail, fusedTestPlan, fusedTestPlan,
+		func(arg *[]int32) (*[]int32, error) { return nil, errors.New("handler exploded") })
+	return s
+}
+
+// newClosureServer is the same service through closure registrations
+// only: the reference for byte-identical replies.
+func newClosureServer() *Server {
+	s := New()
+	s.Register(testProg, testVers, procEcho, func(dec *xdr.XDR) (Marshal, error) {
+		var arr []int32
+		if err := fusedTestPlan.Marshal(dec, &arr); err != nil {
+			return nil, errors.Join(ErrGarbageArgs, err)
+		}
+		return func(enc *xdr.XDR) error { return fusedTestPlan.Marshal(enc, &arr) }, nil
+	})
+	s.Register(testProg, testVers, procFail, func(dec *xdr.XDR) (Marshal, error) {
+		var arr []int32
+		if err := fusedTestPlan.Marshal(dec, &arr); err != nil {
+			return nil, errors.Join(ErrGarbageArgs, err)
+		}
+		return nil, errors.New("handler exploded")
+	})
+	return s
+}
+
+func TestTypedDispatchByteIdentical(t *testing.T) {
+	typed := newTypedServer()
+	closure := newClosureServer()
+	if typed.typedFor(testProg, testVers, procEcho) == nil {
+		t.Fatal("RegisterTyped did not install a fused dispatch entry")
+	}
+
+	in := []int32{4, 5, 6, 7}
+	cases := map[string][]byte{
+		"success": buildCall(t, 11, testVers, procEcho, func(x *xdr.XDR) error {
+			return xdr.Array(x, &in, xdr.NoSizeLimit, (*xdr.XDR).Long)
+		}),
+		// Truncated argument body: GARBAGE_ARGS on both paths.
+		"garbage": append(buildCall(t, 12, testVers, procEcho, nil), 0, 0, 0, 9),
+		"system-err": buildCall(t, 13, testVers, procFail, func(x *xdr.XDR) error {
+			return xdr.Array(x, &in, xdr.NoSizeLimit, (*xdr.XDR).Long)
+		}),
+		"proc-unavail": buildCall(t, 14, testVers, 99, nil),
+		"prog-unavail": func() []byte {
+			b := buildCall(t, 15, testVers, procEcho, nil)
+			b[15] = 0x42 // clobber prog
+			return b
+		}(),
+	}
+	for name, req := range cases {
+		got, gotErr := typed.handleCall(req, make([]byte, 0, 4096))
+		want, wantErr := closure.handleCall(req, make([]byte, 0, 4096))
+		if (gotErr == nil) != (wantErr == nil) {
+			t.Fatalf("%s: typed err=%v closure err=%v", name, gotErr, wantErr)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s: typed reply differs from closure reply\n got %x\nwant %x", name, got, want)
+		}
+	}
+}
+
+// TestTypedDispatchVoidResult: a handler returning a nil result replies
+// with the bare success header on both paths.
+func TestTypedDispatchVoidResult(t *testing.T) {
+	s := New()
+	RegisterTyped(s, testProg, testVers, 5, fusedTestPlan, fusedTestPlan,
+		func(arg *[]int32) (*[]int32, error) { return nil, nil })
+	req := buildCall(t, 21, testVers, 5, func(x *xdr.XDR) error {
+		arr := []int32{1}
+		return xdr.Array(x, &arr, xdr.NoSizeLimit, (*xdr.XDR).Long)
+	})
+	out, err := s.handleCall(req, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rh, dec := decodeReply(t, out)
+	if rh.XID != 21 || rh.AcceptStat != rpcmsg.Success {
+		t.Fatalf("reply header %+v", rh)
+	}
+	if dec.Pos() != len(out) {
+		t.Fatalf("void reply carries %d body bytes", len(out)-dec.Pos())
+	}
+}
+
+// TestRegisterClearsTypedEntry: re-registering a triple through the
+// closure API must also drop the stale fused entry.
+func TestRegisterClearsTypedEntry(t *testing.T) {
+	s := newTypedServer()
+	s.Register(testProg, testVers, procEcho, echoProc)
+	if s.typedFor(testProg, testVers, procEcho) != nil {
+		t.Fatal("closure re-registration left the fused entry in place")
+	}
+}
+
+// TestServeUDPTruncatedRequestDropped is the server half of the
+// datagram-truncation regression: a request that fills the receive
+// buffer exactly must be dropped and counted, never parsed. Before the
+// fix the truncated prefix went through handleCall as if complete.
+func TestServeUDPTruncatedRequestDropped(t *testing.T) {
+	n := netsim.New()
+	sep := n.Attach("server")
+	s := newTypedServer()
+	// Small datagram buffer so an oversized request is cheap to build.
+	s.bufSize = 256
+	go func() { _ = s.ServeUDP(sep) }()
+	defer s.Close()
+
+	cep := n.Attach("client")
+	// An in-bounds request round-trips.
+	in := []int32{1, 2, 3}
+	req := buildCall(t, 31, testVers, procEcho, func(x *xdr.XDR) error {
+		return xdr.Array(x, &in, xdr.NoSizeLimit, (*xdr.XDR).Long)
+	})
+	if _, err := cep.WriteTo(req, netsim.Addr("server")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1024)
+	if err := cep.SetReadDeadline(time.Now().Add(2 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cep.ReadFrom(buf); err != nil {
+		t.Fatalf("small request got no reply: %v", err)
+	}
+
+	// A buffer-filling request is dropped silently and counted.
+	big := make([]int32, 200) // 40-byte header + 804 array bytes >> 256
+	bigReq := buildCall(t, 32, testVers, procEcho, func(x *xdr.XDR) error {
+		return xdr.Array(x, &big, xdr.NoSizeLimit, (*xdr.XDR).Long)
+	})
+	if _, err := cep.WriteTo(bigReq, netsim.Addr("server")); err != nil {
+		t.Fatal(err)
+	}
+	if err := cep.SetReadDeadline(time.Now().Add(300 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cep.ReadFrom(buf); err == nil {
+		t.Fatal("truncated request was answered")
+	}
+	if s.TruncatedDrops() == 0 {
+		t.Fatal("truncation drop counter did not advance")
+	}
+}
+
+// TestPeerKeySemantics: the allocation-free key must distinguish what
+// the old peer-string key distinguished.
+func TestPeerKeySemantics(t *testing.T) {
+	u1 := makePeerKey(&net.UDPAddr{IP: net.IPv4(10, 0, 0, 1), Port: 111})
+	u1b := makePeerKey(&net.UDPAddr{IP: net.IPv4(10, 0, 0, 1), Port: 111})
+	u2 := makePeerKey(&net.UDPAddr{IP: net.IPv4(10, 0, 0, 2), Port: 111})
+	u3 := makePeerKey(&net.UDPAddr{IP: net.IPv4(10, 0, 0, 1), Port: 112})
+	if u1 != u1b {
+		t.Error("identical UDP peers compare unequal")
+	}
+	if u1 == u2 || u1 == u3 {
+		t.Error("distinct UDP peers collide")
+	}
+	s1 := makePeerKey(netsim.Addr("client-a"))
+	s2 := makePeerKey(netsim.Addr("client-b"))
+	if s1 == s2 {
+		t.Error("distinct sim peers collide")
+	}
+	if s1 != makePeerKey(netsim.Addr("client-a")) {
+		t.Error("identical sim peers compare unequal")
+	}
+	long := netsim.Addr("a-peer-name-well-beyond-the-inline-window-capacity")
+	l1, l2 := makePeerKey(long), makePeerKey(long)
+	if l1 != l2 {
+		t.Error("identical long peers compare unequal")
+	}
+	if l1 == s1 {
+		t.Error("long and short peers collide")
+	}
+}
+
+// TestPeerKeyAllocFree pins the per-datagram key construction and the
+// in-flight claim/release cycle at zero allocations — the hot-path cost
+// the peer+xid string key used to pay on every datagram.
+func TestPeerKeyAllocFree(t *testing.T) {
+	udp := &net.UDPAddr{IP: net.IPv4(10, 0, 0, 1).To4(), Port: 2049}
+	sim := netsim.Addr("client")
+	var fs inflightSet
+	fs.begin(makePeerKey(udp), 0) // warm the lazily-built map
+	fs.end(makePeerKey(udp), 0)
+	cache := newReplyCache(4)
+	for _, tc := range []struct {
+		name string
+		addr net.Addr
+	}{{"udp", udp}, {"sim", sim}} {
+		addr := tc.addr
+		if n := testing.AllocsPerRun(200, func() {
+			k := makePeerKey(addr)
+			if !fs.begin(k, 7) {
+				t.Fatal("claim refused")
+			}
+			if _, ok := cache.get(k, 7); ok {
+				t.Fatal("phantom cache hit")
+			}
+			fs.end(k, 7)
+		}); n != 0 {
+			t.Errorf("%s: %v allocs per datagram key cycle, want 0", tc.name, n)
+		}
+	}
+}
+
+// TestExactBufSizeReplyBecomesSystemErr pins the reply-side bound as
+// exclusive: a success reply that would exactly fill a peer's receive
+// buffer would be dropped there as possibly truncated, so the server
+// must replace it with SYSTEM_ERR just like a strictly-oversized one.
+func TestExactBufSizeReplyBecomesSystemErr(t *testing.T) {
+	n := netsim.New()
+	sep := n.Attach("server")
+	s := newTypedServer()
+	s.bufSize = 512
+	go func() { _ = s.ServeUDP(sep) }()
+	defer s.Close()
+
+	// A small request whose reply is 24-byte success header + 4-byte
+	// count + 4*121 = exactly 512 bytes.
+	big := make([]int32, 121)
+	RegisterTyped(s, testProg, testVers, 6, fusedTestPlan, fusedTestPlan,
+		func(arg *[]int32) (*[]int32, error) { return &big, nil })
+
+	cep := n.Attach("client")
+	in := []int32{}
+	req := buildCall(t, 41, testVers, 6, func(x *xdr.XDR) error {
+		return xdr.Array(x, &in, xdr.NoSizeLimit, (*xdr.XDR).Long)
+	})
+	if _, err := cep.WriteTo(req, netsim.Addr("server")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1024)
+	if err := cep.SetReadDeadline(time.Now().Add(2 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	nr, _, err := cep.ReadFrom(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rh, _ := decodeReply(t, buf[:nr])
+	if rh.XID != 41 || rh.AcceptStat != rpcmsg.SystemErr {
+		t.Fatalf("reply header %+v, want SYSTEM_ERR", rh)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"net"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"specrpc/internal/rpcmsg"
 	"specrpc/internal/xdr"
@@ -42,15 +43,29 @@ type procKey struct {
 	prog, vers, proc uint32
 }
 
+// TypedProc handles one procedure on the fused fast path: body holds
+// the raw argument bytes located at fixed offsets by rpcmsg.CallBody,
+// and the handler appends its complete success reply (fused header +
+// results) onto bs. Returning an error (ErrGarbageArgs for argument
+// decode failures) makes the caller emit the matching error reply,
+// byte-identical to the generic path's.
+type TypedProc func(body []byte, xid uint32, bs *xdr.BufStream) error
+
 // Server dispatches RPC calls to registered procedures.
 type Server struct {
 	mu       sync.RWMutex
 	procs    map[procKey]Proc
-	versions map[uint32][2]uint32 // prog -> [low, high] registered versions
+	typed    map[procKey]TypedProc // fused fast-path dispatch table
+	versions map[uint32][2]uint32  // prog -> [low, high] registered versions
 	cache    *replyCache
 	inflight inflightSet
 	bufSize  int
 	workers  int
+
+	// typedCount mirrors len(typed) for a lock-free gate: servers with
+	// no typed registrations skip the fused-path probe entirely.
+	typedCount atomic.Int32
+	truncated  atomic.Uint64
 
 	wg      sync.WaitGroup
 	closeMu sync.Mutex
@@ -98,6 +113,7 @@ func New(opts ...Option) *Server {
 	}
 	s := &Server{
 		procs:    make(map[procKey]Proc),
+		typed:    make(map[procKey]TypedProc),
 		versions: make(map[uint32][2]uint32),
 		cache:    newReplyCache(128),
 		bufSize:  8900,
@@ -110,11 +126,28 @@ func New(opts ...Option) *Server {
 }
 
 // Register installs the handler for (prog, vers, proc), the svc_register
-// step. Registering the same triple twice replaces the handler.
+// step. Registering the same triple twice replaces the handler — and
+// clears any fused fast-path entry, so a later closure registration
+// cannot be shadowed by a stale specialized one.
 func (s *Server) Register(prog, vers, proc uint32, h Proc) {
+	s.registerBoth(prog, vers, proc, h, nil)
+}
+
+// registerBoth installs the generic handler and (when th is non-nil)
+// its fused fast-path entry in one lock acquisition, so the two
+// dispatch tables can never disagree about which registration a triple
+// belongs to — concurrent registrations interleave whole, not halved.
+func (s *Server) registerBoth(prog, vers, proc uint32, h Proc, th TypedProc) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.procs[procKey{prog, vers, proc}] = h
+	k := procKey{prog, vers, proc}
+	s.procs[k] = h
+	if th != nil {
+		s.typed[k] = th
+	} else {
+		delete(s.typed, k)
+	}
+	s.typedCount.Store(int32(len(s.typed)))
 	r, ok := s.versions[prog]
 	if !ok {
 		s.versions[prog] = [2]uint32{vers, vers}
@@ -127,6 +160,14 @@ func (s *Server) Register(prog, vers, proc uint32, h Proc) {
 		r[1] = vers
 	}
 	s.versions[prog] = r
+}
+
+// typedFor resolves the fused dispatch entry for a routing triple, or
+// nil when the call must take the generic walk.
+func (s *Server) typedFor(prog, vers, proc uint32) TypedProc {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.typed[procKey{prog, vers, proc}]
 }
 
 // dispatch resolves a call header to a handler or an error reply status.
@@ -161,6 +202,21 @@ var successTemplate = rpcmsg.MustReplyTemplate(rpcmsg.None())
 // is larger. It is shared by the UDP and TCP paths and safe to run from
 // many workers at once.
 func (s *Server) handleCall(req []byte, replyBuf []byte) ([]byte, error) {
+	// Fused fast path: locate the routing triple and argument bytes at
+	// fixed offsets and jump straight to the per-procedure specialized
+	// handler, skipping the generic header walk and dispatch. Anything
+	// the fixed-offset parse rejects, and every triple without a fused
+	// registration, falls through to the interpretive path below —
+	// which accepts exactly the same messages and produces identical
+	// replies. The atomic gate keeps closure-only servers from paying
+	// the parse and the extra lock acquisition on every message.
+	if s.typedCount.Load() != 0 {
+		if xid, prog, vers, proc, body, ok := rpcmsg.CallBody(req); ok {
+			if th := s.typedFor(prog, vers, proc); th != nil {
+				return s.handleTyped(th, body, xid, replyBuf)
+			}
+		}
+	}
 	d := xdr.GetDec(req)
 	defer xdr.PutDec(d)
 	var hdr rpcmsg.CallHeader
@@ -206,6 +262,33 @@ func (s *Server) handleCall(req []byte, replyBuf []byte) ([]byte, error) {
 				return nil, fmt.Errorf("server: marshal error reply: %w", err2)
 			}
 		}
+	}
+	return e.BS.Buffer(), nil
+}
+
+// handleTyped runs one call through its fused handler: the success
+// reply (precompiled header + result plan) is appended in one pass by
+// the handler itself; error outcomes rewind the buffer and marshal the
+// same error replies the generic path produces.
+func (s *Server) handleTyped(th TypedProc, body []byte, xid uint32, replyBuf []byte) ([]byte, error) {
+	base := len(replyBuf)
+	var bs xdr.BufStream
+	bs.SetBuffer(replyBuf)
+	err := th(body, xid, &bs)
+	if err == nil {
+		return bs.Buffer(), nil
+	}
+	stat := rpcmsg.SystemErr
+	if errors.Is(err, ErrGarbageArgs) {
+		stat = rpcmsg.GarbageArgs
+	}
+	// Rewind past anything a partially-failed handler wrote, keeping
+	// the reserved prefix (the TCP record mark) in place.
+	e := xdr.GetEnc(bs.Buffer()[:base])
+	defer xdr.PutEnc(e)
+	rh := rpcmsg.ErrorReply(xid, stat)
+	if err := rh.Marshal(&e.X); err != nil {
+		return nil, fmt.Errorf("server: marshal error reply: %w", err)
 	}
 	return e.BS.Buffer(), nil
 }
@@ -263,19 +346,34 @@ func (s *Server) ServeUDP(conn net.PacketConn) error {
 			}
 			return fmt.Errorf("server: read: %w", err)
 		}
+		if n == s.bufSize {
+			// A request that fills the buffer exactly cannot be told apart
+			// from one the kernel truncated to fit it; decoding the prefix
+			// as if complete risks executing a call on garbage arguments.
+			// Drop it (the client retransmits) and count the drop — the
+			// mirror of the client-side reply check.
+			s.truncated.Add(1)
+			xdr.PutBuf(bp)
+			continue
+		}
 		*bp = buf[:n]
 		jobs <- dgram{from: from, req: bp}
 	}
 }
+
+// TruncatedDrops reports how many possibly-truncated request datagrams
+// (received length == the datagram buffer size) the server has
+// discarded.
+func (s *Server) TruncatedDrops() uint64 { return s.truncated.Load() }
 
 func (s *Server) answerDatagram(conn net.PacketConn, from net.Addr, req []byte) {
 	// Duplicate-request cache: a retransmission of a call we already
 	// executed is answered with the cached bytes, preserving the
 	// "execute at most once per XID while cached" behaviour.
 	xid, hasXID := rpcmsg.PeekXID(req)
-	var peer string
+	var peer peerKey
 	if hasXID {
-		peer = from.String()
+		peer = makePeerKey(from)
 		if s.cache != nil {
 			if cached, ok := s.cache.get(peer, xid); ok {
 				_, _ = conn.WriteTo(cached, from)
@@ -309,13 +407,16 @@ func (s *Server) answerDatagram(conn net.PacketConn, from net.Addr, req []byte) 
 		return // undecodable datagram: drop silently
 	}
 	*rp = out // keep any growth pooled
-	if len(out) > s.bufSize {
+	if len(out) >= s.bufSize {
 		// The growable reply buffer fits any results, but a datagram
 		// cannot carry them: replace the reply with SYSTEM_ERR — which
 		// always fits, and is sent and cached like any reply so the
 		// handler is not re-executed per retransmission — exactly what
 		// the original fixed-buffer encode produced when the results
-		// overflowed it. Stream replies grow freely.
+		// overflowed it. The bound is exclusive: a reply that *fills*
+		// the peer's receive buffer is dropped there as possibly
+		// truncated, so it must stay strictly below. Stream replies
+		// grow freely.
 		if !hasXID {
 			return
 		}
@@ -451,6 +552,46 @@ func (s *Server) Close() error {
 	return firstErr
 }
 
+// peerKeyBytes is the fixed-size address window of a peerKey: room for
+// a 16-byte IPv6 address, and for the names in-process simulators use
+// as addresses.
+const peerKeyBytes = 24
+
+// peerKey identifies a datagram sender without allocating: the
+// in-flight set and the duplicate-request cache key every datagram on
+// (peer, xid), so a heap key — the peer+xid string the first
+// implementation built — costs one allocation per received datagram on
+// the hot path. The key is a comparable value type instead: address
+// bytes (or a short textual address) inline in a fixed array, with a
+// string spill only for exotic address types whose rendering does not
+// fit.
+type peerKey struct {
+	kind uint8 // 0 none, 1 UDP, 2 textual
+	n    uint8 // bytes of b in use
+	port uint16
+	b    [peerKeyBytes]byte
+	rest string // overflow/zone spill; empty on the hot paths
+}
+
+// makePeerKey builds the key for one sender. *net.UDPAddr (the kernel
+// UDP path) and compact textual addresses (netsim) stay allocation-free;
+// anything else falls back to the address's String rendering.
+func makePeerKey(a net.Addr) peerKey {
+	if u, ok := a.(*net.UDPAddr); ok {
+		k := peerKey{kind: 1, port: uint16(u.Port), rest: u.Zone}
+		k.n = uint8(copy(k.b[:], u.IP)) // 4 or 16 bytes, already canonical
+		return k
+	}
+	s := a.String()
+	k := peerKey{kind: 2}
+	if len(s) <= peerKeyBytes {
+		k.n = uint8(copy(k.b[:], s))
+		return k
+	}
+	k.rest = s
+	return k
+}
+
 // inflightSet tracks the (peer, xid) pairs currently executing on the
 // datagram worker pool, so a retransmission arriving mid-execution is
 // dropped instead of executed twice.
@@ -461,7 +602,7 @@ type inflightSet struct {
 
 // begin claims (peer, xid); it reports false when the pair is already
 // executing.
-func (f *inflightSet) begin(peer string, xid uint32) bool {
+func (f *inflightSet) begin(peer peerKey, xid uint32) bool {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if f.m == nil {
@@ -475,7 +616,7 @@ func (f *inflightSet) begin(peer string, xid uint32) bool {
 	return true
 }
 
-func (f *inflightSet) end(peer string, xid uint32) {
+func (f *inflightSet) end(peer peerKey, xid uint32) {
 	f.mu.Lock()
 	delete(f.m, cacheKey{peer, xid})
 	f.mu.Unlock()
@@ -490,7 +631,7 @@ type replyCache struct {
 }
 
 type cacheKey struct {
-	peer string
+	peer peerKey
 	xid  uint32
 }
 
@@ -498,14 +639,14 @@ func newReplyCache(capacity int) *replyCache {
 	return &replyCache{cap: capacity, m: make(map[cacheKey][]byte, capacity)}
 }
 
-func (c *replyCache) get(peer string, xid uint32) ([]byte, bool) {
+func (c *replyCache) get(peer peerKey, xid uint32) ([]byte, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	b, ok := c.m[cacheKey{peer, xid}]
 	return b, ok
 }
 
-func (c *replyCache) put(peer string, xid uint32, reply []byte) {
+func (c *replyCache) put(peer peerKey, xid uint32, reply []byte) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	k := cacheKey{peer, xid}

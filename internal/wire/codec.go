@@ -49,6 +49,34 @@ func (c *Codec) Decode(x *xdr.XDR, p unsafe.Pointer) error {
 	return walk(x, &c.root, p)
 }
 
+// DecodeBody decodes one value straight out of body into the value at
+// p, with no caller-supplied handle: the fused message paths hand the
+// raw argument or result bytes here after locating them at fixed
+// offsets. The stream state lives on the stack, so the hot decode is
+// allocation-free; Generic-mode codecs fall back to the interpretive
+// walker over the same bytes.
+func (c *Codec) DecodeBody(body []byte, p unsafe.Pointer) error {
+	if c.mode != Generic {
+		// The stream stays on the stack: decodeProg never retains it, and
+		// keeping the interface boxing confined to the generic fallback
+		// below is what lets escape analysis prove that.
+		var ms xdr.MemStream
+		ms.SetBuffer(body)
+		return decodeProg(&ms, c.prog, p, c.chunk())
+	}
+	return c.decodeBodyGeneric(body, p)
+}
+
+// decodeBodyGeneric is the interpretive fallback of DecodeBody; the
+// walker needs a full XDR handle, whose Stream interface forces the
+// stream to the heap — which is why it lives in its own frame.
+func (c *Codec) decodeBodyGeneric(body []byte, p unsafe.Pointer) error {
+	var ms xdr.MemStream
+	ms.SetBuffer(body)
+	x := xdr.XDR{Op: xdr.Decode, Stream: &ms}
+	return walk(&x, &c.root, p)
+}
+
 // chunk reports the run bound in elements: 0 (unbounded) for the fully
 // specialized plan, ChunkUnits for the bounded-unrolling configuration.
 func (c *Codec) chunk() int {
