@@ -21,11 +21,18 @@ bench:
 	$(GO) test -run=NONE -bench=. -benchtime=1x -benchmem ./...
 
 # Machine-readable live benchmark: the generic/specialized/chunked codec
-# comparison over netsim, UDP, and TCP plus the header-path series,
-# written to BENCH_live.json so the perf trajectory is tracked from PR
-# to PR.
+# comparison over netsim, UDP, and TCP, the header-path series, and the
+# open-loop tail-latency grid (sharded call tracking vs the single-lock
+# shards=1 baseline), written to BENCH_live.json so the perf trajectory
+# is tracked from PR to PR. Each refresh is also archived under
+# bench/history/ keyed by date and commit, so the trajectory is a series
+# of snapshots instead of one overwritten file.
 bench-json:
-	$(GO) run ./cmd/sunbench -live-spec -header-path -calls 2000 -json BENCH_live.json
+	$(GO) run ./cmd/sunbench -live-spec -header-path -openloop \
+		-calls 2000 -clients 4 -depth 16 -rate 4000 -openloop-dur 1s -openloop-reps 5 \
+		-json BENCH_live.json
+	mkdir -p bench/history
+	cp BENCH_live.json bench/history/$$(date +%Y%m%d)-$$(git rev-parse --short HEAD).json
 
 # Non-fatal perf report: re-measure a quick live series (netsim only, so
 # it is fast and socket-free) and diff it against the committed

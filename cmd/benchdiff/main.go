@@ -44,6 +44,14 @@ type report struct {
 		N           int     `json:"n"`
 		CallsPerSec float64 `json:"calls_per_sec"`
 	} `json:"throughput"`
+	OpenLoop []struct {
+		Transport   string  `json:"transport"`
+		Conns       int     `json:"conns"`
+		Depth       int     `json:"depth"`
+		Shards      int     `json:"shards"`
+		OfferedRate float64 `json:"offered_rate"`
+		P99Us       float64 `json:"p99_us"`
+	} `json:"open_loop"`
 }
 
 // series flattens every measurement into name -> ns/op (throughput is
@@ -60,6 +68,12 @@ func (r *report) series() map[string]float64 {
 		if t.CallsPerSec > 0 {
 			out[fmt.Sprintf("throughput/%s/c%d_d%d/N=%d", t.Transport, t.Clients, t.Depth, t.N)] =
 				1e9 / t.CallsPerSec
+		}
+	}
+	for _, o := range r.OpenLoop {
+		if o.P99Us > 0 {
+			out[fmt.Sprintf("open-loop/%s/c%d_d%d/r%.0f/shards=%d/p99",
+				o.Transport, o.Conns, o.Depth, o.OfferedRate, o.Shards)] = o.P99Us * 1e3
 		}
 	}
 	return out

@@ -11,6 +11,9 @@
 //	sunbench -figure 6        # the Figure 6 panels
 //	sunbench -throughput      # live throughput over sim, udp, and tcp
 //	sunbench -throughput -transport tcp -clients 4 -depth 16 -calls 50000
+//	sunbench -openloop        # open-loop Poisson tail latency (p50/p99/p999),
+//	                          # sharded vs single-lock baseline
+//	sunbench -openloop -transport udp -clients 8 -depth 16 -rate 8000 -openloop-dur 2s
 //	sunbench -live-spec       # live codec comparison (incl. fused whole-call) over sim, udp, tcp
 //	sunbench -live-spec -fused=false          # the three plan series only
 //	sunbench -live-spec -header-path -json BENCH_live.json
@@ -43,6 +46,11 @@ func realMain() int {
 	table := flag.Int("table", 0, "print only this table (1..4)")
 	figure := flag.Int("figure", 0, "print only this figure (6)")
 	throughput := flag.Bool("throughput", false, "measure live transport throughput instead of the paper tables")
+	openloop := flag.Bool("openloop", false, "measure open-loop tail latency (Poisson arrivals) over the live transports")
+	rate := flag.Float64("rate", 4000, "offered arrival rate in calls/sec for -openloop")
+	openloopDur := flag.Duration("openloop-dur", time.Second, "arrival window per -openloop grid point")
+	baseline := flag.Bool("baseline", true, "also run each -openloop point against the single-lock (shards=1) baseline")
+	reps := flag.Int("openloop-reps", 3, "repetitions per -openloop point; the median-p99 run is reported")
 	liveSpec := flag.Bool("live-spec", false, "measure the generic/specialized/chunked marshal plans over the live transports")
 	fused := flag.Bool("fused", true, "include the fused whole-call series in -live-spec (-fused=false for the three plan series only)")
 	headerPath := flag.Bool("header-path", false, "measure the generic vs templated RPC header encode/decode paths")
@@ -109,6 +117,10 @@ func realMain() int {
 		}
 		err = runThroughput(*transports, *clients, *depth, *calls, *size, out)
 	}
+	if err == nil && *openloop {
+		live = true
+		err = runOpenLoop(*transports, *clients, *depth, *rate, *openloopDur, *baseline, *reps, out)
+	}
 	if err == nil && !live {
 		if *jsonOut != "" {
 			fmt.Fprintln(os.Stderr, "sunbench: -json requires -live-spec, -header-path, or -throughput")
@@ -135,6 +147,7 @@ type jsonReport struct {
 	LiveSpec    []bench.LiveSpecResult   `json:"live_spec,omitempty"`
 	HeaderPath  []bench.HeaderPathResult `json:"header_path,omitempty"`
 	Throughput  []throughputJSON         `json:"throughput,omitempty"`
+	OpenLoop    []bench.OpenLoopResult   `json:"open_loop,omitempty"`
 }
 
 // throughputJSON flattens ThroughputResult for stable JSON output.
@@ -219,6 +232,38 @@ func runThroughput(transports string, clients, depth, calls, size int, out *json
 		}
 	}
 	fmt.Print(bench.FormatThroughput(rows))
+	return nil
+}
+
+// runOpenLoop drives the open-loop tail-latency grid: for each
+// transport, each point runs against the sharded server and (with
+// -baseline) against the single-lock shards=1 layout, so the JSON series
+// carries its own before/after comparison. The whole grid is measured
+// reps times with the configurations interleaved within each round, and
+// the median-p99 run per point reported: a single open-loop run on a
+// shared host is one scheduling outlier away from nonsense, and
+// back-to-back blocks per configuration would let slow host drift bias
+// the baseline comparison.
+func runOpenLoop(transports string, conns, depth int, rate float64, dur time.Duration, baseline bool, reps int, out *jsonReport) error {
+	shardCfgs := []int{0}
+	if baseline {
+		shardCfgs = []int{1, 0}
+	}
+	var grid []bench.OpenLoopOptions
+	for _, tr := range splitTransports(transports) {
+		for _, shards := range shardCfgs {
+			grid = append(grid, bench.OpenLoopOptions{
+				Transport: tr, Conns: conns, Depth: depth,
+				Rate: rate, Duration: dur, Shards: shards,
+			})
+		}
+	}
+	rows, err := bench.OpenLoopGrid(grid, reps)
+	if err != nil {
+		return err
+	}
+	out.OpenLoop = rows
+	fmt.Print(bench.FormatOpenLoop(rows))
 	return nil
 }
 

@@ -1,0 +1,98 @@
+package bench
+
+// A fixed-size log-linear latency histogram in the HDR style: values
+// below 64ns land in exact unit buckets; above that, each power-of-two
+// octave is split into 32 linear sub-buckets (~3% relative resolution,
+// ample for p999 over microsecond-to-second latencies). Recording is one
+// atomic add into a fixed array, so many load-generator goroutines can
+// record concurrently with no lock and no allocation; percentile
+// reconstruction walks the buckets once at the end of the run.
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+const (
+	histLinear  = 64 // exact buckets for values 0..63
+	histSub     = 32 // linear sub-buckets per octave above that
+	histOctaves = 57 // covers values up to 2^63-1 ns (~292 years)
+	histBuckets = histLinear + histSub*histOctaves
+)
+
+type histogram struct {
+	counts [histBuckets]atomic.Uint64
+	total  atomic.Uint64
+}
+
+// histBucket maps a non-negative value to its bucket index.
+func histBucket(v uint64) int {
+	if v < histLinear {
+		return int(v)
+	}
+	// v in [2^(6+k), 2^(7+k)) for k >= 0: top the octave's upper 32
+	// sub-buckets onto the linear range.
+	k := bits.Len64(v) - 7
+	i := histLinear + k*histSub + int(v>>uint(k+1)) - histSub
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	return i
+}
+
+// histValue reconstructs the midpoint of a bucket's value range.
+func histValue(i int) uint64 {
+	if i < histLinear {
+		return uint64(i)
+	}
+	k := (i - histLinear) / histSub
+	sub := uint64((i-histLinear)%histSub) + histSub
+	lower := sub << uint(k+1)
+	return lower + (1<<uint(k+1))/2
+}
+
+func (h *histogram) record(d time.Duration) {
+	v := uint64(0)
+	if d > 0 {
+		v = uint64(d)
+	}
+	h.counts[histBucket(v)].Add(1)
+	h.total.Add(1)
+}
+
+// quantile returns the latency at quantile q (0 < q <= 1), or 0 when
+// nothing was recorded.
+func (h *histogram) quantile(q float64) time.Duration {
+	total := h.total.Load()
+	if total == 0 {
+		return 0
+	}
+	target := uint64(q*float64(total) + 0.5)
+	if target < 1 {
+		target = 1
+	}
+	if target > total {
+		target = total
+	}
+	var seen uint64
+	for i := 0; i < histBuckets; i++ {
+		seen += h.counts[i].Load()
+		if seen >= target {
+			return time.Duration(histValue(i))
+		}
+	}
+	return 0
+}
+
+// max returns the midpoint of the highest occupied bucket.
+func (h *histogram) max() time.Duration {
+	for i := histBuckets - 1; i >= 0; i-- {
+		if h.counts[i].Load() != 0 {
+			return time.Duration(histValue(i))
+		}
+	}
+	return 0
+}
+
+func (h *histogram) count() uint64 { return h.total.Load() }

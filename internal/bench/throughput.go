@@ -10,14 +10,12 @@ package bench
 import (
 	"errors"
 	"fmt"
-	"net"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"specrpc/internal/client"
-	"specrpc/internal/netsim"
 	"specrpc/internal/server"
 	"specrpc/internal/xdr"
 )
@@ -180,60 +178,12 @@ func Throughput(o ThroughputOptions) (ThroughputResult, error) {
 	if o.Workers > 0 {
 		srvOpts = append(srvOpts, server.WithWorkers(o.Workers))
 	}
-	s := newLoadServer(g, srvOpts...)
-	defer s.Close()
-
-	// Registered before the transport switch so sockets already created
-	// are closed even when a later setup step errors out.
-	var callers []client.Caller
-	defer func() {
-		for _, c := range callers {
-			_ = c.Close()
-		}
-	}()
-	switch o.Transport {
-	case "sim":
-		n := netsim.New()
-		ep := n.Attach("server")
-		go func() { _ = s.ServeUDP(ep) }()
-		for i := 0; i < o.Clients; i++ {
-			ep := n.Attach(netsim.Addr(fmt.Sprintf("client-%d", i)))
-			callers = append(callers, client.NewUDP(ep, netsim.Addr("server"), loadConfig(i)))
-		}
-	case "udp":
-		pc, err := net.ListenPacket("udp", "127.0.0.1:0")
-		if err != nil {
-			return ThroughputResult{}, fmt.Errorf("bench: loopback udp: %w", err)
-		}
-		// Closed here as well as by s.Close(): if setup errors out below,
-		// Close may run before the serve goroutine has registered pc with
-		// the server, which would leave the serve loop blocked forever.
-		defer pc.Close()
-		go func() { _ = s.ServeUDP(pc) }()
-		for i := 0; i < o.Clients; i++ {
-			cc, err := net.ListenPacket("udp", "127.0.0.1:0")
-			if err != nil {
-				return ThroughputResult{}, fmt.Errorf("bench: client socket: %w", err)
-			}
-			callers = append(callers, client.NewUDP(cc, pc.LocalAddr(), loadConfig(i)))
-		}
-	case "tcp":
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
-		if err != nil {
-			return ThroughputResult{}, fmt.Errorf("bench: loopback tcp: %w", err)
-		}
-		defer ln.Close() // see the udp case: double-close is harmless
-		go func() { _ = s.ServeTCP(ln) }()
-		for i := 0; i < o.Clients; i++ {
-			conn, err := net.Dial("tcp", ln.Addr().String())
-			if err != nil {
-				return ThroughputResult{}, fmt.Errorf("bench: dial: %w", err)
-			}
-			callers = append(callers, client.NewTCP(conn, loadConfig(i)))
-		}
-	default:
-		return ThroughputResult{}, fmt.Errorf("bench: unknown transport %q", o.Transport)
+	rig, err := newLoadRig(o.Transport, o.Clients, g, srvOpts...)
+	if err != nil {
+		return ThroughputResult{}, err
 	}
+	defer rig.close()
+	callers := rig.callers
 
 	// Distribute o.Calls over Clients*Depth goroutines; a shared ticket
 	// counter keeps the total exact regardless of scheduling.

@@ -209,10 +209,10 @@ func TestPeerKeySemantics(t *testing.T) {
 func TestPeerKeyAllocFree(t *testing.T) {
 	udp := &net.UDPAddr{IP: net.IPv4(10, 0, 0, 1).To4(), Port: 2049}
 	sim := netsim.Addr("client")
-	var fs inflightSet
-	fs.begin(makePeerKey(udp), 0) // warm the lazily-built map
+	fs := newInflightSet(4)
+	fs.begin(makePeerKey(udp), 0) // warm the shard maps
 	fs.end(makePeerKey(udp), 0)
-	cache := newReplyCache(4)
+	cache := newReplyCache(4, 4)
 	for _, tc := range []struct {
 		name string
 		addr net.Addr

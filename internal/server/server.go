@@ -22,6 +22,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"specrpc/internal/rpcmsg"
 	"specrpc/internal/xdr"
@@ -58,33 +59,84 @@ type Server struct {
 	typed    map[procKey]TypedProc // fused fast-path dispatch table
 	versions map[uint32][2]uint32  // prog -> [low, high] registered versions
 	cache    *replyCache
-	inflight inflightSet
+	inflight *inflightSet
 	bufSize  int
 	workers  int
+	shards   int // shard count for the call-tracking state
+	cacheCap int // duplicate-reply cache capacity (0 disables)
+	queue    int // datagram admission queue depth
+	maxConns int // stream connection limit (0 = unlimited)
 
 	// typedCount mirrors len(typed) for a lock-free gate: servers with
 	// no typed registrations skip the fused-path probe entirely.
 	typedCount atomic.Int32
 	truncated  atomic.Uint64
+	qdrops     atomic.Uint64 // datagrams shed by admission control
+	connDrops  atomic.Uint64 // connections refused by the limit
+	conns      atomic.Int64  // live stream connections
 
-	wg      sync.WaitGroup
-	closeMu sync.Mutex
-	closers []func() error
-	closed  bool
+	wg        sync.WaitGroup
+	closeMu   sync.Mutex
+	closers   map[uint64]func() error
+	closerSeq uint64
+	closed    bool
 }
 
 // Option configures a Server.
 type Option func(*Server)
 
 // WithCacheSize sets the duplicate-request cache capacity in entries
-// (default 128; 0 disables the cache).
+// (default 128; 0 disables the cache). The capacity divides across the
+// server's shards.
 func WithCacheSize(n int) Option {
 	return func(s *Server) {
-		if n <= 0 {
-			s.cache = nil
-			return
+		if n < 0 {
+			n = 0
 		}
-		s.cache = newReplyCache(n)
+		s.cacheCap = n
+	}
+}
+
+// WithShards sets the shard count for the server's call-tracking state
+// (the in-flight set and the duplicate-reply cache), rounded up to a
+// power of two. The default scales with GOMAXPROCS; WithShards(1) keeps
+// everything behind one lock — the pre-sharding layout, kept as the
+// measurable baseline for the open-loop harness.
+func WithShards(n int) Option {
+	return func(s *Server) {
+		if n < 1 {
+			n = 1
+		}
+		s.shards = n
+	}
+}
+
+// WithQueueDepth sets how many received datagrams may wait for a free
+// worker before admission control sheds new arrivals (default
+// max(4*workers, 64)). The queue is the overload buffer: once it fills,
+// further datagrams are counted (QueueDrops) and dropped — clients
+// retransmit — instead of backpressuring the read loop into the kernel's
+// invisible socket-buffer drops.
+func WithQueueDepth(n int) Option {
+	return func(s *Server) {
+		if n < 1 {
+			n = 1
+		}
+		s.queue = n
+	}
+}
+
+// WithMaxConns bounds the number of concurrently served stream
+// connections (default 0 = unlimited). Connections accepted beyond the
+// bound are closed immediately and counted (ConnLimitDrops): shedding a
+// connection at accept time is cheaper than collapsing under tens of
+// thousands of half-serviced ones.
+func WithMaxConns(n int) Option {
+	return func(s *Server) {
+		if n < 0 {
+			n = 0
+		}
+		s.maxConns = n
 	}
 }
 
@@ -115,12 +167,24 @@ func New(opts ...Option) *Server {
 		procs:    make(map[procKey]Proc),
 		typed:    make(map[procKey]TypedProc),
 		versions: make(map[uint32][2]uint32),
-		cache:    newReplyCache(128),
 		bufSize:  8900,
 		workers:  workers,
+		cacheCap: 128,
 	}
 	for _, o := range opts {
 		o(s)
+	}
+	// The sharded state is built after the options so the shard count,
+	// cache capacity, and worker bound are all settled.
+	if s.shards == 0 {
+		s.shards = defaultShards()
+	}
+	s.inflight = newInflightSet(s.shards)
+	if s.cacheCap > 0 {
+		s.cache = newReplyCache(s.cacheCap, s.shards)
+	}
+	if s.queue == 0 {
+		s.queue = max(4*s.workers, 64)
 	}
 	return s
 }
@@ -299,10 +363,6 @@ type dgram struct {
 	req  *[]byte // pooled; the worker returns it
 }
 
-// dgramQueueDepth bounds the datagrams buffered ahead of the worker pool
-// before the read loop backpressures.
-const dgramQueueDepth = 16
-
 // ServeUDP answers datagram calls on conn until the connection or server
 // is closed. It blocks; run it on its own goroutine when serving multiple
 // transports. Datagrams fan out to a bounded pool of workers, any of
@@ -313,12 +373,18 @@ const dgramQueueDepth = 16
 // at-most-once guarantee holds without pinning calls to workers —
 // pinning (e.g. sharding on XID) would serialize unrelated calls that
 // collide on a shard and cap the useful concurrency below the pool size.
+//
+// Admission control: the queue between the read loop and the pool is
+// bounded (WithQueueDepth). When every worker is busy and the queue is
+// full the datagram is dropped and counted (QueueDrops) — datagram
+// clients retransmit, so shedding load visibly at the door beats
+// stalling the read loop until the kernel sheds it invisibly.
 func (s *Server) ServeUDP(conn net.PacketConn) error {
 	s.track(conn.Close)
 	s.wg.Add(1)
 	defer s.wg.Done()
 
-	jobs := make(chan dgram, dgramQueueDepth)
+	jobs := make(chan dgram, s.queue)
 	var workers sync.WaitGroup
 	for i := 0; i < s.workers; i++ {
 		workers.Add(1)
@@ -357,7 +423,14 @@ func (s *Server) ServeUDP(conn net.PacketConn) error {
 			continue
 		}
 		*bp = buf[:n]
-		jobs <- dgram{from: from, req: bp}
+		select {
+		case jobs <- dgram{from: from, req: bp}:
+		default:
+			// Pool saturated and queue full: shed the call here, where it
+			// is countable, instead of blocking the read loop.
+			s.qdrops.Add(1)
+			xdr.PutBuf(bp)
+		}
 	}
 }
 
@@ -365,6 +438,17 @@ func (s *Server) ServeUDP(conn net.PacketConn) error {
 // (received length == the datagram buffer size) the server has
 // discarded.
 func (s *Server) TruncatedDrops() uint64 { return s.truncated.Load() }
+
+// QueueDrops reports how many datagrams admission control has shed
+// because the worker pool and its queue were both full.
+func (s *Server) QueueDrops() uint64 { return s.qdrops.Load() }
+
+// ConnLimitDrops reports how many stream connections were refused by
+// the WithMaxConns bound.
+func (s *Server) ConnLimitDrops() uint64 { return s.connDrops.Load() }
+
+// Conns reports the number of stream connections currently being served.
+func (s *Server) Conns() int { return int(s.conns.Load()) }
 
 func (s *Server) answerDatagram(conn net.PacketConn, from net.Addr, req []byte) {
 	// Duplicate-request cache: a retransmission of a call we already
@@ -437,22 +521,56 @@ func (s *Server) answerDatagram(conn net.PacketConn, from net.Addr, req []byte) 
 // ServeTCP accepts stream connections and answers record-marked calls on
 // each, one goroutine per connection. It blocks until the listener or
 // server is closed.
+//
+// Transient accept failures (ECONNABORTED, EMFILE, and anything else the
+// runtime reports as temporary) are retried with capped exponential
+// backoff — the net/http.Server pattern — so one aborted handshake or a
+// momentary descriptor squeeze cannot take down the listener; only close
+// or a permanent failure exits the loop. When WithMaxConns is set,
+// connections beyond the bound are closed at accept and counted.
 func (s *Server) ServeTCP(ln net.Listener) error {
 	s.track(ln.Close)
 	s.wg.Add(1)
 	defer s.wg.Done()
+	var tempDelay time.Duration
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
 			if s.isClosed() {
 				return nil
 			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Temporary() {
+				if tempDelay == 0 {
+					tempDelay = 5 * time.Millisecond
+				} else {
+					tempDelay *= 2
+				}
+				if tempDelay > time.Second {
+					tempDelay = time.Second
+				}
+				time.Sleep(tempDelay)
+				continue
+			}
 			return fmt.Errorf("server: accept: %w", err)
 		}
-		s.track(conn.Close)
+		tempDelay = 0
+		if s.maxConns > 0 && s.conns.Load() >= int64(s.maxConns) {
+			s.connDrops.Add(1)
+			_ = conn.Close()
+			continue
+		}
+		s.conns.Add(1)
+		id := s.track(conn.Close)
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
+			defer s.conns.Add(-1)
+			// Untrack on exit: a long-lived server accepts unbounded
+			// connections, and retaining every dead connection's closer
+			// would grow the set without bound (and re-close them all on
+			// shutdown).
+			defer s.untrack(id)
 			s.serveConn(conn)
 		}()
 	}
@@ -520,10 +638,44 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
-func (s *Server) track(close func() error) {
+// track registers a closer to be invoked by Close and returns a handle
+// for untrack. A closer registered after Close has begun is invoked
+// immediately (the transport must still shut down) and not retained.
+func (s *Server) track(close func() error) uint64 {
+	s.closeMu.Lock()
+	if s.closed {
+		s.closeMu.Unlock()
+		_ = close()
+		return 0
+	}
+	if s.closers == nil {
+		s.closers = make(map[uint64]func() error)
+	}
+	s.closerSeq++
+	id := s.closerSeq
+	s.closers[id] = close
+	s.closeMu.Unlock()
+	return id
+}
+
+// untrack drops a closer whose transport has already shut down, so the
+// set tracks live transports instead of growing with every connection
+// ever accepted.
+func (s *Server) untrack(id uint64) {
+	if id == 0 {
+		return
+	}
+	s.closeMu.Lock()
+	delete(s.closers, id)
+	s.closeMu.Unlock()
+}
+
+// trackedClosers reports the number of live tracked closers (tests pin
+// the connection-closer leak with it).
+func (s *Server) trackedClosers() int {
 	s.closeMu.Lock()
 	defer s.closeMu.Unlock()
-	s.closers = append(s.closers, close)
+	return len(s.closers)
 }
 
 func (s *Server) isClosed() bool {
@@ -540,7 +692,11 @@ func (s *Server) Close() error {
 		return nil
 	}
 	s.closed = true
-	closers := s.closers
+	closers := make([]func() error, 0, len(s.closers))
+	for _, c := range s.closers {
+		closers = append(closers, c)
+	}
+	s.closers = nil
 	s.closeMu.Unlock()
 	var firstErr error
 	for _, c := range closers {
@@ -592,73 +748,9 @@ func makePeerKey(a net.Addr) peerKey {
 	return k
 }
 
-// inflightSet tracks the (peer, xid) pairs currently executing on the
-// datagram worker pool, so a retransmission arriving mid-execution is
-// dropped instead of executed twice.
-type inflightSet struct {
-	mu sync.Mutex
-	m  map[cacheKey]struct{}
-}
-
-// begin claims (peer, xid); it reports false when the pair is already
-// executing.
-func (f *inflightSet) begin(peer peerKey, xid uint32) bool {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	if f.m == nil {
-		f.m = make(map[cacheKey]struct{})
-	}
-	k := cacheKey{peer, xid}
-	if _, busy := f.m[k]; busy {
-		return false
-	}
-	f.m[k] = struct{}{}
-	return true
-}
-
-func (f *inflightSet) end(peer peerKey, xid uint32) {
-	f.mu.Lock()
-	delete(f.m, cacheKey{peer, xid})
-	f.mu.Unlock()
-}
-
-// replyCache is a bounded FIFO map from (peer, xid) to reply bytes.
-type replyCache struct {
-	mu    sync.Mutex
-	cap   int
-	order []cacheKey
-	m     map[cacheKey][]byte
-}
-
+// cacheKey is the (peer, xid) identity of one datagram call, shared by
+// the in-flight set and the duplicate-reply cache (both in shard.go).
 type cacheKey struct {
 	peer peerKey
 	xid  uint32
-}
-
-func newReplyCache(capacity int) *replyCache {
-	return &replyCache{cap: capacity, m: make(map[cacheKey][]byte, capacity)}
-}
-
-func (c *replyCache) get(peer peerKey, xid uint32) ([]byte, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	b, ok := c.m[cacheKey{peer, xid}]
-	return b, ok
-}
-
-func (c *replyCache) put(peer peerKey, xid uint32, reply []byte) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	k := cacheKey{peer, xid}
-	if _, exists := c.m[k]; exists {
-		c.m[k] = append([]byte(nil), reply...)
-		return
-	}
-	if len(c.order) >= c.cap {
-		oldest := c.order[0]
-		c.order = c.order[1:]
-		delete(c.m, oldest)
-	}
-	c.order = append(c.order, k)
-	c.m[k] = append([]byte(nil), reply...)
 }

@@ -197,7 +197,7 @@ func TestRegisterVersionRange(t *testing.T) {
 func TestReplyCache(t *testing.T) {
 	peer := makePeerKey(netsim.Addr("peer"))
 	other := makePeerKey(netsim.Addr("other"))
-	c := newReplyCache(2)
+	c := newReplyCache(2, 1)
 	c.put(peer, 1, []byte{1})
 	c.put(peer, 2, []byte{2})
 	if _, ok := c.get(peer, 1); !ok {

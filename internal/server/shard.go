@@ -1,0 +1,186 @@
+// Sharded call-tracking state. The in-flight set and the duplicate-reply
+// cache key every datagram on (peer, xid); behind one mutex each, those
+// two locks serialize unrelated peers' calls across the whole worker
+// pool. Both structures are therefore split into a power-of-two number
+// of shards selected by a hash of the peer key: all of one peer's
+// entries live in one shard (so the per-peer FIFO and at-most-once
+// properties are per-shard properties), while distinct peers spread
+// across shards and stop contending. A shard count of 1 degenerates to
+// the original single-lock layout, which keeps the pre-sharding
+// behaviour available as a measurable baseline (WithShards(1)).
+
+package server
+
+import (
+	"runtime"
+	"sync"
+)
+
+// defaultShards picks the shard count for a server that did not set one:
+// the next power of two at or above twice GOMAXPROCS, floored at 8 so
+// small hosts still spread a few peers, capped at 256 so the fixed
+// per-shard footprint stays negligible.
+func defaultShards() int {
+	n := 2 * runtime.GOMAXPROCS(0)
+	if n < 8 {
+		n = 8
+	}
+	if n > 256 {
+		n = 256
+	}
+	return nextPow2(n)
+}
+
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// hash folds a peerKey into the shard selector with FNV-1a: cheap,
+// allocation-free, and good enough dispersion over ports and low IP
+// bytes (the fields that actually vary between loopback peers).
+func (k *peerKey) hash() uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	h = (h ^ uint32(k.kind)) * prime32
+	h = (h ^ uint32(k.port&0xff)) * prime32
+	h = (h ^ uint32(k.port>>8)) * prime32
+	for _, c := range k.b[:k.n] {
+		h = (h ^ uint32(c)) * prime32
+	}
+	for i := 0; i < len(k.rest); i++ {
+		h = (h ^ uint32(k.rest[i])) * prime32
+	}
+	return h
+}
+
+// inflightSet tracks the (peer, xid) pairs currently executing on the
+// datagram worker pool, so a retransmission arriving mid-execution is
+// dropped instead of executed twice. Shard selection is by peer, so the
+// claim/release cycle of one peer never touches another shard's lock.
+type inflightSet struct {
+	mask   uint32
+	shards []inflightShard
+}
+
+type inflightShard struct {
+	mu sync.Mutex
+	m  map[cacheKey]struct{}
+	// Pad each shard past a cache line so adjacent shards' mutexes do
+	// not false-share under cross-CPU claim traffic.
+	_ [64]byte
+}
+
+func newInflightSet(shards int) *inflightSet {
+	shards = nextPow2(max(shards, 1))
+	f := &inflightSet{mask: uint32(shards - 1), shards: make([]inflightShard, shards)}
+	for i := range f.shards {
+		f.shards[i].m = make(map[cacheKey]struct{})
+	}
+	return f
+}
+
+// begin claims (peer, xid); it reports false when the pair is already
+// executing.
+func (f *inflightSet) begin(peer peerKey, xid uint32) bool {
+	sh := &f.shards[peer.hash()&f.mask]
+	k := cacheKey{peer, xid}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, busy := sh.m[k]; busy {
+		return false
+	}
+	sh.m[k] = struct{}{}
+	return true
+}
+
+func (f *inflightSet) end(peer peerKey, xid uint32) {
+	sh := &f.shards[peer.hash()&f.mask]
+	sh.mu.Lock()
+	delete(sh.m, cacheKey{peer, xid})
+	sh.mu.Unlock()
+}
+
+// replyCache is a bounded map from (peer, xid) to reply bytes with FIFO
+// eviction, split into peer-hash shards. The capacity divides across the
+// shards; each shard keeps its insertion order in a fixed ring buffer
+// (head index + live count) instead of the sliced-head append queue the
+// first implementation used, which retained the dead head of its backing
+// array between reallocations and re-copied the whole queue every
+// wrap-around. Evicted entries donate their byte buffers to the entry
+// replacing them, so steady-state eviction allocates nothing.
+type replyCache struct {
+	mask   uint32
+	shards []cacheShard
+}
+
+type cacheShard struct {
+	mu   sync.Mutex
+	m    map[cacheKey][]byte
+	ring []cacheKey // circular insertion order; len(ring) == shard capacity
+	head int        // index of the oldest live entry
+	n    int        // live entries
+	_    [64]byte   // see inflightShard
+}
+
+// newReplyCache builds a cache holding capacity entries in total across
+// the given number of shards (rounded up to a power of two; every shard
+// holds at least one entry).
+func newReplyCache(capacity, shards int) *replyCache {
+	shards = nextPow2(max(shards, 1))
+	per := (capacity + shards - 1) / shards
+	if per < 1 {
+		per = 1
+	}
+	c := &replyCache{mask: uint32(shards - 1), shards: make([]cacheShard, shards)}
+	for i := range c.shards {
+		c.shards[i].m = make(map[cacheKey][]byte, per)
+		c.shards[i].ring = make([]cacheKey, per)
+	}
+	return c
+}
+
+func (c *replyCache) get(peer peerKey, xid uint32) ([]byte, bool) {
+	sh := &c.shards[peer.hash()&c.mask]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	b, ok := sh.m[cacheKey{peer, xid}]
+	return b, ok
+}
+
+func (c *replyCache) put(peer peerKey, xid uint32, reply []byte) {
+	sh := &c.shards[peer.hash()&c.mask]
+	k := cacheKey{peer, xid}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if old, ok := sh.m[k]; ok {
+		// Same (peer, xid) re-cached: update in place, keeping its ring
+		// slot (and its buffer) where they are.
+		sh.m[k] = append(old[:0], reply...)
+		return
+	}
+	var recycled []byte
+	if sh.n == len(sh.ring) {
+		oldest := sh.ring[sh.head]
+		recycled = sh.m[oldest][:0]
+		delete(sh.m, oldest)
+		sh.head++
+		if sh.head == len(sh.ring) {
+			sh.head = 0
+		}
+		sh.n--
+	}
+	slot := sh.head + sh.n
+	if slot >= len(sh.ring) {
+		slot -= len(sh.ring)
+	}
+	sh.ring[slot] = k
+	sh.n++
+	sh.m[k] = append(recycled, reply...)
+}

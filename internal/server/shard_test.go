@@ -1,0 +1,193 @@
+package server
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"specrpc/internal/client"
+	"specrpc/internal/netsim"
+	"specrpc/internal/xdr"
+)
+
+func TestNextPow2(t *testing.T) {
+	for _, tc := range [][2]int{{1, 1}, {2, 2}, {3, 4}, {8, 8}, {9, 16}, {100, 128}} {
+		if got := nextPow2(tc[0]); got != tc[1] {
+			t.Errorf("nextPow2(%d) = %d, want %d", tc[0], got, tc[1])
+		}
+	}
+}
+
+// TestPeerKeyHashSpreads sanity-checks the shard selector: distinct
+// loopback-style peers (same IP, consecutive ports — the realistic
+// many-clients shape) must not pile onto one shard.
+func TestPeerKeyHashSpreads(t *testing.T) {
+	used := make(map[uint32]bool)
+	const shards = 16
+	for port := 0; port < 256; port++ {
+		k := makePeerKey(netsim.Addr(fmt.Sprintf("client-%d", port)))
+		used[k.hash()&(shards-1)] = true
+	}
+	if len(used) < shards/2 {
+		t.Fatalf("256 peers landed on only %d of %d shards", len(used), shards)
+	}
+}
+
+// TestShardedReplyCacheFIFO pins the per-peer FIFO eviction across a
+// ring-buffer wrap: with more puts than capacity, exactly the newest
+// entries survive.
+func TestShardedReplyCacheFIFO(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		c := newReplyCache(3, shards) // shards>1: 1 entry per shard
+		peer := makePeerKey(netsim.Addr("peer"))
+		per := len(c.shards[peer.hash()&c.mask].ring)
+		const puts = 10
+		for xid := 0; xid < puts; xid++ {
+			c.put(peer, uint32(xid), []byte{byte(xid)})
+		}
+		for xid := 0; xid < puts; xid++ {
+			b, ok := c.get(peer, uint32(xid))
+			if wantLive := xid >= puts-per; ok != wantLive {
+				t.Fatalf("shards=%d xid=%d live=%v, want %v", shards, xid, ok, wantLive)
+			} else if ok && b[0] != byte(xid) {
+				t.Fatalf("shards=%d xid=%d value %d", shards, xid, b[0])
+			}
+		}
+	}
+}
+
+// TestReplyCacheEvictionAllocFree pins steady-state eviction at zero
+// allocations: the ring buffer neither slices off its head (the old
+// order-queue retained dead keys and re-copied itself every cycle) nor
+// copies replies into fresh buffers (evicted entries donate theirs).
+// The old order-slice implementation allocates on every put and fails
+// this test.
+func TestReplyCacheEvictionAllocFree(t *testing.T) {
+	c := newReplyCache(8, 1)
+	peer := makePeerKey(netsim.Addr("peer"))
+	reply := make([]byte, 64)
+	xid := uint32(0)
+	for ; xid < 8; xid++ {
+		c.put(peer, xid, reply) // fill to capacity
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		c.put(peer, xid, reply) // every put evicts the oldest
+		xid++
+	})
+	if allocs != 0 {
+		t.Fatalf("%v allocs per evicting put, want 0", allocs)
+	}
+}
+
+// TestInflightAcrossShards pins that claims are independent per (peer,
+// xid) and that a duplicate claim is refused regardless of which shard
+// the peer hashes to.
+func TestInflightAcrossShards(t *testing.T) {
+	f := newInflightSet(8)
+	for i := 0; i < 32; i++ {
+		peer := makePeerKey(netsim.Addr(fmt.Sprintf("peer-%d", i)))
+		if !f.begin(peer, 7) {
+			t.Fatalf("peer %d: fresh claim refused", i)
+		}
+		if f.begin(peer, 7) {
+			t.Fatalf("peer %d: duplicate claim admitted", i)
+		}
+		if !f.begin(peer, 8) {
+			t.Fatalf("peer %d: other xid refused", i)
+		}
+		f.end(peer, 7)
+		if !f.begin(peer, 7) {
+			t.Fatalf("peer %d: claim after release refused", i)
+		}
+		f.end(peer, 7)
+		f.end(peer, 8)
+	}
+}
+
+// TestShardedStateStress hammers one shard set from many goroutines —
+// claim/release interleaved with cache put/get on colliding keys — so
+// the race detector sees every lock interleaving the datagram path can
+// produce.
+func TestShardedStateStress(t *testing.T) {
+	inf := newInflightSet(4)
+	cache := newReplyCache(32, 4)
+	peers := make([]peerKey, 8)
+	for i := range peers {
+		peers[i] = makePeerKey(netsim.Addr(fmt.Sprintf("stress-%d", i)))
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			reply := make([]byte, 32)
+			for i := 0; i < 3000; i++ {
+				peer := peers[rng.Intn(len(peers))]
+				xid := uint32(rng.Intn(64)) // small space forces collisions
+				if !inf.begin(peer, xid) {
+					cache.get(peer, xid)
+					continue
+				}
+				if _, ok := cache.get(peer, xid); !ok {
+					cache.put(peer, xid, reply)
+				}
+				inf.end(peer, xid)
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+}
+
+// TestServeUDPCloseUnderLoad interleaves live datagram traffic over the
+// sharded state with Server.Close: the shutdown must drain cleanly (no
+// deadlock, no race) while many clients are mid-call.
+func TestServeUDPCloseUnderLoad(t *testing.T) {
+	n := netsim.New()
+	s := New(WithWorkers(8), WithShards(4))
+	s.Register(testProg, testVers, procEcho, echoProc)
+	sep := n.Attach("server")
+	serveDone := make(chan struct{})
+	go func() { defer close(serveDone); _ = s.ServeUDP(sep) }()
+
+	const clients = 6
+	callers := make([]client.Caller, clients)
+	for i := range callers {
+		ep := n.Attach(netsim.Addr(fmt.Sprintf("c%d", i)))
+		callers[i] = client.NewUDP(ep, netsim.Addr("server"), client.Config{
+			Prog: testProg, Vers: testVers,
+			Timeout: 2 * time.Second, FirstXID: uint32(1 + i*1000),
+		})
+	}
+	var wg sync.WaitGroup
+	for _, c := range callers {
+		wg.Add(1)
+		go func(c client.Caller) {
+			defer wg.Done()
+			in := []int32{1, 2, 3}
+			args := func(x *xdr.XDR) error { return xdr.Array(x, &in, xdr.NoSizeLimit, (*xdr.XDR).Long) }
+			for {
+				var out []int32
+				res := func(x *xdr.XDR) error { return xdr.Array(x, &out, xdr.NoSizeLimit, (*xdr.XDR).Long) }
+				if err := c.Call(procEcho, args, res); err != nil {
+					return // server closed underneath us: expected
+				}
+			}
+		}(c)
+	}
+	time.Sleep(30 * time.Millisecond)
+	if err := s.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	for _, c := range callers {
+		_ = c.Close() // fail the in-flight calls fast
+	}
+	wg.Wait()
+	select {
+	case <-serveDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("ServeUDP did not exit after Close")
+	}
+}
