@@ -223,7 +223,7 @@ func TestPeerKeyAllocFree(t *testing.T) {
 			if !fs.begin(k, 7) {
 				t.Fatal("claim refused")
 			}
-			if _, ok := cache.get(k, 7); ok {
+			if _, ok := cache.get(k, 7, nil); ok {
 				t.Fatal("phantom cache hit")
 			}
 			fs.end(k, 7)

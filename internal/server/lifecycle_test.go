@@ -77,6 +77,7 @@ func (tempErr) Temporary() bool { return true }
 type flakyListener struct {
 	mu       sync.Mutex
 	failures int
+	accepts  atomic.Int32
 	conns    chan net.Conn
 	closed   chan struct{}
 	once     sync.Once
@@ -87,6 +88,7 @@ func newFlakyListener(failures int) *flakyListener {
 }
 
 func (l *flakyListener) Accept() (net.Conn, error) {
+	l.accepts.Add(1)
 	l.mu.Lock()
 	if l.failures > 0 {
 		l.failures--
@@ -142,6 +144,38 @@ func TestServeTCPRetriesTransientAcceptErrors(t *testing.T) {
 	}
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
+	}
+	if err := <-serveErr; err != nil {
+		t.Fatalf("ServeTCP after close: %v", err)
+	}
+}
+
+// TestCloseInterruptsAcceptBackoff pins the interruptible backoff: the
+// accept loop's capped retry sleep reaches a full second, and Close must
+// cut it short instead of waiting it out (Close joins the service loops,
+// so an uninterruptible sleep stalls the whole shutdown). The old
+// time.Sleep backoff blocks Close for most of a second and fails the
+// bound below.
+func TestCloseInterruptsAcceptBackoff(t *testing.T) {
+	ln := newFlakyListener(1 << 30) // every Accept fails with a temporary error
+	s := newTestServer()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- s.ServeTCP(ln) }()
+
+	// Let the backoff grow to its 1s cap (about ten failed accepts),
+	// then catch the moment a fresh sleep starts: the next Accept call
+	// marks the end of the previous sleep, and the loop re-enters the
+	// backoff almost immediately after it fails.
+	waitFor(t, "backoff to reach its cap", func() bool { return ln.accepts.Load() >= 10 })
+	n := ln.accepts.Load()
+	waitFor(t, "the next backoff sleep to begin", func() bool { return ln.accepts.Load() > n })
+
+	start := time.Now()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > 500*time.Millisecond {
+		t.Fatalf("Close blocked %v waiting out the accept backoff", d)
 	}
 	if err := <-serveErr; err != nil {
 		t.Fatalf("ServeTCP after close: %v", err)

@@ -80,6 +80,7 @@ type Server struct {
 	closers   map[uint64]func() error
 	closerSeq uint64
 	closed    bool
+	done      chan struct{} // closed by Close; interrupts accept backoff
 }
 
 // Option configures a Server.
@@ -87,7 +88,13 @@ type Option func(*Server)
 
 // WithCacheSize sets the duplicate-request cache capacity in entries
 // (default 128; 0 disables the cache). The capacity divides across the
-// server's shards.
+// server's shards, and all of one peer's calls hash to one shard, so a
+// single peer's effective duplicate-reply window is only about
+// n/WithShards entries (16 of the default 128 at 8 shards): size n as
+// the per-peer retransmission depth you want to absorb multiplied by
+// the shard count, not as a global total. When n is smaller than the
+// shard count the cache uses fewer shards rather than inflating its
+// capacity.
 func WithCacheSize(n int) Option {
 	return func(s *Server) {
 		if n < 0 {
@@ -170,6 +177,7 @@ func New(opts ...Option) *Server {
 		bufSize:  8900,
 		workers:  workers,
 		cacheCap: 128,
+		done:     make(chan struct{}),
 	}
 	for _, o := range opts {
 		o(s)
@@ -451,6 +459,12 @@ func (s *Server) ConnLimitDrops() uint64 { return s.connDrops.Load() }
 func (s *Server) Conns() int { return int(s.conns.Load()) }
 
 func (s *Server) answerDatagram(conn net.PacketConn, from net.Addr, req []byte) {
+	// The pooled reply buffer doubles as the destination for cache hits:
+	// get copies the cached bytes into it under the shard lock (the
+	// cache's own buffers are recycled by concurrent evictions, so they
+	// must never be written to the socket after the lock is released).
+	rp := xdr.GetBuf(s.bufSize)
+	defer xdr.PutBuf(rp)
 	// Duplicate-request cache: a retransmission of a call we already
 	// executed is answered with the cached bytes, preserving the
 	// "execute at most once per XID while cached" behaviour.
@@ -459,7 +473,8 @@ func (s *Server) answerDatagram(conn net.PacketConn, from net.Addr, req []byte) 
 	if hasXID {
 		peer = makePeerKey(from)
 		if s.cache != nil {
-			if cached, ok := s.cache.get(peer, xid); ok {
+			if cached, ok := s.cache.get(peer, xid, (*rp)[:0]); ok {
+				*rp = cached
 				_, _ = conn.WriteTo(cached, from)
 				return
 			}
@@ -478,14 +493,13 @@ func (s *Server) answerDatagram(conn net.PacketConn, from net.Addr, req []byte) 
 		// miss above and the claim, and executing again would break
 		// at-most-once for non-idempotent procedures.
 		if s.cache != nil {
-			if cached, ok := s.cache.get(peer, xid); ok {
+			if cached, ok := s.cache.get(peer, xid, (*rp)[:0]); ok {
+				*rp = cached
 				_, _ = conn.WriteTo(cached, from)
 				return
 			}
 		}
 	}
-	rp := xdr.GetBuf(s.bufSize)
-	defer xdr.PutBuf(rp)
 	out, err := s.handleCall(req, *rp)
 	if err != nil {
 		return // undecodable datagram: drop silently
@@ -549,18 +563,30 @@ func (s *Server) ServeTCP(ln net.Listener) error {
 				if tempDelay > time.Second {
 					tempDelay = time.Second
 				}
-				time.Sleep(tempDelay)
+				// Sleep interruptibly: Close must not wait out a capped
+				// backoff (up to a second) before the loop notices the
+				// server shut down.
+				t := time.NewTimer(tempDelay)
+				select {
+				case <-t.C:
+				case <-s.done:
+					t.Stop()
+					return nil
+				}
 				continue
 			}
 			return fmt.Errorf("server: accept: %w", err)
 		}
 		tempDelay = 0
-		if s.maxConns > 0 && s.conns.Load() >= int64(s.maxConns) {
+		// Add-then-check keeps the bound exact when several ServeTCP
+		// loops share one Server; load-then-add would let concurrent
+		// accepts race past it by up to the listener count.
+		if n := s.conns.Add(1); s.maxConns > 0 && n > int64(s.maxConns) {
+			s.conns.Add(-1)
 			s.connDrops.Add(1)
 			_ = conn.Close()
 			continue
 		}
-		s.conns.Add(1)
 		id := s.track(conn.Close)
 		s.wg.Add(1)
 		go func() {
@@ -692,6 +718,7 @@ func (s *Server) Close() error {
 		return nil
 	}
 	s.closed = true
+	close(s.done)
 	closers := make([]func() error, 0, len(s.closers))
 	for _, c := range s.closers {
 		closers = append(closers, c)

@@ -200,23 +200,23 @@ func TestReplyCache(t *testing.T) {
 	c := newReplyCache(2, 1)
 	c.put(peer, 1, []byte{1})
 	c.put(peer, 2, []byte{2})
-	if _, ok := c.get(peer, 1); !ok {
+	if _, ok := c.get(peer, 1, nil); !ok {
 		t.Fatal("entry 1 missing")
 	}
 	c.put(peer, 3, []byte{3}) // evicts xid 1 (FIFO)
-	if _, ok := c.get(peer, 1); ok {
+	if _, ok := c.get(peer, 1, nil); ok {
 		t.Fatal("entry 1 should be evicted")
 	}
-	if got, ok := c.get(peer, 3); !ok || got[0] != 3 {
+	if got, ok := c.get(peer, 3, nil); !ok || got[0] != 3 {
 		t.Fatalf("entry 3: %v %v", got, ok)
 	}
 	// Same key updates in place without eviction.
 	c.put(peer, 3, []byte{9})
-	if got, _ := c.get(peer, 3); got[0] != 9 {
+	if got, _ := c.get(peer, 3, nil); got[0] != 9 {
 		t.Fatalf("update failed: %v", got)
 	}
 	// Keys are per-peer.
-	if _, ok := c.get(other, 3); ok {
+	if _, ok := c.get(other, 3, nil); ok {
 		t.Fatal("cache leaked across peers")
 	}
 }

@@ -115,6 +115,12 @@ func (f *inflightSet) end(peer peerKey, xid uint32) {
 // array between reallocations and re-copied the whole queue every
 // wrap-around. Evicted entries donate their byte buffers to the entry
 // replacing them, so steady-state eviction allocates nothing.
+//
+// Because of that recycling, every stored buffer is owned by its shard
+// and valid only under the shard lock: get therefore copies the reply
+// out rather than returning the stored slice, whose bytes a concurrent
+// put may overwrite (recycling it into another entry, or updating the
+// same key in place) the moment the lock is released.
 type replyCache struct {
 	mask   uint32
 	shards []cacheShard
@@ -130,10 +136,16 @@ type cacheShard struct {
 }
 
 // newReplyCache builds a cache holding capacity entries in total across
-// the given number of shards (rounded up to a power of two; every shard
-// holds at least one entry).
+// the given number of shards (rounded up to a power of two). When the
+// capacity is smaller than the shard count, the shard count shrinks to
+// match rather than the capacity inflating: every shard needs at least
+// one entry, and a small WithCacheSize on a many-core host must not
+// silently balloon into one entry per shard.
 func newReplyCache(capacity, shards int) *replyCache {
 	shards = nextPow2(max(shards, 1))
+	for shards > 1 && shards > capacity {
+		shards >>= 1
+	}
 	per := (capacity + shards - 1) / shards
 	if per < 1 {
 		per = 1
@@ -146,12 +158,19 @@ func newReplyCache(capacity, shards int) *replyCache {
 	return c
 }
 
-func (c *replyCache) get(peer peerKey, xid uint32) ([]byte, bool) {
+// get appends the cached reply for (peer, xid) onto dst and reports
+// whether an entry was found. The copy happens under the shard lock: the
+// stored buffer stays owned by the shard, so no reference to it escapes
+// for a concurrent put's buffer recycling to corrupt mid-read.
+func (c *replyCache) get(peer peerKey, xid uint32, dst []byte) ([]byte, bool) {
 	sh := &c.shards[peer.hash()&c.mask]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	b, ok := sh.m[cacheKey{peer, xid}]
-	return b, ok
+	if !ok {
+		return dst, false
+	}
+	return append(dst, b...), true
 }
 
 func (c *replyCache) put(peer peerKey, xid uint32, reply []byte) {

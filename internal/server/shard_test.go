@@ -48,7 +48,7 @@ func TestShardedReplyCacheFIFO(t *testing.T) {
 			c.put(peer, uint32(xid), []byte{byte(xid)})
 		}
 		for xid := 0; xid < puts; xid++ {
-			b, ok := c.get(peer, uint32(xid))
+			b, ok := c.get(peer, uint32(xid), nil)
 			if wantLive := xid >= puts-per; ok != wantLive {
 				t.Fatalf("shards=%d xid=%d live=%v, want %v", shards, xid, ok, wantLive)
 			} else if ok && b[0] != byte(xid) {
@@ -78,6 +78,85 @@ func TestReplyCacheEvictionAllocFree(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("%v allocs per evicting put, want 0", allocs)
+	}
+}
+
+// TestReplyCacheGetCopiesOut pins the reply-aliasing fix: get must copy
+// the cached bytes out under the shard lock, because put recycles an
+// evicted entry's backing array into the entry replacing it and rewrites
+// a re-cached key's buffer in place. The old get returned the stored
+// slice itself, so a reply could be rewritten mid-WriteTo; against it,
+// this test — readers verifying a reply's bytes while a writer churns
+// in-place updates and evictions through the same shard — observes torn
+// replies and fails under the race detector.
+func TestReplyCacheGetCopiesOut(t *testing.T) {
+	c := newReplyCache(2, 1)
+	peer := makePeerKey(netsim.Addr("peer"))
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		reply := make([]byte, 1024)
+		for seq := 0; seq < 5000; seq++ {
+			for i := range reply {
+				reply[i] = byte(seq)
+			}
+			// First half: two keys over capacity two, so every put after
+			// the fill is an in-place update. Second half: four keys over
+			// capacity two, so every put evicts and recycles a buffer.
+			mod := 2
+			if seq >= 2500 {
+				mod = 4
+			}
+			c.put(peer, uint32(seq%mod), reply)
+		}
+	}()
+	var readers sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			var scratch []byte
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				for xid := uint32(0); xid < 4; xid++ {
+					b, ok := c.get(peer, xid, scratch[:0])
+					scratch = b
+					if !ok {
+						continue
+					}
+					// Every cached reply was written with one uniform fill
+					// byte; a mixed-fill read is a torn reply.
+					for i := 1; i < len(b); i++ {
+						if b[i] != b[0] {
+							t.Errorf("torn reply for xid %d: byte %d is %d, byte 0 is %d", xid, i, b[i], b[0])
+							return
+						}
+					}
+				}
+			}
+		}()
+	}
+	readers.Wait()
+}
+
+// TestReplyCacheCapacityNotInflated pins the shard clamp: a cache
+// smaller than the shard count shrinks its shard count instead of
+// growing to one entry per shard.
+func TestReplyCacheCapacityNotInflated(t *testing.T) {
+	c := newReplyCache(8, 64)
+	if got := len(c.shards); got != 8 {
+		t.Fatalf("shards = %d, want clamped to 8", got)
+	}
+	total := 0
+	for i := range c.shards {
+		total += len(c.shards[i].ring)
+	}
+	if total != 8 {
+		t.Fatalf("total capacity = %d, want 8", total)
 	}
 }
 
@@ -124,14 +203,16 @@ func TestShardedStateStress(t *testing.T) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(seed))
 			reply := make([]byte, 32)
+			var scratch []byte
 			for i := 0; i < 3000; i++ {
 				peer := peers[rng.Intn(len(peers))]
 				xid := uint32(rng.Intn(64)) // small space forces collisions
 				if !inf.begin(peer, xid) {
-					cache.get(peer, xid)
+					scratch, _ = cache.get(peer, xid, scratch[:0])
 					continue
 				}
-				if _, ok := cache.get(peer, xid); !ok {
+				var ok bool
+				if scratch, ok = cache.get(peer, xid, scratch[:0]); !ok {
 					cache.put(peer, xid, reply)
 				}
 				inf.end(peer, xid)
