@@ -2,12 +2,18 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json bench-diff fuzz genstubs fmt vet ci
+.PHONY: all build xcompile test race bench bench-json bench-diff batch-smoke fuzz genstubs fmt vet ci
 
 all: build
 
 build:
 	$(GO) build ./...
+
+# Cross-compile check for the non-Linux build of the batched-I/O layer:
+# the sendmmsg/recvmmsg files are gated to linux/amd64+arm64, so a darwin
+# build proves the portable fallback actually compiles without them.
+xcompile:
+	GOOS=darwin GOARCH=arm64 $(GO) build ./...
 
 test:
 	$(GO) test ./...
@@ -21,14 +27,15 @@ bench:
 	$(GO) test -run=NONE -bench=. -benchtime=1x -benchmem ./...
 
 # Machine-readable live benchmark: the generic/specialized/chunked codec
-# comparison over netsim, UDP, and TCP, the header-path series, and the
+# comparison over netsim, UDP, and TCP, the header-path series, the
 # open-loop tail-latency grid (sharded call tracking vs the single-lock
-# shards=1 baseline), written to BENCH_live.json so the perf trajectory
-# is tracked from PR to PR. Each refresh is also archived under
-# bench/history/ keyed by date and commit, so the trajectory is a series
-# of snapshots instead of one overwritten file.
+# shards=1 baseline), and the batched-vs-unbatched syscalls/op series,
+# written to BENCH_live.json so the perf trajectory is tracked from PR
+# to PR. Each refresh is also archived under bench/history/ keyed by
+# date and commit, so the trajectory is a series of snapshots instead of
+# one overwritten file.
 bench-json:
-	$(GO) run ./cmd/sunbench -live-spec -header-path -openloop \
+	$(GO) run ./cmd/sunbench -live-spec -header-path -openloop -batch \
 		-calls 2000 -clients 4 -depth 16 -rate 4000 -openloop-dur 1s -openloop-reps 5 \
 		-json BENCH_live.json
 	mkdir -p bench/history
@@ -42,6 +49,12 @@ bench-diff:
 	$(GO) run ./cmd/sunbench -live-spec -transport sim -calls 300 -header-path -json bench_head.json >/dev/null
 	-$(GO) run ./cmd/benchdiff BENCH_live.json bench_head.json
 	rm -f bench_head.json
+
+# Quick counted run of the batch-mode harness over both kernel
+# transports: exercises the writev/coalesce path, the ONC batched-call
+# path, and (where the kernel offers it) sendmmsg/recvmmsg.
+batch-smoke:
+	$(GO) run ./cmd/sunbench -batch -transport udp,tcp -clients 2 -depth 8 -calls 2000
 
 # Short native-fuzz smoke over the decode boundary (the record-marking
 # reader and the RPC call-header decoder, fed raw bytes), the header
@@ -79,4 +92,4 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-ci: fmt vet build race bench genstubs bench-diff fuzz
+ci: fmt vet build xcompile race bench genstubs bench-diff batch-smoke fuzz

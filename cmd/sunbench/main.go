@@ -14,6 +14,8 @@
 //	sunbench -openloop        # open-loop Poisson tail latency (p50/p99/p999),
 //	                          # sharded vs single-lock baseline
 //	sunbench -openloop -transport udp -clients 8 -depth 16 -rate 8000 -openloop-dur 2s
+//	sunbench -batch           # counted syscalls/op: batched vs unbatched I/O
+//	sunbench -batch -transport tcp -clients 4 -depth 8 -calls 20000
 //	sunbench -live-spec       # live codec comparison (incl. fused whole-call) over sim, udp, tcp
 //	sunbench -live-spec -fused=false          # the three plan series only
 //	sunbench -live-spec -header-path -json BENCH_live.json
@@ -51,6 +53,7 @@ func realMain() int {
 	openloopDur := flag.Duration("openloop-dur", time.Second, "arrival window per -openloop grid point")
 	baseline := flag.Bool("baseline", true, "also run each -openloop point against the single-lock (shards=1) baseline")
 	reps := flag.Int("openloop-reps", 3, "repetitions per -openloop point; the median-p99 run is reported")
+	batch := flag.Bool("batch", false, "count syscalls/op for batched vs unbatched I/O over the live transports")
 	liveSpec := flag.Bool("live-spec", false, "measure the generic/specialized/chunked marshal plans over the live transports")
 	fused := flag.Bool("fused", true, "include the fused whole-call series in -live-spec (-fused=false for the three plan series only)")
 	headerPath := flag.Bool("header-path", false, "measure the generic vs templated RPC header encode/decode paths")
@@ -121,9 +124,13 @@ func realMain() int {
 		live = true
 		err = runOpenLoop(*transports, *clients, *depth, *rate, *openloopDur, *baseline, *reps, out)
 	}
+	if err == nil && *batch {
+		live = true
+		err = runBatch(*transports, *clients, *depth, *calls, *size, out)
+	}
 	if err == nil && !live {
 		if *jsonOut != "" {
-			fmt.Fprintln(os.Stderr, "sunbench: -json requires -live-spec, -header-path, or -throughput")
+			fmt.Fprintln(os.Stderr, "sunbench: -json requires -live-spec, -header-path, -throughput, -openloop, or -batch")
 			return 2
 		}
 		all := *table == 0 && *figure == 0
@@ -148,6 +155,7 @@ type jsonReport struct {
 	HeaderPath  []bench.HeaderPathResult `json:"header_path,omitempty"`
 	Throughput  []throughputJSON         `json:"throughput,omitempty"`
 	OpenLoop    []bench.OpenLoopResult   `json:"open_loop,omitempty"`
+	Batch       []bench.BatchResult      `json:"batch,omitempty"`
 }
 
 // throughputJSON flattens ThroughputResult for stable JSON output.
@@ -264,6 +272,46 @@ func runOpenLoop(transports string, conns, depth int, rate float64, dur time.Dur
 	}
 	out.OpenLoop = rows
 	fmt.Print(bench.FormatOpenLoop(rows))
+	return nil
+}
+
+// runBatch counts kernel crossings per call for the three batching
+// variants against the same clients x depth grid: each transport runs a
+// 1x1 baseline point and the requested concurrent point, in modes off
+// and on (plus the deterministic ONC batched-calls mode on stream
+// transports). Counters, not timers: the series is stable across hosts.
+func runBatch(transports string, clients, depth, calls, size int, out *jsonReport) error {
+	if calls <= 0 {
+		calls = 20000
+	}
+	var rows []bench.BatchResult
+	for _, tr := range splitTransports(transports) {
+		if tr == "sim" {
+			continue // no kernel under the simulated transport to count
+		}
+		configs := [][2]int{{1, 1}, {clients, depth}}
+		if clients == 1 && depth == 1 {
+			configs = configs[:1]
+		}
+		modes := []string{"off", "on"}
+		if tr == "tcp" {
+			modes = append(modes, "calls")
+		}
+		for _, cfg := range configs {
+			for _, mode := range modes {
+				res, err := bench.Batch(bench.BatchOptions{
+					Transport: tr, Mode: mode, Clients: cfg[0], Depth: cfg[1],
+					Calls: calls, ArraySize: size,
+				})
+				if err != nil {
+					return err
+				}
+				rows = append(rows, res)
+			}
+		}
+	}
+	out.Batch = rows
+	fmt.Print(bench.FormatBatch(rows))
 	return nil
 }
 

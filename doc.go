@@ -2,8 +2,12 @@
 // Sun RPC Using Automatic Program Specialization" (Muller, Marlet,
 // Volanschi, Consel, Pu, Goel — INRIA RR-3220 / ICDCS 1998): a complete
 // Sun RPC/XDR stack, a Tempo-style partial evaluator for a C-like subject
-// language, the rpcgen stub compiler, and the benchmark harness that
-// regenerates every table and figure of the paper's evaluation.
+// language, the rpcgen stub compiler, and a benchmark harness that
+// reproduces the paper's evaluation: Tables 1-4 and the Figure 6 panels
+// are regenerated from calibrated cost models (a fit to the published
+// numbers — the tests pin their qualitative shape, not the absolute
+// values), and the specialization claims are re-measured on the live Go
+// transport, with results tracked in BENCH_live.json and EXPERIMENTS.md.
 //
 // See README.md for the layout, DESIGN.md for the system inventory and
 // experiment index, and EXPERIMENTS.md for paper-vs-measured results.

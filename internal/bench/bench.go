@@ -2,6 +2,13 @@
 // six panels of Figure 6. Workloads, parameter grids, and row formats
 // follow §5 exactly; times come from deterministic VM cost counters run
 // through the internal/platform models, so every number is reproducible.
+//
+// In the five-layer specialization stack (see DESIGN.md) this is layer
+// 5, the evaluation layer: besides the modeled paper tables it measures
+// the live stack end to end — closed-loop throughput, open-loop tail
+// latency, the live codec comparison, and the counted syscalls/op of
+// the batched I/O paths (Batch) — and writes the series BENCH_live.json
+// tracks across PRs.
 package bench
 
 import (

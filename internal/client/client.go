@@ -17,6 +17,15 @@
 // is what lets the benchmark harness swap the generic micro-layered stubs
 // for the specialized stubs produced by internal/tempo without touching
 // the transport code.
+//
+// In the five-layer specialization stack (see DESIGN.md) this is layer
+// 4, the transport endpoint: it drives the internal/xdr streams and
+// internal/rpcmsg headers on behalf of the stubs from internal/wire.
+// Two batching mechanisms amortize its syscalls (DESIGN.md, "Batching
+// and flush policy"): concurrent TCP calls coalesce their records into
+// shared vectored writes via the group-commit RecBatcher, and
+// CallBatched queues ONC fire-and-forget calls that leave with the next
+// terminal Call, Flush, or Close.
 package client
 
 import (
@@ -99,6 +108,12 @@ type Config struct {
 	// FirstXID seeds the transaction-id sequence; 0 derives one from the
 	// clock, as gettimeofday did in clntudp_create.
 	FirstXID uint32
+	// NoBatch disables write coalescing on stream transports: every call
+	// record is written with its own syscall, the pre-batching behavior.
+	// Kept as the measurable baseline for the batch benchmarks; queued
+	// batched calls (CallBatched) still queue, they just flush one record
+	// per Write.
+	NoBatch bool
 }
 
 func (c *Config) fill() {
@@ -722,6 +737,12 @@ func (c *UDP) Close() error { return c.life.closeOnce(c.conn, c.dmx) }
 // goroutines are pipelined onto the single connection: requests are
 // written back to back and a reader goroutine routes each reply record to
 // its call by XID, so replies may be consumed out of order.
+//
+// Record writes go through a group-commit batcher: when several calls
+// are in flight their request records coalesce into one vectored write,
+// so syscalls amortize across the pipeline depth (Config.NoBatch keeps
+// the one-write-per-record baseline). CallBatched queues fire-and-forget
+// requests on the same writer.
 type TCP struct {
 	cfg  Config
 	tmpl *rpcmsg.CallTemplate
@@ -733,15 +754,36 @@ type TCP struct {
 	reader  sync.Once
 	life    lifecycle
 
-	wmu  sync.Mutex // serializes record writes onto the stream
-	wrec *xdr.RecStream
+	batch *xdr.RecBatcher // owns the write side of the record stream
 }
 
 // NewTCP returns a client issuing calls over the established connection.
 func NewTCP(conn net.Conn, cfg Config) *TCP {
 	cfg.fill()
-	c := &TCP{cfg: cfg, tmpl: callTemplate(&cfg), conn: conn, dmx: newDemux(), wrec: xdr.NewRecStream(conn, 0)}
+	c := &TCP{cfg: cfg, tmpl: callTemplate(&cfg), conn: conn, dmx: newDemux()}
 	c.xid.Store(cfg.FirstXID)
+	c.batch = xdr.NewRecBatcher(xdr.NewRecStream(conn, 0))
+	// The write deadline covers each vectored write: a peer that stopped
+	// reading must not wedge the writers sharing the stream past their
+	// call timeout.
+	c.batch.PreWrite = func() error {
+		return c.conn.SetWriteDeadline(time.Now().Add(c.cfg.Timeout))
+	}
+	// A failed or timed-out batch write leaves the record framing
+	// unusable for every call sharing the stream — including calls whose
+	// records were queued by a leader that already returned — so fail the
+	// transport and close the connection so everyone unblocks now.
+	c.batch.OnError = func(err error) {
+		if c.isClosed() {
+			c.dmx.fail(ErrClosed)
+		} else {
+			c.dmx.fail(fmt.Errorf("client: send record: %w", err))
+		}
+		_ = c.conn.Close()
+	}
+	if cfg.NoBatch {
+		c.batch.MaxBatch = 1
+	}
 	return c
 }
 
@@ -784,27 +826,15 @@ func (c *TCP) doCall(proc uint32, req callReq, sink replySink) error {
 	if err != nil {
 		return err
 	}
-	c.wmu.Lock()
-	// The write deadline bounds a record write to a peer that stopped
-	// reading; without it the caller (and everyone queued on wmu) would
-	// hang past Config.Timeout with its timer never even started.
-	werr := c.conn.SetWriteDeadline(time.Now().Add(c.cfg.Timeout))
-	if werr == nil {
-		werr = c.wrec.WriteRecord(*reqBuf)
-	}
-	c.wmu.Unlock()
-	xdr.PutBuf(reqBuf)
-	if werr != nil {
+	// Ownership of reqBuf transfers to the batcher: it is released after
+	// the batch carrying it is written. Concurrent callers coalesce —
+	// their records leave in one vectored write — and any queued batched
+	// calls (CallBatched) ride out with this record.
+	if werr := c.batch.Write(reqBuf); werr != nil {
 		if c.isClosed() {
 			return ErrClosed
 		}
-		werr = fmt.Errorf("client: send record: %w", werr)
-		// A failed or timed-out write leaves the record framing unusable
-		// for every call sharing the stream; fail the transport so they
-		// unblock now instead of waiting out their reply timeouts.
-		c.dmx.fail(werr)
-		_ = c.conn.Close()
-		return werr
+		return fmt.Errorf("client: send record: %w", werr)
 	}
 
 	overall := time.NewTimer(c.cfg.Timeout)
@@ -828,6 +858,56 @@ func (c *TCP) doCall(proc uint32, req callReq, sink replySink) error {
 		}
 		return c.dmx.error()
 	}
+}
+
+// CallBatched issues one ONC batched (fire-and-forget) call: the request
+// is marshaled and queued on the connection's record writer, and no
+// reply is awaited — the original batching protocol of clnt_tcp, where a
+// sequence of batched calls is terminated by a normal Call whose write
+// flushes the queue and whose reply confirms the connection is alive.
+// Queued calls also leave when the queued bytes reach the batcher's
+// watermark, on an explicit Flush, or on Close.
+//
+// The semantics are strictly weaker than Call: no reply means no
+// at-most-once confirmation and no error report from the server (the
+// server's reply, if any, is discarded by the demultiplexer), and a
+// transport failure after CallBatched returns surfaces only on the next
+// Call, Flush, or CallBatched. Not supported over UDP, exactly as in the
+// original: a datagram transport would need retransmission, which needs
+// a reply.
+func (c *TCP) CallBatched(proc uint32, args Marshal) error {
+	if c.isClosed() {
+		return ErrClosed
+	}
+	// Start the reader even though no reply is expected: the server
+	// replies to batched calls it cannot tell apart from normal ones, and
+	// someone must drain those records off the connection.
+	c.reader.Do(func() { go c.readLoop() })
+	xid := c.xid.Add(1)
+	reqBuf, err := marshalReq(&c.cfg, c.tmpl, callReq{args: args}, xid, proc, xdr.RecordMarkLen)
+	if err != nil {
+		return err
+	}
+	if err := c.batch.Queue(reqBuf); err != nil {
+		if c.isClosed() {
+			return ErrClosed
+		}
+		return fmt.Errorf("client: send record: %w", err)
+	}
+	return nil
+}
+
+// Flush forces out every queued batched call without issuing a terminal
+// Call. A failure here poisons the connection like any other write
+// failure.
+func (c *TCP) Flush() error {
+	if err := c.batch.Flush(); err != nil {
+		if c.isClosed() {
+			return ErrClosed
+		}
+		return fmt.Errorf("client: send record: %w", err)
+	}
+	return nil
 }
 
 // readLoop owns the connection's read side: it slurps one reply record at
@@ -857,9 +937,18 @@ func (c *TCP) readLoop() {
 
 func (c *TCP) isClosed() bool { return c.life.isClosed() }
 
-// Close releases the client and its connection. In-flight calls fail with
-// ErrClosed.
-func (c *TCP) Close() error { return c.life.closeOnce(c.conn, c.dmx) }
+// Close flushes any queued batched calls, then releases the client and
+// its connection. In-flight calls fail with ErrClosed; a flush failure
+// is reported once close itself succeeded (repeat closes stay nil — the
+// batcher's empty Flush is a no-op even after a transport failure).
+func (c *TCP) Close() error {
+	ferr := c.batch.Flush()
+	err := c.life.closeOnce(c.conn, c.dmx)
+	if err == nil && ferr != nil {
+		err = fmt.Errorf("client: flush batched calls: %w", ferr)
+	}
+	return err
+}
 
 // Caller is the interface satisfied by both transports; generated stubs
 // are written against it.

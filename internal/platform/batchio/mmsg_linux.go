@@ -1,0 +1,252 @@
+//go:build linux && (amd64 || arm64)
+
+package batchio
+
+// The recvmmsg/sendmmsg fast path. golang.org/x/net wraps these
+// syscalls as ipv4.PacketConn.ReadBatch/WriteBatch, but this module is
+// deliberately dependency-free, so the same two syscalls are issued
+// directly through syscall.RawConn: the runtime's network poller still
+// owns readiness (MSG_DONTWAIT plus RawConn's wait-for-ready loop), so
+// blocking behavior, deadline handling on close, and goroutine
+// scheduling are unchanged — only the number of messages moved per
+// kernel crossing grows.
+
+import (
+	"net"
+	"sync"
+	"syscall"
+	"unsafe"
+)
+
+// mmsghdr mirrors struct mmsghdr: a msghdr plus the kernel-filled
+// received length, padded to 8 bytes on LP64.
+type mmsghdr struct {
+	hdr  syscall.Msghdr
+	nlen uint32
+	_    [4]byte
+}
+
+type mmsgConn struct {
+	pc    net.PacketConn
+	rc    syscall.RawConn
+	stats *Stats
+	v6    bool // socket family: chooses the sockaddr written for sends
+
+	rmu  sync.Mutex
+	rhs  []mmsghdr
+	riov []syscall.Iovec
+	rsa  []syscall.RawSockaddrAny
+
+	wmu  sync.Mutex
+	whs  []mmsghdr
+	wiov []syscall.Iovec
+	wsa4 []syscall.RawSockaddrInet4
+	wsa6 []syscall.RawSockaddrInet6
+}
+
+// newMMsg probes pc for the multi-message path: a kernel UDP socket
+// exposing its file descriptor. Anything else — in-process simulators,
+// test shims, wrapped conns — reports nil and the caller stays on the
+// portable path.
+func newMMsg(pc net.PacketConn, batch int, stats *Stats) *mmsgConn {
+	u, ok := pc.(*net.UDPConn)
+	if !ok {
+		return nil
+	}
+	rc, err := u.SyscallConn()
+	if err != nil {
+		return nil
+	}
+	m := &mmsgConn{
+		pc: pc, rc: rc, stats: stats,
+		rhs:  make([]mmsghdr, batch),
+		riov: make([]syscall.Iovec, batch),
+		rsa:  make([]syscall.RawSockaddrAny, batch),
+		whs:  make([]mmsghdr, batch),
+		wiov: make([]syscall.Iovec, batch),
+		wsa4: make([]syscall.RawSockaddrInet4, batch),
+		wsa6: make([]syscall.RawSockaddrInet6, batch),
+	}
+	if la, ok := u.LocalAddr().(*net.UDPAddr); ok && la.IP.To4() == nil {
+		m.v6 = true
+	}
+	return m
+}
+
+func (m *mmsgConn) readBatch(msgs []Message) (int, error) {
+	m.rmu.Lock()
+	defer m.rmu.Unlock()
+	n := len(msgs)
+	if n > len(m.rhs) {
+		n = len(m.rhs)
+	}
+	for i := 0; i < n; i++ {
+		m.riov[i].Base = &msgs[i].Buf[0]
+		m.riov[i].Len = uint64(len(msgs[i].Buf))
+		m.rhs[i] = mmsghdr{}
+		m.rhs[i].hdr.Name = (*byte)(unsafe.Pointer(&m.rsa[i]))
+		m.rhs[i].hdr.Namelen = uint32(syscall.SizeofSockaddrAny)
+		m.rhs[i].hdr.Iov = &m.riov[i]
+		m.rhs[i].hdr.Iovlen = 1
+	}
+	var got int
+	var sysErr error
+	err := m.rc.Read(func(fd uintptr) bool {
+		r1, _, errno := syscall.Syscall6(sysRecvmmsg, fd,
+			uintptr(unsafe.Pointer(&m.rhs[0])), uintptr(n),
+			uintptr(syscall.MSG_DONTWAIT), 0, 0)
+		switch errno {
+		case syscall.EAGAIN, syscall.EINTR:
+			return false // let the poller wait for readability
+		case 0:
+			got = int(r1)
+			m.stats.ReadCalls.Add(1)
+			m.stats.ReadMsgs.Add(uint64(got))
+			return true
+		default:
+			sysErr = errno
+			return true
+		}
+	})
+	if err != nil {
+		return 0, err // poller error: the socket was closed
+	}
+	if sysErr != nil {
+		return 0, sysErr
+	}
+	for i := 0; i < got; i++ {
+		msgs[i].N = int(m.rhs[i].nlen)
+		msgs[i].Addr = sockaddrToUDP(&m.rsa[i])
+	}
+	return got, nil
+}
+
+func (m *mmsgConn) writeBatch(msgs []Message) error {
+	m.wmu.Lock()
+	defer m.wmu.Unlock()
+	for off := 0; off < len(msgs); {
+		n := len(msgs) - off
+		if n > len(m.whs) {
+			n = len(m.whs)
+		}
+		batch := msgs[off : off+n]
+		k := 0
+		for i := range batch {
+			if !m.setName(k, batch[i].Addr) {
+				// An address the raw path cannot encode: send this one
+				// message through the conn's own WriteTo instead. Reads on
+				// this socket never produce such an address, so this is a
+				// defensive path, not a hot one.
+				m.mu2one(&batch[i])
+				continue
+			}
+			m.wiov[k].Base = &batch[i].Buf[0]
+			m.wiov[k].Len = uint64(len(batch[i].Buf))
+			m.whs[k].hdr.Iov = &m.wiov[k]
+			m.whs[k].hdr.Iovlen = 1
+			m.whs[k].nlen = 0
+			k++
+		}
+		n = k
+		sent := 0
+		for sent < n {
+			var wrote int
+			var sysErr error
+			err := m.rc.Write(func(fd uintptr) bool {
+				r1, _, errno := syscall.Syscall6(sysSendmmsg, fd,
+					uintptr(unsafe.Pointer(&m.whs[sent])), uintptr(n-sent),
+					uintptr(syscall.MSG_DONTWAIT), 0, 0)
+				switch errno {
+				case syscall.EAGAIN, syscall.EINTR:
+					return false // let the poller wait for writability
+				case 0:
+					wrote = int(r1)
+					m.stats.WriteCalls.Add(1)
+					m.stats.WriteMsgs.Add(uint64(wrote))
+					return true
+				default:
+					sysErr = errno
+					return true
+				}
+			})
+			if err != nil {
+				return err
+			}
+			if sysErr != nil {
+				return sysErr
+			}
+			if wrote == 0 {
+				break // defensive: a zero-progress success cannot loop forever
+			}
+			sent += wrote
+		}
+		off += n
+	}
+	return nil
+}
+
+// mu2one sends one message through the portable path (used only for
+// addresses the raw sockaddr encoding rejects, which reads on this
+// socket never produce).
+func (m *mmsgConn) mu2one(msg *Message) {
+	if _, err := m.pc.WriteTo(msg.Buf, msg.Addr); err != nil {
+		return
+	}
+	m.stats.WriteCalls.Add(1)
+	m.stats.WriteMsgs.Add(1)
+}
+
+// setName encodes batch destination i into the preallocated sockaddr
+// matching the socket's family.
+func (m *mmsgConn) setName(i int, a net.Addr) bool {
+	u, ok := a.(*net.UDPAddr)
+	if !ok {
+		return false
+	}
+	if m.v6 {
+		ip := u.IP.To16()
+		if ip == nil {
+			return false
+		}
+		sa := &m.wsa6[i]
+		*sa = syscall.RawSockaddrInet6{Family: syscall.AF_INET6}
+		p := (*[2]byte)(unsafe.Pointer(&sa.Port))
+		p[0], p[1] = byte(u.Port>>8), byte(u.Port)
+		copy(sa.Addr[:], ip)
+		m.whs[i].hdr.Name = (*byte)(unsafe.Pointer(sa))
+		m.whs[i].hdr.Namelen = syscall.SizeofSockaddrInet6
+		return true
+	}
+	ip := u.IP.To4()
+	if ip == nil {
+		return false
+	}
+	sa := &m.wsa4[i]
+	*sa = syscall.RawSockaddrInet4{Family: syscall.AF_INET}
+	p := (*[2]byte)(unsafe.Pointer(&sa.Port))
+	p[0], p[1] = byte(u.Port>>8), byte(u.Port)
+	copy(sa.Addr[:], ip)
+	m.whs[i].hdr.Name = (*byte)(unsafe.Pointer(sa))
+	m.whs[i].hdr.Namelen = syscall.SizeofSockaddrInet4
+	return true
+}
+
+// sockaddrToUDP decodes a kernel-filled sockaddr. The address bytes are
+// copied out because the sockaddr buffer is reused by the next batch.
+func sockaddrToUDP(rsa *syscall.RawSockaddrAny) net.Addr {
+	switch rsa.Addr.Family {
+	case syscall.AF_INET:
+		sa := (*syscall.RawSockaddrInet4)(unsafe.Pointer(rsa))
+		p := (*[2]byte)(unsafe.Pointer(&sa.Port))
+		ip := make(net.IP, net.IPv4len)
+		copy(ip, sa.Addr[:])
+		return &net.UDPAddr{IP: ip, Port: int(p[0])<<8 | int(p[1])}
+	case syscall.AF_INET6:
+		sa := (*syscall.RawSockaddrInet6)(unsafe.Pointer(rsa))
+		p := (*[2]byte)(unsafe.Pointer(&sa.Port))
+		ip := make(net.IP, net.IPv6len)
+		copy(ip, sa.Addr[:])
+		return &net.UDPAddr{IP: ip, Port: int(p[0])<<8 | int(p[1])}
+	}
+	return nil
+}

@@ -1,0 +1,20 @@
+//go:build !linux || !(amd64 || arm64)
+
+package batchio
+
+import "net"
+
+// mmsgConn is absent on platforms without recvmmsg/sendmmsg (or where
+// this module has not wired their syscall numbers); every Conn stays on
+// the portable one-datagram-per-syscall path.
+type mmsgConn struct{}
+
+func newMMsg(net.PacketConn, int, *Stats) *mmsgConn { return nil }
+
+func (*mmsgConn) readBatch([]Message) (int, error) {
+	panic("batchio: mmsg path invoked on a non-mmsg platform")
+}
+
+func (*mmsgConn) writeBatch([]Message) error {
+	panic("batchio: mmsg path invoked on a non-mmsg platform")
+}

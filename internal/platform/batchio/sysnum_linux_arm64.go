@@ -1,0 +1,10 @@
+//go:build linux && arm64
+
+package batchio
+
+// The frozen syscall package predates sendmmsg (kernel 3.0), so the
+// numbers are pinned here per architecture.
+const (
+	sysRecvmmsg uintptr = 243
+	sysSendmmsg uintptr = 269
+)

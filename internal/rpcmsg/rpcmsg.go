@@ -4,6 +4,11 @@
 //
 // The package is transport-agnostic: messages marshal against an xdr.XDR
 // handle, so the same code serves UDP datagrams and TCP record streams.
+//
+// In the five-layer specialization stack (see DESIGN.md) this is layer
+// 2, the message layer: it sits on the internal/xdr encoding layer and
+// supplies the header templates that internal/client, internal/server,
+// and the fused whole-call plans in internal/wire specialize against.
 package rpcmsg
 
 import (

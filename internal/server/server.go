@@ -13,6 +13,15 @@
 // bounded number of in-flight handlers whose reply records are serialized
 // back onto the stream. Request and reply buffers come from the shared
 // XDR buffer pool, keeping the hot path allocation-free.
+//
+// In the five-layer specialization stack (see DESIGN.md) this is layer
+// 4, the transport endpoint: the service-side twin of internal/client,
+// executing internal/wire plans over internal/xdr streams. Its syscalls
+// are batched on both transports (DESIGN.md, "Batching and flush
+// policy"): concurrent stream handlers group-commit their reply records
+// into shared coalesced writes, and ServeUDP moves datagrams in
+// recvmmsg/sendmmsg batches through internal/platform/batchio where the
+// kernel supports it.
 package server
 
 import (
@@ -24,6 +33,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"specrpc/internal/platform/batchio"
 	"specrpc/internal/rpcmsg"
 	"specrpc/internal/xdr"
 )
@@ -62,10 +72,16 @@ type Server struct {
 	inflight *inflightSet
 	bufSize  int
 	workers  int
-	shards   int // shard count for the call-tracking state
-	cacheCap int // duplicate-reply cache capacity (0 disables)
-	queue    int // datagram admission queue depth
-	maxConns int // stream connection limit (0 = unlimited)
+	shards   int  // shard count for the call-tracking state
+	cacheCap int  // duplicate-reply cache capacity (0 disables)
+	queue    int  // datagram admission queue depth
+	maxConns int  // stream connection limit (0 = unlimited)
+	noWBatch bool // stream reply batching disabled (baseline)
+	dgBatch  int  // datagrams per syscall bound for ServeUDP
+
+	// dgio points at the batched-I/O wrapper of the most recently started
+	// ServeUDP loop, for the DatagramIOStats counters.
+	dgio atomic.Pointer[batchio.Conn]
 
 	// typedCount mirrors len(typed) for a lock-free gate: servers with
 	// no typed registrations skip the fused-path probe entirely.
@@ -150,6 +166,35 @@ func WithMaxConns(n int) Option {
 // WithBufSize sets the datagram receive/reply buffer size (default 8900).
 func WithBufSize(n int) Option { return func(s *Server) { s.bufSize = n } }
 
+// WithWriteBatching toggles reply-record coalescing on stream
+// connections (default on). When on, replies finishing while another
+// handler is inside the write syscall queue behind it and leave together
+// in one vectored write; off keeps the one-Write-per-record baseline,
+// the pre-batching behavior kept measurable for the batch benchmarks.
+func WithWriteBatching(on bool) Option {
+	return func(s *Server) { s.noWBatch = !on }
+}
+
+// DefaultDatagramBatch is the default messages-per-syscall bound for
+// ServeUDP: big enough to amortize a kernel crossing across a bursty
+// queue, small enough that the per-loop buffer set stays modest.
+const DefaultDatagramBatch = 32
+
+// WithDatagramBatch bounds how many datagrams ServeUDP may move per
+// syscall (default DefaultDatagramBatch). n == 1 is the
+// one-datagram-per-syscall baseline. Values above 1 engage
+// recvmmsg/sendmmsg only where the platform and socket support them
+// (Linux kernel UDP sockets); everywhere else the portable path runs
+// the baseline code regardless of n, byte-identical on the wire.
+func WithDatagramBatch(n int) Option {
+	return func(s *Server) {
+		if n < 1 {
+			n = 1
+		}
+		s.dgBatch = n
+	}
+}
+
 // WithWorkers bounds the number of concurrently executing handlers per
 // transport: the size of the datagram worker pool and the in-flight cap
 // per stream connection. The default is max(8, GOMAXPROCS): handlers may
@@ -193,6 +238,9 @@ func New(opts ...Option) *Server {
 	}
 	if s.queue == 0 {
 		s.queue = max(4*s.workers, 64)
+	}
+	if s.dgBatch == 0 {
+		s.dgBatch = DefaultDatagramBatch
 	}
 	return s
 }
@@ -392,6 +440,19 @@ func (s *Server) ServeUDP(conn net.PacketConn) error {
 	s.wg.Add(1)
 	defer s.wg.Done()
 
+	// Batched I/O wrapper: up to dgBatch messages per recvmmsg/sendmmsg
+	// where the platform supports it; with dgBatch == 1 (or anywhere the
+	// mmsg path is unavailable) every operation is the exact
+	// one-datagram-per-syscall code this loop always ran. Replies from
+	// concurrent workers coalesce through a group-commit sender on the
+	// batched path and go straight to WriteTo on the baseline.
+	bc := batchio.New(conn, s.dgBatch)
+	s.dgio.Store(bc)
+	var sd replySender = directSender{bc}
+	if bc.Batch() > 1 {
+		sd = batchio.NewSender(bc, xdr.GetBuf, xdr.PutBuf)
+	}
+
 	jobs := make(chan dgram, s.queue)
 	var workers sync.WaitGroup
 	for i := 0; i < s.workers; i++ {
@@ -399,7 +460,7 @@ func (s *Server) ServeUDP(conn net.PacketConn) error {
 		go func() {
 			defer workers.Done()
 			for d := range jobs {
-				s.answerDatagram(conn, d.from, *d.req)
+				s.answerDatagram(sd, d.from, *d.req)
 				xdr.PutBuf(d.req)
 			}
 		}()
@@ -407,39 +468,86 @@ func (s *Server) ServeUDP(conn net.PacketConn) error {
 	defer workers.Wait()
 	defer close(jobs)
 
+	msgs := make([]batchio.Message, bc.Batch())
+	bps := make([]*[]byte, bc.Batch())
+	defer func() {
+		for _, bp := range bps {
+			if bp != nil {
+				xdr.PutBuf(bp)
+			}
+		}
+	}()
 	for {
-		bp := xdr.GetBuf(s.bufSize)
-		// Read into exactly bufSize bytes: recycled pool buffers may be
-		// larger, and the datagram size bound must not vary with them.
-		buf := (*bp)[:s.bufSize]
-		n, from, err := conn.ReadFrom(buf)
+		// Arm each slot with a receive buffer of exactly bufSize bytes:
+		// recycled pool buffers may be larger, and the datagram size bound
+		// must not vary with them. Slots whose buffer was handed to a
+		// worker get a fresh one; the rest reuse theirs.
+		for i := range msgs {
+			if bps[i] == nil {
+				bps[i] = xdr.GetBuf(s.bufSize)
+			}
+			msgs[i].Buf = (*bps[i])[:s.bufSize]
+			msgs[i].N, msgs[i].Addr = 0, nil
+		}
+		n, err := bc.ReadBatch(msgs)
 		if err != nil {
-			xdr.PutBuf(bp)
 			if s.isClosed() {
 				return nil
 			}
 			return fmt.Errorf("server: read: %w", err)
 		}
-		if n == s.bufSize {
-			// A request that fills the buffer exactly cannot be told apart
-			// from one the kernel truncated to fit it; decoding the prefix
-			// as if complete risks executing a call on garbage arguments.
-			// Drop it (the client retransmits) and count the drop — the
-			// mirror of the client-side reply check.
-			s.truncated.Add(1)
-			xdr.PutBuf(bp)
-			continue
-		}
-		*bp = buf[:n]
-		select {
-		case jobs <- dgram{from: from, req: bp}:
-		default:
-			// Pool saturated and queue full: shed the call here, where it
-			// is countable, instead of blocking the read loop.
-			s.qdrops.Add(1)
-			xdr.PutBuf(bp)
+		for i := 0; i < n; i++ {
+			m := &msgs[i]
+			if m.N == s.bufSize {
+				// A request that fills the buffer exactly cannot be told
+				// apart from one the kernel truncated to fit it (recvmmsg
+				// truncates just as silently as recvfrom); decoding the
+				// prefix as if complete risks executing a call on garbage
+				// arguments. Drop it (the client retransmits) and count the
+				// drop — the mirror of the client-side reply check.
+				s.truncated.Add(1)
+				continue
+			}
+			bp := bps[i]
+			*bp = m.Buf[:m.N]
+			select {
+			case jobs <- dgram{from: m.Addr, req: bp}:
+				bps[i] = nil // ownership moved to the worker; rearm next pass
+			default:
+				// Pool saturated and queue full: shed the call here, where
+				// it is countable, instead of blocking the read loop.
+				s.qdrops.Add(1)
+			}
 		}
 	}
+}
+
+// replySender is where a datagram reply leaves the server: the direct
+// WriteTo baseline or the group-commit batched sender. The caller keeps
+// ownership of msg either way — the batched sender copies the reply into
+// its own pooled buffer before queueing it.
+type replySender interface {
+	Send(to net.Addr, msg []byte)
+}
+
+// directSender is the unbatched reply path: one counted WriteTo per
+// reply, errors dropped as they always were (datagram clients
+// retransmit).
+type directSender struct{ c *batchio.Conn }
+
+func (d directSender) Send(to net.Addr, msg []byte) { d.c.WriteTo(msg, to) }
+
+// DatagramIOStats reports the cumulative syscall and message counters of
+// the most recently started ServeUDP loop: reads then writes, calls then
+// messages. Calls == messages on the unbatched path; messages/calls is
+// the realized batch factor.
+func (s *Server) DatagramIOStats() (readCalls, readMsgs, writeCalls, writeMsgs uint64) {
+	bc := s.dgio.Load()
+	if bc == nil {
+		return 0, 0, 0, 0
+	}
+	st := bc.Stats()
+	return st.ReadCalls.Load(), st.ReadMsgs.Load(), st.WriteCalls.Load(), st.WriteMsgs.Load()
 }
 
 // TruncatedDrops reports how many possibly-truncated request datagrams
@@ -458,7 +566,7 @@ func (s *Server) ConnLimitDrops() uint64 { return s.connDrops.Load() }
 // Conns reports the number of stream connections currently being served.
 func (s *Server) Conns() int { return int(s.conns.Load()) }
 
-func (s *Server) answerDatagram(conn net.PacketConn, from net.Addr, req []byte) {
+func (s *Server) answerDatagram(sd replySender, from net.Addr, req []byte) {
 	// The pooled reply buffer doubles as the destination for cache hits:
 	// get copies the cached bytes into it under the shard lock (the
 	// cache's own buffers are recycled by concurrent evictions, so they
@@ -475,7 +583,7 @@ func (s *Server) answerDatagram(conn net.PacketConn, from net.Addr, req []byte) 
 		if s.cache != nil {
 			if cached, ok := s.cache.get(peer, xid, (*rp)[:0]); ok {
 				*rp = cached
-				_, _ = conn.WriteTo(cached, from)
+				sd.Send(from, cached)
 				return
 			}
 		}
@@ -495,7 +603,7 @@ func (s *Server) answerDatagram(conn net.PacketConn, from net.Addr, req []byte) 
 		if s.cache != nil {
 			if cached, ok := s.cache.get(peer, xid, (*rp)[:0]); ok {
 				*rp = cached
-				_, _ = conn.WriteTo(cached, from)
+				sd.Send(from, cached)
 				return
 			}
 		}
@@ -529,7 +637,7 @@ func (s *Server) answerDatagram(conn net.PacketConn, from net.Addr, req []byte) 
 	if hasXID && s.cache != nil {
 		s.cache.put(peer, xid, out)
 	}
-	_, _ = conn.WriteTo(out, from)
+	sd.Send(from, out)
 }
 
 // ServeTCP accepts stream connections and answers record-marked calls on
@@ -604,9 +712,12 @@ func (s *Server) ServeTCP(ln net.Listener) error {
 
 // serveConn serves one stream connection. Pipelined requests execute
 // concurrently — up to s.workers handlers in flight — and the reply
-// records are serialized back onto the stream as each finishes, so a
-// slow call never blocks the replies of later, faster calls (the client
-// demultiplexes them by XID).
+// records leave through a group-commit batcher: each finishing handler
+// either writes immediately (uncontended) or queues behind the handler
+// currently inside the write syscall, whose next vectored write carries
+// every reply that accumulated meanwhile. A slow call never blocks the
+// replies of later, faster calls (the client demultiplexes them by
+// XID), and under pipelining many replies share one syscall.
 func (s *Server) serveConn(conn net.Conn) {
 	// Close the connection before waiting for in-flight handlers (defers
 	// run LIFO): a worker blocked writing a reply to a peer that stopped
@@ -616,8 +727,20 @@ func (s *Server) serveConn(conn net.Conn) {
 	defer calls.Wait()
 	defer conn.Close()
 	rrec := xdr.NewRecStream(conn, 0)
-	wrec := xdr.NewRecStream(conn, 0)
-	var wmu sync.Mutex
+	wb := xdr.NewRecBatcher(xdr.NewRecStream(conn, 0))
+	// A failed reply write leaves the record stream unusable; close the
+	// connection so the read loop exits and the peer fails fast instead
+	// of waiting out its call timeouts.
+	wb.OnError = func(error) { _ = conn.Close() }
+	if s.noWBatch {
+		wb.MaxBatch = 1
+	}
+	// Flush invariant: every record handed to wb is flushed by some
+	// handler goroutine before it returns (the leader loops until the
+	// queue is empty, and a record queued after the leader exits makes
+	// its own writer the new leader), and calls.Wait holds serveConn
+	// open until every handler returns — so no reply is stranded by
+	// connection teardown.
 	sem := make(chan struct{}, s.workers)
 	for {
 		// Read the full request record via the record layer; unlike a
@@ -637,13 +760,13 @@ func (s *Server) serveConn(conn net.Conn) {
 			defer func() { <-sem }()
 			defer xdr.PutBuf(bp)
 			rp := xdr.GetBuf(s.bufSize)
-			defer xdr.PutBuf(rp)
 			// Reserve the record mark at the head of the reply buffer:
-			// handleCall marshals the reply behind it and WriteRecord
+			// handleCall marshals the reply behind it and the batcher
 			// patches the mark in place, so the fully-formed reply goes
-			// to the socket in one Write with no second copy.
+			// to the socket with no second copy.
 			out, err := s.handleCall(*bp, (*rp)[:xdr.RecordMarkLen])
 			if err != nil {
+				xdr.PutBuf(rp)
 				// Undecodable call header: the stream is suspect and there
 				// is no XID to reply to; close the connection so the peer
 				// fails fast, as the original svc_tcp loop did.
@@ -651,15 +774,10 @@ func (s *Server) serveConn(conn net.Conn) {
 				return
 			}
 			*rp = out
-			wmu.Lock()
-			err = wrec.WriteRecord(out)
-			wmu.Unlock()
-			if err != nil {
-				// A failed reply write leaves the record stream unusable;
-				// close the connection so the read loop exits and the peer
-				// fails fast instead of waiting out its call timeouts.
-				_ = conn.Close()
-			}
+			// Ownership of rp transfers to the batcher, which releases it
+			// once the batch carrying it is written (or dropped on a
+			// poisoned stream). Write errors are handled by OnError above.
+			_ = wb.Write(rp)
 		}(bp)
 	}
 }

@@ -23,6 +23,12 @@
 //
 // All three produce byte-identical wire data, so they interoperate
 // freely: a Generic client can call a Specialized server and vice versa.
+//
+// In the five-layer specialization stack (see DESIGN.md) this is layer
+// 3, the stub layer: it compiles type descriptions down onto the
+// internal/xdr streams and the internal/rpcmsg header templates, and
+// its fused whole-call plans are what the internal/client and
+// internal/server fast paths execute.
 package wire
 
 import "fmt"

@@ -23,6 +23,12 @@ type RecStream struct {
 	werr  error  // sticky write error
 	wseal bool   // record has been completed and not yet restarted
 
+	// Queued-record state (QueueRecord/Flush): complete framed records
+	// awaiting one vectored write.
+	wq      [][]byte
+	wqBytes int
+	wcoal   []byte // scratch for the coalesced single-Write path
+
 	// Read (decode) state.
 	rfrag int  // bytes remaining in the current fragment
 	rlast bool // current fragment is the record's last

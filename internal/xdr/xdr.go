@@ -15,6 +15,14 @@
 // against the stream's remaining-byte counter, and a byte-order
 // conversion. The specialized counterparts produced by internal/tempo
 // remove all of that, leaving only the data movement.
+//
+// In the five-layer specialization stack (see DESIGN.md) this is layer
+// 1, the encoding layer: the primitive codecs, the buffer and record
+// streams (BufStream, RecStream with its queued-record batching mode
+// and the RecBatcher group-commit writer), and the shared buffer pool
+// everything above allocates from. internal/rpcmsg (messages),
+// internal/wire (compiled stubs), and the transports in internal/client
+// and internal/server all bottom out here.
 package xdr
 
 import "errors"
