@@ -4,9 +4,11 @@
 //
 // Usage:
 //
-//	rpcgen [-pkg name] [-go out.go] [-minic out.mc] file.x
+//	rpcgen [-pkg name] [-compiled] [-go out.go] [-minic out.mc] file.x
 //
-// With no output flags the Go stubs go to standard output.
+// With no output flags the Go stubs go to standard output. -compiled
+// additionally emits straight-line compiled codecs for every wire plan
+// and registers them, so typed procedures bypass the plan interpreter.
 package main
 
 import (
@@ -21,18 +23,19 @@ func main() {
 	pkg := flag.String("pkg", "stubs", "generated Go package name")
 	goOut := flag.String("go", "", "write Go stubs to this file (default stdout)")
 	mcOut := flag.String("minic", "", "write mini-C marshalers to this file")
+	compiled := flag.Bool("compiled", false, "also emit compiled straight-line codecs for wire plans")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: rpcgen [-pkg name] [-go out.go] [-minic out.mc] file.x")
+		fmt.Fprintln(os.Stderr, "usage: rpcgen [-pkg name] [-compiled] [-go out.go] [-minic out.mc] file.x")
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *pkg, *goOut, *mcOut); err != nil {
+	if err := run(flag.Arg(0), *pkg, *goOut, *mcOut, *compiled); err != nil {
 		fmt.Fprintln(os.Stderr, "rpcgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(path, pkg, goOut, mcOut string) error {
+func run(path, pkg, goOut, mcOut string, compiled bool) error {
 	src, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -41,7 +44,7 @@ func run(path, pkg, goOut, mcOut string) error {
 	if err != nil {
 		return err
 	}
-	goSrc, err := rpcgen.GenerateGo(spec, rpcgen.GoOptions{Package: pkg})
+	goSrc, err := rpcgen.GenerateGo(spec, rpcgen.GoOptions{Package: pkg, Compiled: compiled})
 	if err != nil {
 		return err
 	}

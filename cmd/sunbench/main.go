@@ -16,8 +16,8 @@
 //	sunbench -openloop -transport udp -clients 8 -depth 16 -rate 8000 -openloop-dur 2s
 //	sunbench -batch           # counted syscalls/op: batched vs unbatched I/O
 //	sunbench -batch -transport tcp -clients 4 -depth 8 -calls 20000
-//	sunbench -live-spec       # live codec comparison (incl. fused whole-call) over sim, udp, tcp
-//	sunbench -live-spec -fused=false          # the three plan series only
+//	sunbench -live-spec       # live codec comparison (incl. fused + compiled whole-call) over sim, udp, tcp
+//	sunbench -live-spec -fused=false          # the three plan series only (drops fused and compiled)
 //	sunbench -live-spec -header-path -json BENCH_live.json
 //	sunbench -header-path     # generic vs templated RPC header work
 //	sunbench -throughput -cpuprofile cpu.out -memprofile mem.out
@@ -55,7 +55,8 @@ func realMain() int {
 	reps := flag.Int("openloop-reps", 3, "repetitions per -openloop point; the median-p99 run is reported")
 	batch := flag.Bool("batch", false, "count syscalls/op for batched vs unbatched I/O over the live transports")
 	liveSpec := flag.Bool("live-spec", false, "measure the generic/specialized/chunked marshal plans over the live transports")
-	fused := flag.Bool("fused", true, "include the fused whole-call series in -live-spec (-fused=false for the three plan series only)")
+	fused := flag.Bool("fused", true, "include the fused and compiled whole-call series in -live-spec (-fused=false for the three plan series only)")
+	liveSpecReps := flag.Int("live-spec-reps", 1, "complete -live-spec grid passes; the per-point median is reported")
 	headerPath := flag.Bool("header-path", false, "measure the generic vs templated RPC header encode/decode paths")
 	transports := flag.String("transport", "sim,udp,tcp", "comma-separated transports for -throughput and -live-spec")
 	clients := flag.Int("clients", 2, "concurrent connections for -throughput")
@@ -106,7 +107,7 @@ func realMain() int {
 	live := false
 	if *liveSpec {
 		live = true
-		err = runLiveSpec(*transports, *calls, !*fused, out)
+		err = runLiveSpec(*transports, *calls, *liveSpecReps, !*fused, out)
 	}
 	if err == nil && *headerPath {
 		live = true
@@ -195,10 +196,11 @@ func splitTransports(transports string) []string {
 
 // runLiveSpec prints the paper's three-configuration comparison measured
 // on the live wire path.
-func runLiveSpec(transports string, calls int, skipFused bool, out *jsonReport) error {
+func runLiveSpec(transports string, calls, reps int, skipFused bool, out *jsonReport) error {
 	rows, err := bench.LiveSpec(bench.LiveSpecOptions{
 		Transports: splitTransports(transports),
 		Calls:      calls,
+		Reps:       reps,
 		SkipFused:  skipFused,
 	})
 	if err != nil {

@@ -13,9 +13,11 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sort"
 	"strings"
 	"time"
 
+	"specrpc/internal/bench/livespecrpc"
 	"specrpc/internal/client"
 	"specrpc/internal/netsim"
 	"specrpc/internal/server"
@@ -42,8 +44,17 @@ var liveProcs = map[wire.Mode]uint32{
 // header template and argument plan execute as one fused codec.
 const liveProcFused = uint32(4)
 
+// liveProcCompiled is the compiled-stub configuration: the generated
+// livespecrpc plan through the same typed entry points, so marshaling
+// runs the rpcgen-emitted straight-line codecs instead of the fused
+// interpreter. Same bytes on the wire, different marshaling engine.
+const liveProcCompiled = uint32(5)
+
 // FusedSeries names the fused configuration in results and reports.
 const FusedSeries = "fused"
+
+// CompiledSeries names the compiled-stub configuration.
+const CompiledSeries = "compiled"
 
 // LiveModes lists the three plan configurations in presentation order;
 // the fused series rides alongside them under FusedSeries.
@@ -70,9 +81,13 @@ type LiveSpecOptions struct {
 	Calls int
 	// Warmup calls before each measurement. Default 50.
 	Warmup int
-	// SkipFused drops the fused whole-call series, leaving only the
-	// three template+plan configurations.
+	// SkipFused drops the fused and compiled whole-call series, leaving
+	// only the three template+plan configurations.
 	SkipFused bool
+	// Reps runs the whole grid this many times — complete passes, so
+	// host drift lands on every series alike, the open-loop harness's
+	// interleaving — and reports the per-point median. Default 1.
+	Reps int
 }
 
 func (o *LiveSpecOptions) fill() {
@@ -87,6 +102,9 @@ func (o *LiveSpecOptions) fill() {
 	}
 	if o.Warmup <= 0 {
 		o.Warmup = 50
+	}
+	if o.Reps <= 0 {
+		o.Reps = 1
 	}
 }
 
@@ -121,6 +139,9 @@ func newLiveServer() *server.Server {
 	sp := livePlans[wire.Specialized]
 	server.RegisterTyped(s, liveProg, liveVers, liveProcFused, sp, sp,
 		func(arg *[]int32) (*[]int32, error) { return arg, nil })
+	cp := livespecrpc.PlanArr
+	server.RegisterTyped(s, liveProg, liveVers, liveProcCompiled, cp, cp,
+		func(arg *livespecrpc.Livearr) (*livespecrpc.Livearr, error) { return arg, nil })
 	return s
 }
 
@@ -169,9 +190,45 @@ func liveClient(transport string, s *server.Server) (client.Caller, func(), erro
 // LiveSpec measures the three codec configurations over the requested
 // transports and sizes. Calls are sequential (one in flight): this is a
 // latency comparison of the marshaling layers, not a pipelining test —
-// Throughput covers that.
+// Throughput covers that. With Reps > 1 each point reports the median
+// of that many complete grid passes, so a committed baseline carries
+// the same estimator the bench-diff gate measures against it.
 func LiveSpec(o LiveSpecOptions) ([]LiveSpecResult, error) {
 	o.fill()
+	reps := make([][]LiveSpecResult, 0, o.Reps)
+	for i := 0; i < o.Reps; i++ {
+		one, err := liveSpecOnce(o)
+		if err != nil {
+			return nil, err
+		}
+		reps = append(reps, one)
+	}
+	if len(reps) == 1 {
+		return reps[0], nil
+	}
+	// Pass order is identical across reps, so merge positionally.
+	merged := make([]LiveSpecResult, len(reps[0]))
+	ns := make([]float64, len(reps))
+	for i := range merged {
+		for j, rep := range reps {
+			ns[j] = rep[i].NsPerCall
+		}
+		sort.Float64s(ns)
+		m := ns[len(ns)/2]
+		if len(ns)%2 == 0 {
+			m = (ns[len(ns)/2-1] + ns[len(ns)/2]) / 2
+		}
+		merged[i] = reps[0][i]
+		merged[i].NsPerCall = m
+		merged[i].CallsPerSec = 0
+		if m > 0 {
+			merged[i].CallsPerSec = 1e9 / m
+		}
+	}
+	return merged, nil
+}
+
+func liveSpecOnce(o LiveSpecOptions) ([]LiveSpecResult, error) {
 	var results []LiveSpecResult
 	for _, tr := range o.Transports {
 		s := newLiveServer()
@@ -206,6 +263,11 @@ func LiveSpec(o LiveSpecOptions) ([]LiveSpecResult, error) {
 				sp := livePlans[wire.Specialized]
 				runs = append(runs, series{FusedSeries, func() error {
 					return client.CallTyped(c, liveProcFused, sp, &in, sp, &out)
+				}})
+				cp := livespecrpc.PlanArr
+				cin, cout := (*livespecrpc.Livearr)(&in), (*livespecrpc.Livearr)(&out)
+				runs = append(runs, series{CompiledSeries, func() error {
+					return client.CallTyped(c, liveProcCompiled, cp, cin, cp, cout)
 				}})
 			}
 			for _, sr := range runs {
@@ -269,22 +331,28 @@ func FormatLiveSpec(rows []LiveSpecResult) string {
 		}
 		byPoint[k][r.Mode] = r
 	}
-	// Render the fused column only when the series was measured, so a
-	// SkipFused run prints the three-configuration table instead of a
-	// column of zeros masquerading as measurements.
-	hasFused := false
+	// Render the fused and compiled columns only when those series were
+	// measured, so a SkipFused run prints the three-configuration table
+	// instead of columns of zeros masquerading as measurements.
+	hasFused, hasCompiled := false, false
 	for _, r := range rows {
-		if r.Mode == FusedSeries {
+		switch r.Mode {
+		case FusedSeries:
 			hasFused = true
-			break
+		case CompiledSeries:
+			hasCompiled = true
 		}
 	}
 	var sb strings.Builder
 	sb.WriteString("Live specialization: round-trip µs/call by marshal configuration (echo of 4-byte ints)\n")
-	if hasFused {
+	switch {
+	case hasCompiled:
+		fmt.Fprintf(&sb, "%-9s %6s %12s %12s %12s %12s %12s %8s %8s %8s %8s\n",
+			"Transport", "N", "Generic", "Specialized", "Chunked", "Fused", "Compiled", "Spd(S)", "Spd(C)", "Spd(F)", "Spd(X)")
+	case hasFused:
 		fmt.Fprintf(&sb, "%-9s %6s %12s %12s %12s %12s %8s %8s %8s\n",
 			"Transport", "N", "Generic", "Specialized", "Chunked", "Fused", "Spd(S)", "Spd(C)", "Spd(F)")
-	} else {
+	default:
 		fmt.Fprintf(&sb, "%-9s %6s %12s %12s %12s %9s %9s\n",
 			"Transport", "N", "Generic", "Specialized", "Chunked", "Spd(S)", "Spd(C)")
 	}
@@ -314,8 +382,18 @@ func FormatLiveSpec(rows []LiveSpecResult) string {
 		if fu.NsPerCall > 0 {
 			spdF = g.NsPerCall / fu.NsPerCall
 		}
-		fmt.Fprintf(&sb, "%-9s %6d %12.1f %12.1f %12.1f %12.1f %8.2f %8.2f %8.2f\n",
-			k.tr, k.n, g.NsPerCall/1e3, s.NsPerCall/1e3, c.NsPerCall/1e3, fu.NsPerCall/1e3, spdS, spdC, spdF)
+		if !hasCompiled {
+			fmt.Fprintf(&sb, "%-9s %6d %12.1f %12.1f %12.1f %12.1f %8.2f %8.2f %8.2f\n",
+				k.tr, k.n, g.NsPerCall/1e3, s.NsPerCall/1e3, c.NsPerCall/1e3, fu.NsPerCall/1e3, spdS, spdC, spdF)
+			continue
+		}
+		co := byPoint[k][CompiledSeries]
+		spdX := 0.0
+		if co.NsPerCall > 0 {
+			spdX = g.NsPerCall / co.NsPerCall
+		}
+		fmt.Fprintf(&sb, "%-9s %6d %12.1f %12.1f %12.1f %12.1f %12.1f %8.2f %8.2f %8.2f %8.2f\n",
+			k.tr, k.n, g.NsPerCall/1e3, s.NsPerCall/1e3, c.NsPerCall/1e3, fu.NsPerCall/1e3, co.NsPerCall/1e3, spdS, spdC, spdF, spdX)
 	}
 	return sb.String()
 }

@@ -1,10 +1,13 @@
 package bench
 
 import (
+	"unsafe"
+
 	"fmt"
 	"strings"
 	"testing"
 
+	"specrpc/internal/bench/livespecrpc"
 	"specrpc/internal/rpcmsg"
 	"specrpc/internal/wire"
 	"specrpc/internal/xdr"
@@ -22,7 +25,7 @@ func TestLiveSpecSim(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if want := 2 * (len(LiveModes) + 1); len(rows) != want { // +1: the fused series
+	if want := 2 * (len(LiveModes) + 2); len(rows) != want { // +2: the fused and compiled series
 		t.Fatalf("%d rows, want %d", len(rows), want)
 	}
 	for _, r := range rows {
@@ -31,9 +34,36 @@ func TestLiveSpecSim(t *testing.T) {
 		}
 	}
 	out := FormatLiveSpec(rows)
-	for _, want := range []string{"Transport", "Generic", "Specialized", "Chunked", "Fused", "sim"} {
+	for _, want := range []string{"Transport", "Generic", "Specialized", "Chunked", "Fused", "Compiled", "sim"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("format missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestLiveSpecReps pins the median-of-passes merge: the grid shape is
+// identical to a single pass (same points, same order) and every point
+// still carries a positive median measurement.
+func TestLiveSpecReps(t *testing.T) {
+	rows, err := LiveSpec(LiveSpecOptions{
+		Transports: []string{"sim"},
+		Sizes:      []int{20},
+		Calls:      10,
+		Warmup:     2,
+		Reps:       3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(LiveModes) + 2; len(rows) != want {
+		t.Fatalf("%d rows, want %d", len(rows), want)
+	}
+	for i, r := range rows {
+		if r.Transport != "sim" || r.N != 20 {
+			t.Errorf("row %d: unexpected point %s/N=%d", i, r.Transport, r.N)
+		}
+		if r.NsPerCall <= 0 || r.CallsPerSec <= 0 {
+			t.Errorf("%s/%s: non-positive median %+v", r.Transport, r.Mode, r)
 		}
 	}
 }
@@ -54,8 +84,8 @@ func TestLiveSpecSkipFused(t *testing.T) {
 		t.Fatalf("%d rows, want %d", len(rows), len(LiveModes))
 	}
 	for _, r := range rows {
-		if r.Mode == FusedSeries {
-			t.Fatalf("fused series present despite SkipFused")
+		if r.Mode == FusedSeries || r.Mode == CompiledSeries {
+			t.Fatalf("%s series present despite SkipFused", r.Mode)
 		}
 	}
 }
@@ -219,6 +249,115 @@ func BenchmarkLiveFusedDecode(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Compiled-stub series: the same whole-call messages produced by the
+// rpcgen-emitted straight-line routines, measured against the same grid.
+
+// compiledBenchCodecs builds the compiled whole-call codecs the live
+// compiled series runs on, failing if the generated registration is
+// missing (the silent fallback would quietly re-measure the fused path).
+func compiledBenchCodecs(tb testing.TB) (*wire.CompiledCallCodec, *wire.CompiledReplyCodec, *wire.CompiledReplyCodec) {
+	tb.Helper()
+	tmpl, err := rpcmsg.NewCallTemplate(liveProg, liveVers, rpcmsg.None(), rpcmsg.None())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	codec := livespecrpc.PlanArr.Codec()
+	cc := wire.NewCompiledCallCodec(tmpl, liveProcCompiled, codec)
+	enc := wire.NewCompiledReplyCodec(rpcmsg.MustReplyTemplate(rpcmsg.None()), codec)
+	dec := wire.NewCompiledReplyCodec(nil, codec)
+	if cc == nil || enc == nil || dec == nil {
+		tb.Fatal("livespecrpc compiled codecs not registered")
+	}
+	return cc, enc, dec
+}
+
+// BenchmarkLiveCompiledEncode measures the whole call message through
+// the emitted straight-line encoder — the compiled counterpart of
+// BenchmarkLiveFusedEncode, so the two are directly comparable without
+// loopback noise in the way.
+func BenchmarkLiveCompiledEncode(b *testing.B) {
+	cc, _, _ := compiledBenchCodecs(b)
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			args := make(livespecrpc.Livearr, n)
+			for i := range args {
+				args[i] = int32(i * 13)
+			}
+			buf := make([]byte, 0, 4*n+128)
+			bs := xdr.NewBufEncode(buf)
+			b.ReportAllocs()
+			b.SetBytes(int64(4*n + 4 + 40))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				bs.SetBuffer(buf[:0])
+				if err := cc.Append(bs, uint32(i), unsafe.Pointer(&args)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkLiveCompiledDecode measures result decode through the
+// emitted straight-line decoder out of a raw accepted-success reply.
+func BenchmarkLiveCompiledDecode(b *testing.B) {
+	_, enc, dec := compiledBenchCodecs(b)
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			res := make(livespecrpc.Livearr, n)
+			bs := xdr.NewBufEncode(nil)
+			if err := enc.Append(bs, 7, unsafe.Pointer(&res)); err != nil {
+				b.Fatal(err)
+			}
+			raw := append([]byte(nil), bs.Buffer()...)
+			out := make(livespecrpc.Livearr, n)
+			b.ReportAllocs()
+			b.SetBytes(int64(len(raw)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if handled, err := dec.DecodeReply(raw, unsafe.Pointer(&out)); !handled || err != nil {
+					b.Fatal(handled, err)
+				}
+			}
+		})
+	}
+}
+
+// TestLiveCompiledAllocFree pins the compiled series' acceptance
+// criterion: whole-call encode and whole-reply decode at zero
+// allocations per operation over the entire grid, same as fused.
+func TestLiveCompiledAllocFree(t *testing.T) {
+	cc, enc, dec := compiledBenchCodecs(t)
+	for _, n := range benchSizes {
+		args := make(livespecrpc.Livearr, n)
+		buf := make([]byte, 0, 4*n+128)
+		bs := xdr.NewBufEncode(buf)
+		if allocs := testing.AllocsPerRun(50, func() {
+			bs.SetBuffer(buf[:0])
+			if err := cc.Append(bs, 9, unsafe.Pointer(&args)); err != nil {
+				t.Fatal(err)
+			}
+		}); allocs != 0 {
+			t.Errorf("compiled encode N=%d: %.1f allocs/op, want 0", n, allocs)
+		}
+
+		bs.SetBuffer(buf[:0])
+		if err := enc.Append(bs, 9, unsafe.Pointer(&args)); err != nil {
+			t.Fatal(err)
+		}
+		raw := append([]byte(nil), bs.Buffer()...)
+		out := make(livespecrpc.Livearr, n)
+		if allocs := testing.AllocsPerRun(50, func() {
+			if handled, err := dec.DecodeReply(raw, unsafe.Pointer(&out)); !handled || err != nil {
+				t.Fatal(handled, err)
+			}
+		}); allocs != 0 {
+			t.Errorf("compiled decode N=%d: %.1f allocs/op, want 0", n, allocs)
+		}
 	}
 }
 

@@ -1,0 +1,10 @@
+package livespecrpc
+
+import "specrpc/internal/wire"
+
+// PlanArr exposes the generated echo-array plan to the live-spec
+// harness. Calling the typed entry points with this plan routes
+// marshaling through the compiled routines stubs.go registered for it;
+// the harness's own plans stay on the interpreter, so the two series
+// differ only in the marshaling engine.
+var PlanArr *wire.Plan[Livearr] = planLivearr

@@ -114,6 +114,16 @@ type Config struct {
 	// batched calls (CallBatched) still queue, they just flush one record
 	// per Write.
 	NoBatch bool
+	// MaxFlushDelay, when positive, lets the stream transport's group-
+	// commit leader wait this long for concurrent calls to queue behind
+	// it before the first vectored write (xdr.RecBatcher.MaxFlushDelay).
+	// Group commit alone only coalesces requests issued while the leader
+	// is inside the write syscall, so at shallow pipeline depth on an
+	// idle host batches stay near one record; a bounded delay buys
+	// coalescing there at the price of up to the delay added per call.
+	// 0 (the default) writes immediately. Ignored over UDP and with
+	// NoBatch.
+	MaxFlushDelay time.Duration
 }
 
 func (c *Config) fill() {
@@ -331,7 +341,7 @@ func marshalCall(cfg *Config, tmpl *rpcmsg.CallTemplate, xid, proc uint32, args 
 // whole-call codec pass). Exactly one is set.
 type callReq struct {
 	args Marshal
-	cc   *wire.CallCodec
+	cc   wire.CallAppender
 	argp unsafe.Pointer
 }
 
@@ -363,7 +373,7 @@ func marshalReq(cfg *Config, tmpl *rpcmsg.CallTemplate, r callReq, xid, proc uin
 // failure detail is identical on both paths.
 type replySink struct {
 	fn   Marshal
-	rc   *wire.ReplyCodec
+	rc   wire.ReplyDecoder
 	resc *wire.Codec // fallback result codec; nil for void results
 	resp unsafe.Pointer
 }
@@ -464,8 +474,8 @@ type plannedProcs struct {
 
 type plannedProc struct {
 	argc, resc *wire.Codec // identity of the plans the entry was compiled for
-	call       *wire.CallCodec
-	rep        *wire.ReplyCodec // call == nil marks an unfusable pair
+	call       wire.CallAppender
+	rep        wire.ReplyDecoder // call == nil marks an unfusable pair
 }
 
 // lookup resolves (compiling on first use, or when the plans changed)
@@ -514,6 +524,17 @@ func compilePlanned(tmpl *rpcmsg.CallTemplate, proc uint32, argc, resc *wire.Cod
 		return e
 	}
 	e.call, e.rep = call, rep
+	// An rpcgen-emitted compiled codec registered for either plan takes
+	// precedence over the fused interpreter; the message bytes are
+	// identical, only the marshaling engine changes. The concrete values
+	// are checked for nil before the interface assignment so a missing
+	// registration can never plant a typed-nil appender.
+	if cc := wire.NewCompiledCallCodec(tmpl, proc, argc); cc != nil {
+		e.call = cc
+	}
+	if rc := wire.NewCompiledReplyCodec(nil, resc); rc != nil {
+		e.rep = rc
+	}
 	return e
 }
 
@@ -783,6 +804,8 @@ func NewTCP(conn net.Conn, cfg Config) *TCP {
 	}
 	if cfg.NoBatch {
 		c.batch.MaxBatch = 1
+	} else if cfg.MaxFlushDelay > 0 {
+		c.batch.MaxFlushDelay = cfg.MaxFlushDelay
 	}
 	return c
 }

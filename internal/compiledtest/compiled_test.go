@@ -1,0 +1,279 @@
+package compiledtest
+
+// Differential checks for the rpcgen-emitted compiled codecs: across
+// random identities, XIDs, and values covering every wire kind the
+// emitter handles, the straight-line routines must produce exactly the
+// bytes of the fused whole-call codec AND the generic plan walker, and
+// their decoder must agree with the plan executor on arbitrary (often
+// hostile) body bytes — same accept/reject decision, same value on
+// accept. These are the guarantees that let the client and server
+// swap a compiled codec in for the interpreter sight unseen.
+//
+// The file doubles as the CI genstubs differential: the Makefile
+// regenerates stubs.go from rich.x into a scratch package, copies this
+// test alongside, and runs it there.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"reflect"
+	"testing"
+	"unsafe"
+
+	"specrpc/internal/rpcmsg"
+	"specrpc/internal/wire"
+	"specrpc/internal/xdr"
+)
+
+// fuzzSample derives a kitchen-sink Sample from the fuzzer's raw bytes,
+// clamping every variable-size field to its wire bound so the encoders
+// are exercised on values the bounds admit. Deterministic, so a crash
+// reproduces from its corpus entry.
+func fuzzSample(a int32, h int64, flag bool, name string, raw []byte) Sample {
+	take := func(n int) []byte {
+		if len(raw) < n {
+			n = len(raw)
+		}
+		b := raw[:n]
+		raw = raw[n:]
+		return b
+	}
+	ints := func(n int) []int32 {
+		b := take(n * 4)
+		out := make([]int32, len(b)/4)
+		for i := range out {
+			out[i] = int32(binary.LittleEndian.Uint32(b[4*i:]))
+		}
+		return out
+	}
+	if len(name) > 32 {
+		name = name[:32]
+	}
+	v := Sample{
+		A: a, B: uint32(a) ^ 0x5a5a5a5a, Flag: flag,
+		F: float32(a) / 3, D: float64(h) / 5, H: h, Uh: uint64(h) * 7,
+		Kind: Color(a & 3), Name: name,
+	}
+	copy(v.Tag[:], take(10))
+	v.At = Point{X: a ^ 1, Y: a ^ 2}
+	v.Corners = [3]Point{{a, int32(h)}, {int32(h >> 32), a}, {^a, -a}}
+	copy(v.Window[:], ints(5))
+	v.Data = append([]byte(nil), take(64)...)
+	v.Nums = Numbers(ints(20))
+	v.Payload = Blob(append([]byte(nil), take(100)...))
+	for _, p := range ints(7) {
+		v.Pts = append(v.Pts, Point{X: p, Y: ^p})
+	}
+	for i, b := range take(4) {
+		s := name
+		if len(s) > 16 {
+			s = s[:16]
+		}
+		if len(s) > i*4 {
+			s = s[:i*4]
+		}
+		v.Words = append(v.Words, Word(s))
+		v.Bits = append(v.Bits, b&1 == 1)
+	}
+	return v
+}
+
+// FuzzCompiledCodec: the three marshaling engines — generic plan
+// walker, fused whole-message codec, compiled straight-line routine —
+// must be byte-identical on the wire for calls and replies, and the
+// compiled decoder must agree with the plan executor on arbitrary
+// bodies.
+func FuzzCompiledCodec(f *testing.F) {
+	f.Add(uint32(1), uint32(0x20000100), uint32(2), uint32(4),
+		int32(rpcmsg.AuthNone), []byte{}, int32(5), int64(-9), true, "hello", []byte{1, 2, 3, 4, 5})
+	f.Add(uint32(0xffffffff), uint32(0), uint32(9), uint32(0),
+		int32(rpcmsg.AuthSys), []byte{1, 2, 3}, int32(-1), int64(1)<<40, false, "", make([]byte, 300))
+
+	f.Fuzz(func(t *testing.T, xid, prog, vers, proc uint32,
+		credFlavor int32, credBody []byte, a int32, h int64, flag bool, name string, raw []byte) {
+		cred := rpcmsg.OpaqueAuth{Flavor: rpcmsg.AuthFlavor(credFlavor), Body: credBody}
+		ctmpl, err := rpcmsg.NewCallTemplate(prog, vers, cred, rpcmsg.None())
+		if err != nil {
+			t.Skip() // auth the generic encoder also rejects: no template, no codecs
+		}
+		rtmpl, err := rpcmsg.NewReplyTemplate(cred)
+		if err != nil {
+			t.Skip()
+		}
+		v := fuzzSample(a, h, flag, name, raw)
+
+		// Call side: generic walker vs fused vs compiled.
+		ref := xdr.NewBufEncode(nil)
+		ref.SetBuffer(ctmpl.AppendCall(nil, xid, proc))
+		if err := planSample.Encode(xdr.NewEncoder(ref), &v); err != nil {
+			t.Fatalf("reference encode: %v", err)
+		}
+		cp, err := wire.NewCallPlan(ctmpl, proc, planSample)
+		if err != nil {
+			t.Fatalf("fuse call: %v", err)
+		}
+		fb := xdr.NewBufEncode(nil)
+		if err := cp.AppendCall(fb, xid, &v); err != nil {
+			t.Fatalf("fused encode: %v", err)
+		}
+		cc := wire.NewCompiledCallCodec(ctmpl, proc, planSample.Codec())
+		if cc == nil {
+			t.Fatal("no compiled call codec registered for planSample")
+		}
+		cb := xdr.NewBufEncode(nil)
+		if err := cc.Append(cb, xid, unsafe.Pointer(&v)); err != nil {
+			t.Fatalf("compiled encode: %v", err)
+		}
+		if !bytes.Equal(fb.Buffer(), ref.Buffer()) {
+			t.Fatalf("fused call differs from walker\n got %x\nwant %x", fb.Buffer(), ref.Buffer())
+		}
+		if !bytes.Equal(cb.Buffer(), ref.Buffer()) {
+			t.Fatalf("compiled call differs from walker\n got %x\nwant %x", cb.Buffer(), ref.Buffer())
+		}
+
+		// Reply side: same three engines under the success header.
+		rref := xdr.NewBufEncode(nil)
+		rref.SetBuffer(rtmpl.AppendReply(nil, xid))
+		if err := planSample.Encode(xdr.NewEncoder(rref), &v); err != nil {
+			t.Fatalf("reference reply encode: %v", err)
+		}
+		rc := wire.NewCompiledReplyCodec(rtmpl, planSample.Codec())
+		if rc == nil {
+			t.Fatal("no compiled reply codec registered for planSample")
+		}
+		rb := xdr.NewBufEncode(nil)
+		if err := rc.Append(rb, xid, unsafe.Pointer(&v)); err != nil {
+			t.Fatalf("compiled reply encode: %v", err)
+		}
+		if !bytes.Equal(rb.Buffer(), rref.Buffer()) {
+			t.Fatalf("compiled reply differs from walker\n got %x\nwant %x", rb.Buffer(), rref.Buffer())
+		}
+
+		// Compiled reply decode recovers the value the walker encoded.
+		var got Sample
+		dec := wire.NewCompiledReplyCodec(nil, planSample.Codec())
+		if dec == nil {
+			t.Fatal("no compiled reply decoder registered for planSample")
+		}
+		handled, err := dec.DecodeReply(rref.Buffer(), unsafe.Pointer(&got))
+		if !handled || err != nil {
+			t.Fatalf("compiled DecodeReply handled=%v err=%v", handled, err)
+		}
+		re := xdr.NewBufEncode(nil)
+		if err := planSample.Encode(xdr.NewEncoder(re), &got); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		if !bytes.Equal(re.Buffer(), rref.Buffer()[rtmpl.Len():]) {
+			t.Fatalf("compiled-decoded value re-encodes differently")
+		}
+
+		// Decode differential on arbitrary body bytes: the plan executor
+		// and the compiled decoder must make the same accept/reject
+		// decision, and on accept produce the same value — including
+		// nil-vs-empty slice identity and buffer-reuse behavior, which is
+		// why each decoder runs twice into the same target.
+		body := raw
+		var pv, cv Sample
+		decode := wire.CompiledBodyDecode(planSample.Codec())
+		if decode == nil {
+			t.Fatal("no compiled body decoder registered for planSample")
+		}
+		for pass := 0; pass < 2; pass++ {
+			perr := planSample.Codec().DecodeBody(body, unsafe.Pointer(&pv))
+			cerr := decode(body, unsafe.Pointer(&cv))
+			if (perr == nil) != (cerr == nil) {
+				t.Fatalf("pass %d: decode disagreement: plan=%v compiled=%v", pass, perr, cerr)
+			}
+			if perr == nil && !reflect.DeepEqual(pv, cv) {
+				t.Fatalf("pass %d: decoded values differ\nplan:     %+v\ncompiled: %+v", pass, pv, cv)
+			}
+		}
+	})
+}
+
+// TestCompiledRegistered pins that every plan the generator emitted a
+// compiled routine for actually has one in the registry — the silent
+// failure mode would be falling back to the interpreter forever.
+func TestCompiledRegistered(t *testing.T) {
+	for name, c := range map[string]*wire.Codec{
+		"planPoint":             planPoint.Codec(),
+		"planSample":            planSample.Codec(),
+		"planNumbers":           planNumbers.Codec(),
+		"planBlob":              planBlob.Codec(),
+		"planWord":              planWord.Codec(),
+		"planShapeProgV2SumRes": planShapeProgV2SumRes.Codec(),
+	} {
+		if wire.CompiledBodyDecode(c) == nil {
+			t.Errorf("%s: no compiled decoder registered", name)
+		}
+	}
+	tmpl, err := rpcmsg.NewCallTemplate(0x20000100, 2, rpcmsg.None(), rpcmsg.None())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wire.NewCompiledCallCodec(tmpl, 4, planSample.Codec()) == nil {
+		t.Error("planSample: no compiled call codec")
+	}
+	// A plan with no registration must yield nil codecs, never a panic
+	// or a typed-nil: that is the fallback the transports rely on.
+	other := wire.MustPlan[Point](wire.StructT("point",
+		wire.F("x", wire.Int32T()),
+		wire.F("y", wire.Int32T()),
+	), wire.Specialized)
+	if wire.NewCompiledCallCodec(tmpl, 4, other.Codec()) != nil {
+		t.Error("unregistered plan produced a compiled call codec")
+	}
+	if wire.CompiledBodyDecode(other.Codec()) != nil {
+		t.Error("unregistered plan produced a compiled decoder")
+	}
+}
+
+// TestCompiledAllocs pins the hot-path allocation story: once the
+// output buffer has grown to size and the target's slices match the
+// incoming counts, a compiled append and a compiled decode run
+// allocation-free. (A value with non-empty strings must allocate on
+// decode — strings are immutable — so the pin uses empty ones, exactly
+// the shape the live benchmark measures.)
+func TestCompiledAllocs(t *testing.T) {
+	tmpl, err := rpcmsg.NewCallTemplate(0x20000100, 2, rpcmsg.None(), rpcmsg.None())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc := wire.NewCompiledCallCodec(tmpl, 4, planSample.Codec())
+	decode := wire.CompiledBodyDecode(planSample.Codec())
+	if cc == nil || decode == nil {
+		t.Fatal("compiled codecs not registered")
+	}
+	v := fuzzSample(7, -12345, true, "", bytes.Repeat([]byte{0xa5}, 300))
+	v.Name = ""
+	for i := range v.Words {
+		v.Words[i] = ""
+	}
+	bs := xdr.NewBufEncode(nil)
+	if err := cc.Append(bs, 99, unsafe.Pointer(&v)); err != nil {
+		t.Fatal(err)
+	}
+	buf := bs.Buffer()
+	if n := testing.AllocsPerRun(100, func() {
+		bs.SetBuffer(buf[:0])
+		if err := cc.Append(bs, 99, unsafe.Pointer(&v)); err != nil {
+			t.Fatal(err)
+		}
+		buf = bs.Buffer()
+	}); n != 0 {
+		t.Errorf("compiled append: %v allocs/op, want 0", n)
+	}
+
+	body := buf[tmpl.Len():]
+	var got Sample
+	if err := decode(body, unsafe.Pointer(&got)); err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		if err := decode(body, unsafe.Pointer(&got)); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("compiled decode: %v allocs/op, want 0", n)
+	}
+}

@@ -62,7 +62,7 @@ func TestParseRich(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(spec.Enums) != 1 || len(spec.Typedefs) != 2 || len(spec.Unions) != 1 {
+	if len(spec.Enums) != 1 || len(spec.Typedefs) != 3 || len(spec.Unions) != 1 {
 		t.Fatalf("decl counts: enums=%d typedefs=%d unions=%d",
 			len(spec.Enums), len(spec.Typedefs), len(spec.Unions))
 	}

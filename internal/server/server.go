@@ -79,6 +79,9 @@ type Server struct {
 	noWBatch bool // stream reply batching disabled (baseline)
 	dgBatch  int  // datagrams per syscall bound for ServeUDP
 
+	idleTimeout time.Duration // stream idle-connection reap (0 = never)
+	maxFlush    time.Duration // reply-batch flush-delay bound (0 = immediate)
+
 	// dgio points at the batched-I/O wrapper of the most recently started
 	// ServeUDP loop, for the DatagramIOStats counters.
 	dgio atomic.Pointer[batchio.Conn]
@@ -89,6 +92,7 @@ type Server struct {
 	truncated  atomic.Uint64
 	qdrops     atomic.Uint64 // datagrams shed by admission control
 	connDrops  atomic.Uint64 // connections refused by the limit
+	idleDrops  atomic.Uint64 // connections reaped by the idle timeout
 	conns      atomic.Int64  // live stream connections
 
 	wg        sync.WaitGroup
@@ -160,6 +164,40 @@ func WithMaxConns(n int) Option {
 			n = 0
 		}
 		s.maxConns = n
+	}
+}
+
+// WithIdleTimeout reaps stream connections that stay silent for d
+// (default 0 = never): a connection with no bytes arriving, no handler
+// running, and no reply finishing for a full window is closed and
+// counted (IdleDrops), freeing its goroutine and descriptor — the svc
+// answer to clients that dial, go quiet, and hold resources forever.
+// A connection busy serving calls is never reaped, however slow the
+// calls: silence while a handler runs is the client waiting on the
+// server. The window also bounds how long one record may trickle in:
+// a peer that stalls mid-record past d is closed (uncounted — that is
+// a broken stream, not an idle one).
+func WithIdleTimeout(d time.Duration) Option {
+	return func(s *Server) {
+		if d < 0 {
+			d = 0
+		}
+		s.idleTimeout = d
+	}
+}
+
+// WithMaxFlushDelay lets the reply-batch leader on stream connections
+// wait up to d for more replies to finish before its vectored write
+// leaves (default 0 = write immediately, the group-commit-only
+// behavior). A few hundred microseconds here trades that much added
+// reply latency for fewer, fuller write syscalls when concurrency is
+// too low for group commit to find natural batches.
+func WithMaxFlushDelay(d time.Duration) Option {
+	return func(s *Server) {
+		if d < 0 {
+			d = 0
+		}
+		s.maxFlush = d
 	}
 }
 
@@ -563,6 +601,10 @@ func (s *Server) QueueDrops() uint64 { return s.qdrops.Load() }
 // the WithMaxConns bound.
 func (s *Server) ConnLimitDrops() uint64 { return s.connDrops.Load() }
 
+// IdleDrops reports how many stream connections the WithIdleTimeout
+// reaper has closed for staying silent a full window.
+func (s *Server) IdleDrops() uint64 { return s.idleDrops.Load() }
+
 // Conns reports the number of stream connections currently being served.
 func (s *Server) Conns() int { return int(s.conns.Load()) }
 
@@ -726,7 +768,8 @@ func (s *Server) serveConn(conn net.Conn) {
 	var calls sync.WaitGroup
 	defer calls.Wait()
 	defer conn.Close()
-	rrec := xdr.NewRecStream(conn, 0)
+	rc := &readCounter{Conn: conn}
+	rrec := xdr.NewRecStream(rc, 0)
 	wb := xdr.NewRecBatcher(xdr.NewRecStream(conn, 0))
 	// A failed reply write leaves the record stream unusable; close the
 	// connection so the read loop exits and the peer fails fast instead
@@ -735,29 +778,37 @@ func (s *Server) serveConn(conn net.Conn) {
 	if s.noWBatch {
 		wb.MaxBatch = 1
 	}
+	wb.MaxFlushDelay = s.maxFlush
 	// Flush invariant: every record handed to wb is flushed by some
 	// handler goroutine before it returns (the leader loops until the
 	// queue is empty, and a record queued after the leader exits makes
 	// its own writer the new leader), and calls.Wait holds serveConn
 	// open until every handler returns — so no reply is stranded by
 	// connection teardown.
+	// inFlight/completed drive the idle reaper: a timeout only reaps when
+	// no handler is running and none finished during the armed window.
+	// Handlers bump completed before dropping inFlight, so the reaper can
+	// never observe "nothing running, nothing finished" mid-handoff.
+	var inFlight, completed atomic.Int64
 	sem := make(chan struct{}, s.workers)
 	for {
 		// Read the full request record via the record layer; unlike a
 		// datagram, a TCP record may exceed the datagram buffer size,
 		// so the buffer grows as needed.
 		bp := xdr.GetBuf(s.bufSize)
-		req, err := rrec.ReadRecord((*bp)[:0])
+		req, err := s.readRecordIdle(rc, rrec, (*bp)[:0], &inFlight, &completed)
 		*bp = req
 		if err != nil {
 			xdr.PutBuf(bp)
-			return // connection closed or broken framing
+			return // connection closed, broken framing, or idle-reaped
 		}
 		sem <- struct{}{}
 		calls.Add(1)
+		inFlight.Add(1)
 		go func(bp *[]byte) {
 			defer calls.Done()
 			defer func() { <-sem }()
+			defer func() { completed.Add(1); inFlight.Add(-1) }()
 			defer xdr.PutBuf(bp)
 			rp := xdr.GetBuf(s.bufSize)
 			// Reserve the record mark at the head of the reply buffer:
@@ -779,6 +830,53 @@ func (s *Server) serveConn(conn net.Conn) {
 			// poisoned stream). Write errors are handled by OnError above.
 			_ = wb.Write(rp)
 		}(bp)
+	}
+}
+
+// readCounter wraps the connection the record reader consumes, counting
+// bytes so the idle reaper can tell "timed out with nothing on the
+// wire" (retriable, reapable) from "timed out mid-record" (the record
+// layer cannot resume a half-read record, so the connection is done).
+// Only the connection's read goroutine touches n.
+type readCounter struct {
+	net.Conn
+	n int64
+}
+
+func (r *readCounter) Read(p []byte) (int, error) {
+	n, err := r.Conn.Read(p)
+	r.n += int64(n)
+	return n, err
+}
+
+// readRecordIdle reads one request record, enforcing the idle timeout
+// when one is configured. The deadline re-arms as long as the window
+// saw any sign of life — a handler still running, or one that finished
+// (its client is likely composing the next call) — so only a
+// connection that stayed truly silent for a full window is reaped and
+// counted. Bytes arriving mid-window reset nothing: a record either
+// completes within the window or the stream is declared stalled.
+func (s *Server) readRecordIdle(rc *readCounter, rrec *xdr.RecStream, dst []byte,
+	inFlight, completed *atomic.Int64) ([]byte, error) {
+	if s.idleTimeout <= 0 {
+		return rrec.ReadRecord(dst)
+	}
+	for {
+		read0, done0 := rc.n, completed.Load()
+		_ = rc.SetReadDeadline(time.Now().Add(s.idleTimeout))
+		out, err := rrec.ReadRecord(dst)
+		if err == nil {
+			return out, nil
+		}
+		var ne net.Error
+		if !errors.As(err, &ne) || !ne.Timeout() || rc.n != read0 {
+			return out, err // closed, broken framing, or stalled mid-record
+		}
+		if inFlight.Load() > 0 || completed.Load() != done0 {
+			continue // busy serving: silence here is the client waiting on us
+		}
+		s.idleDrops.Add(1)
+		return out, err
 	}
 }
 

@@ -62,14 +62,28 @@ func compileTypedProc[A, R any](args *wire.Plan[A], results *wire.Plan[R], h fun
 		(resc != nil && resc.Mode() == wire.Generic) {
 		return nil
 	}
-	rc, err := wire.NewReplyCodec(successTemplate, resc)
+	fused, err := wire.NewReplyCodec(successTemplate, resc)
 	if err != nil {
 		return nil
 	}
+	// An rpcgen-emitted compiled routine registered for either plan takes
+	// precedence over the plan executor: the argument decode and the
+	// reply append each pick the straight-line form when one exists, and
+	// both forms produce byte-identical messages. Nil checks happen on
+	// the concrete values so a missing registration never plants a
+	// typed-nil appender in the interface.
+	var rc wire.ReplyAppender = fused
+	if crc := wire.NewCompiledReplyCodec(successTemplate, resc); crc != nil {
+		rc = crc
+	}
+	decodeArg := wire.CompiledBodyDecode(argc)
+	if decodeArg == nil && argc != nil {
+		decodeArg = argc.DecodeBody
+	}
 	return func(body []byte, xid uint32, bs *xdr.BufStream) error {
 		var arg A
-		if argc != nil {
-			if err := argc.DecodeBody(body, unsafe.Pointer(&arg)); err != nil {
+		if decodeArg != nil {
+			if err := decodeArg(body, unsafe.Pointer(&arg)); err != nil {
 				return errors.Join(ErrGarbageArgs, err)
 			}
 		}
