@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build xcompile test race bench bench-json bench-diff batch-smoke fuzz genstubs fmt vet ci
+.PHONY: all build xcompile test race bench bench-json bench-diff batch-smoke chaos chaos-smoke fuzz genstubs fmt vet ci
 
 all: build
 
@@ -35,8 +35,9 @@ bench:
 # date and commit, so the trajectory is a series of snapshots instead of
 # one overwritten file.
 bench-json:
-	$(GO) run ./cmd/sunbench -live-spec -header-path -openloop -batch \
+	$(GO) run ./cmd/sunbench -live-spec -header-path -openloop -batch -chaos \
 		-calls 2000 -live-spec-reps 3 -clients 4 -depth 16 -rate 4000 -openloop-dur 1s -openloop-reps 5 \
+		-chaos-calls 400 -chaos-loss 0.15 -seed 42 \
 		-json BENCH_live.json
 	mkdir -p bench/history
 	cp BENCH_live.json bench/history/$$(date +%Y%m%d)-$$(git rev-parse --short HEAD).json
@@ -63,6 +64,21 @@ bench-diff:
 	done
 	$(GO) run ./cmd/benchdiff -gate BENCH_live.json bench_head1.json bench_head2.json bench_head3.json; \
 		status=$$?; rm -f bench_head1.json bench_head2.json bench_head3.json; exit $$status
+
+# Chaos suite: the seeded fault-injection tests (netsim link faults,
+# faultconn over real sockets) under the race detector — at-most-once
+# accounting, reply-cache duplicate suppression, reconnect across
+# injected resets, partition/heal convergence, cancellation leak checks.
+# Seeded schedules make failures replayable: a seed is part of the test,
+# not the environment.
+chaos:
+	$(GO) test -race -run 'TestChaos' ./internal/integration ./internal/bench
+	$(GO) test -race ./internal/faultconn ./internal/netsim
+
+# Quick chaos goodput run over all three transports: proves the retry,
+# reconnect, and reply-cache counters fire outside the test harness too.
+chaos-smoke:
+	$(GO) run ./cmd/sunbench -chaos -transport sim,udp,tcp -clients 2 -chaos-calls 200 -seed 42
 
 # Quick counted run of the batch-mode harness over both kernel
 # transports: exercises the writev/coalesce path, the ONC batched-call
@@ -116,4 +132,4 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-ci: fmt vet build xcompile race bench genstubs bench-diff batch-smoke fuzz
+ci: fmt vet build xcompile race bench genstubs bench-diff batch-smoke chaos chaos-smoke fuzz

@@ -125,6 +125,15 @@ type report struct {
 		ServerWritesPerOp float64 `json:"server_writes_per_op"`
 		ServerReadsPerOp  float64 `json:"server_reads_per_op"`
 	} `json:"batch"`
+	Chaos []struct {
+		Transport string  `json:"transport"`
+		Conns     int     `json:"conns"`
+		Calls     int     `json:"calls"`
+		Loss      float64 `json:"loss"`
+		Seed      int64   `json:"seed"`
+		Acked     int64   `json:"acked"`
+		Errors    int64   `json:"errors"`
+	} `json:"chaos"`
 }
 
 // series flattens every measurement into name -> value with "lower is
@@ -189,6 +198,19 @@ func (r *report) series() map[string]float64 {
 		out[base+"/cliW_op"] = b.ClientWritesPerOp
 		out[base+"/srvW_op"] = b.ServerWritesPerOp
 		out[base+"/srvR_op"] = b.ServerReadsPerOp
+	}
+	// Chaos goodput under randomized faults is not a stable timing
+	// series, so the family is deliberately absent from
+	// defaultThresholds: the fraction of unacknowledged calls shows up
+	// in the delta table (lower is better) but never trips -gate. The
+	// structural assertions — machinery fired, calls landed — live in
+	// the chaos test suite, not here.
+	for _, c := range r.Chaos {
+		if c.Calls > 0 {
+			out[fmt.Sprintf("chaos/%s/c%d/loss=%.2f/seed=%d/unacked_frac",
+				c.Transport, c.Conns, c.Loss, c.Seed)] =
+				float64(int64(c.Calls)-c.Acked) / float64(c.Calls)
+		}
 	}
 	return out
 }

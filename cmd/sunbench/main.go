@@ -16,6 +16,8 @@
 //	sunbench -openloop -transport udp -clients 8 -depth 16 -rate 8000 -openloop-dur 2s
 //	sunbench -batch           # counted syscalls/op: batched vs unbatched I/O
 //	sunbench -batch -transport tcp -clients 4 -depth 8 -calls 20000
+//	sunbench -chaos           # goodput + retry/reconnect counters under seeded faults
+//	sunbench -chaos -transport tcp -chaos-loss 0.2 -chaos-calls 1000 -seed 42
 //	sunbench -live-spec       # live codec comparison (incl. fused + compiled whole-call) over sim, udp, tcp
 //	sunbench -live-spec -fused=false          # the three plan series only (drops fused and compiled)
 //	sunbench -live-spec -header-path -json BENCH_live.json
@@ -54,6 +56,10 @@ func realMain() int {
 	baseline := flag.Bool("baseline", true, "also run each -openloop point against the single-lock (shards=1) baseline")
 	reps := flag.Int("openloop-reps", 3, "repetitions per -openloop point; the median-p99 run is reported")
 	batch := flag.Bool("batch", false, "count syscalls/op for batched vs unbatched I/O over the live transports")
+	chaos := flag.Bool("chaos", false, "measure goodput and retry/reconnect counters under a seeded fault schedule")
+	chaosLoss := flag.Float64("chaos-loss", 0.15, "headline fault intensity for -chaos (loss rate on datagrams, scaled reset/split rates on tcp)")
+	chaosCalls := flag.Int("chaos-calls", 400, "total calls per -chaos point")
+	seed := flag.Int64("seed", 1, "fault-schedule seed for -chaos")
 	liveSpec := flag.Bool("live-spec", false, "measure the generic/specialized/chunked marshal plans over the live transports")
 	fused := flag.Bool("fused", true, "include the fused and compiled whole-call series in -live-spec (-fused=false for the three plan series only)")
 	liveSpecReps := flag.Int("live-spec-reps", 1, "complete -live-spec grid passes; the per-point median is reported")
@@ -129,9 +135,13 @@ func realMain() int {
 		live = true
 		err = runBatch(*transports, *clients, *depth, *calls, *size, out)
 	}
+	if err == nil && *chaos {
+		live = true
+		err = runChaos(*transports, *clients, *chaosCalls, *chaosLoss, *seed, out)
+	}
 	if err == nil && !live {
 		if *jsonOut != "" {
-			fmt.Fprintln(os.Stderr, "sunbench: -json requires -live-spec, -header-path, -throughput, -openloop, or -batch")
+			fmt.Fprintln(os.Stderr, "sunbench: -json requires -live-spec, -header-path, -throughput, -openloop, -batch, or -chaos")
 			return 2
 		}
 		all := *table == 0 && *figure == 0
@@ -157,6 +167,7 @@ type jsonReport struct {
 	Throughput  []throughputJSON         `json:"throughput,omitempty"`
 	OpenLoop    []bench.OpenLoopResult   `json:"open_loop,omitempty"`
 	Batch       []bench.BatchResult      `json:"batch,omitempty"`
+	Chaos       []bench.ChaosResult      `json:"chaos,omitempty"`
 }
 
 // throughputJSON flattens ThroughputResult for stable JSON output.
@@ -314,6 +325,27 @@ func runBatch(transports string, clients, depth, calls, size int, out *jsonRepor
 	}
 	out.Batch = rows
 	fmt.Print(bench.FormatBatch(rows))
+	return nil
+}
+
+// runChaos measures goodput under the seeded fault schedule, one point
+// per transport. The recovery counters (retransmits, retries,
+// reconnects, cache hits) ride along in the JSON so benchdiff can gate
+// the series structurally — did the machinery fire and the calls land —
+// rather than on timing.
+func runChaos(transports string, conns, calls int, loss float64, seed int64, out *jsonReport) error {
+	var rows []bench.ChaosResult
+	for _, tr := range splitTransports(transports) {
+		res, err := bench.Chaos(bench.ChaosOptions{
+			Transport: tr, Conns: conns, Calls: calls, Loss: loss, Seed: seed,
+		})
+		if err != nil {
+			return err
+		}
+		rows = append(rows, res)
+	}
+	out.Chaos = rows
+	fmt.Print(bench.FormatChaos(rows))
 	return nil
 }
 

@@ -29,6 +29,7 @@
 package client
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -124,6 +125,20 @@ type Config struct {
 	// 0 (the default) writes immediately. Ignored over UDP and with
 	// NoBatch.
 	MaxFlushDelay time.Duration
+	// Retry selects policy-driven retransmission and retry: over UDP the
+	// fixed Retransmit tick becomes exponential backoff with full jitter
+	// under a token-bucket budget; over TCP (with Redial set) calls that
+	// fail on a broken connection are retried across reconnects when the
+	// policy classifies them as safe. nil keeps the legacy semantics.
+	Retry *RetryPolicy
+	// Redial, on a stream client, enables transparent reconnect: when the
+	// connection breaks, in-flight calls fail with a *TransportError, the
+	// client redials through this function under the retry policy's
+	// backoff and budget, and later calls proceed on the replacement
+	// connection reusing the client's cached header templates and fused/
+	// compiled codecs. nil (the default) keeps the legacy one-connection
+	// lifetime. DialTCP installs a Redial automatically.
+	Redial func() (net.Conn, error)
 }
 
 func (c *Config) fill() {
@@ -239,10 +254,27 @@ func (d *demux) error() error {
 	return d.err
 }
 
-// lifecycle is the close state machine shared by both transports.
+// inFlight reports how many reply slots are registered — the in-flight
+// call count, exposed so leak tests can pin "cancelled calls release
+// their slot".
+func (d *demux) inFlight() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.calls)
+}
+
+// lifecycle is the close state machine shared by both transports. done
+// is closed the moment Close begins, so backoff and redial sleeps can
+// select on it and unblock immediately instead of finishing their
+// timer (the client-side mirror of the server's accept-backoff fix).
 type lifecycle struct {
 	mu     sync.Mutex
 	closed bool
+	done   chan struct{}
+}
+
+func newLifecycle() lifecycle {
+	return lifecycle{done: make(chan struct{})}
 }
 
 func (l *lifecycle) isClosed() bool {
@@ -251,17 +283,29 @@ func (l *lifecycle) isClosed() bool {
 	return l.closed
 }
 
+// beginClose marks the lifecycle closed and wakes every sleeper
+// selecting on done. It reports whether this call was the one that
+// performed the transition (repeat closes are no-ops).
+func (l *lifecycle) beginClose() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return false
+	}
+	l.closed = true
+	if l.done != nil {
+		close(l.done)
+	}
+	return true
+}
+
 // closeOnce performs the shared close sequence: mark closed, close the
 // underlying connection (which stops the reader goroutine), then fail
 // in-flight calls with ErrClosed. Repeat closes are no-ops.
 func (l *lifecycle) closeOnce(conn io.Closer, dmx *demux) error {
-	l.mu.Lock()
-	if l.closed {
-		l.mu.Unlock()
+	if !l.beginClose() {
 		return nil
 	}
-	l.closed = true
-	l.mu.Unlock()
 	err := conn.Close()
 	dmx.fail(ErrClosed)
 	return err
@@ -542,7 +586,7 @@ func compilePlanned(tmpl *rpcmsg.CallTemplate, proc uint32, argc, resc *wire.Cod
 // that can compile fused whole-call codecs report handled=true and
 // perform the call; anything else falls back to the closure path.
 type plannedCaller interface {
-	callPlanned(proc uint32, argc *wire.Codec, arg unsafe.Pointer, resc *wire.Codec, res unsafe.Pointer) (bool, error)
+	callPlanned(ctx context.Context, proc uint32, argc *wire.Codec, arg unsafe.Pointer, resc *wire.Codec, res unsafe.Pointer) (bool, error)
 }
 
 func checkReply(rh *rpcmsg.ReplyHeader) error {
@@ -578,14 +622,24 @@ type UDP struct {
 	truncated atomic.Uint64
 	reader    sync.Once
 	life      lifecycle
+
+	policy *RetryPolicy // nil → legacy fixed-tick retransmission
+	budget *retryBudget
+	stats  retryCounters
 }
 
 // NewUDP returns a client sending calls for cfg.Prog/cfg.Vers to server
 // over conn. The caller retains ownership of conn's lifetime via Close.
 func NewUDP(conn net.PacketConn, server net.Addr, cfg Config) *UDP {
 	cfg.fill()
-	c := &UDP{cfg: cfg, tmpl: callTemplate(&cfg), conn: conn, server: server, dmx: newDemux()}
+	c := &UDP{cfg: cfg, tmpl: callTemplate(&cfg), conn: conn, server: server,
+		dmx: newDemux(), life: newLifecycle()}
 	c.xid.Store(cfg.FirstXID)
+	if cfg.Retry != nil {
+		p := cfg.Retry.norm(cfg.Retransmit)
+		c.policy = &p
+		c.budget = newRetryBudget(&p)
+	}
 	return c
 }
 
@@ -595,26 +649,38 @@ func NewUDP(conn net.PacketConn, server net.Addr, cfg Config) *UDP {
 // the original one-socket client, concurrent calls proceed in parallel
 // and replies may arrive in any order.
 func (c *UDP) Call(proc uint32, args, reply Marshal) error {
-	return c.doCall(proc, callReq{args: args}, replySink{fn: reply})
+	return c.doCall(context.Background(), proc, callReq{args: args}, replySink{fn: reply})
+}
+
+// CallCtx is Call with a per-call context: the call's deadline is the
+// earlier of the context deadline and the client's Timeout, and
+// cancelling the context abandons the call immediately (releasing its
+// reply slot; a late reply is dropped by the demultiplexer exactly like
+// any stale datagram).
+func (c *UDP) CallCtx(ctx context.Context, proc uint32, args, reply Marshal) error {
+	return c.doCall(ctx, proc, callReq{args: args}, replySink{fn: reply})
 }
 
 // callPlanned is the fused entry point CallTyped routes typed calls
 // through: same transport semantics as Call, with the request encoded
 // by a whole-call codec and the results decoded straight from the
 // reply. handled=false sends the caller to the closure path.
-func (c *UDP) callPlanned(proc uint32, argc *wire.Codec, arg unsafe.Pointer, resc *wire.Codec, res unsafe.Pointer) (bool, error) {
+func (c *UDP) callPlanned(ctx context.Context, proc uint32, argc *wire.Codec, arg unsafe.Pointer, resc *wire.Codec, res unsafe.Pointer) (bool, error) {
 	e := c.planned.lookup(c.tmpl, proc, argc, resc)
 	if e == nil {
 		return false, nil
 	}
-	return true, c.doCall(proc,
+	return true, c.doCall(ctx, proc,
 		callReq{cc: e.call, argp: arg},
 		replySink{rc: e.rep, resc: resc, resp: res})
 }
 
-func (c *UDP) doCall(proc uint32, req callReq, sink replySink) error {
+func (c *UDP) doCall(ctx context.Context, proc uint32, req callReq, sink replySink) error {
 	if c.isClosed() {
 		return ErrClosed
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	c.reader.Do(func() { go c.readLoop() })
 
@@ -643,9 +709,20 @@ func (c *UDP) doCall(proc uint32, req callReq, sink replySink) error {
 	if err := c.send(*reqBuf); err != nil {
 		return err
 	}
-	overall := time.NewTimer(c.cfg.Timeout)
+	// attempt counts datagrams sent so far. With a policy the schedule is
+	// exponential backoff with full jitter, bounded by MaxAttempts and the
+	// retry budget; without one it is the classic fixed tick. Either way
+	// the deadline — not the attempt bound — ends the call: a stopped
+	// retransmission schedule still waits for a straggling reply.
+	deadline := callDeadline(ctx, c.cfg.Timeout)
+	overall := time.NewTimer(time.Until(deadline))
 	defer overall.Stop()
-	retrans := time.NewTimer(c.cfg.Retransmit)
+	attempt := 1
+	next := c.cfg.Retransmit
+	if c.policy != nil {
+		next = c.policy.delay(attempt)
+	}
+	retrans := time.NewTimer(next)
 	defer retrans.Stop()
 	for {
 		select {
@@ -657,18 +734,44 @@ func (c *UDP) doCall(proc uint32, req callReq, sink replySink) error {
 			}
 			return err
 		case <-retrans.C:
+			if c.policy != nil {
+				if attempt >= c.policy.MaxAttempts {
+					continue // schedule exhausted: wait out the deadline
+				}
+				if !c.budget.take() {
+					// Suppressed, not failed: count it, keep the schedule
+					// running so a refilled bucket resumes retransmitting.
+					c.stats.budgetDenied.Add(1)
+					retrans.Reset(c.policy.delay(attempt))
+					continue
+				}
+			}
 			if err := c.send(*reqBuf); err != nil {
 				if ok, derr := drainReply(ch, &sink); ok {
 					return derr
 				}
 				return err
 			}
-			retrans.Reset(c.cfg.Retransmit)
+			attempt++
+			c.stats.retransmits.Add(1)
+			if c.policy != nil {
+				retrans.Reset(c.policy.delay(attempt))
+			} else {
+				retrans.Reset(c.cfg.Retransmit)
+			}
 		case <-overall.C:
 			if ok, err := drainReply(ch, &sink); ok {
 				return err
 			}
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			return ErrTimeout
+		case <-ctx.Done():
+			if ok, err := drainReply(ch, &sink); ok {
+				return err
+			}
+			return ctx.Err()
 		case <-c.dmx.done:
 			if ok, err := drainReply(ch, &sink); ok {
 				return err
@@ -677,6 +780,14 @@ func (c *UDP) doCall(proc uint32, req callReq, sink replySink) error {
 		}
 	}
 }
+
+// RetryStats reports the client's retransmission counters.
+func (c *UDP) RetryStats() RetryStats { return c.stats.retryStats() }
+
+// InFlight reports how many calls currently hold a reply slot; it
+// returns to zero once every outstanding call finishes, times out, or
+// is cancelled (no slot leaks).
+func (c *UDP) InFlight() int { return c.dmx.inFlight() }
 
 func (c *UDP) send(req []byte) error {
 	if _, err := c.conn.WriteTo(req, c.server); err != nil {
@@ -767,47 +878,239 @@ func (c *UDP) Close() error { return c.life.closeOnce(c.conn, c.dmx) }
 type TCP struct {
 	cfg  Config
 	tmpl *rpcmsg.CallTemplate
-	conn net.Conn
 
 	xid     atomic.Uint32
-	dmx     *demux
 	planned plannedProcs
-	reader  sync.Once
 	life    lifecycle
 
-	batch *xdr.RecBatcher // owns the write side of the record stream
+	policy *RetryPolicy             // nil → legacy single-connection client
+	budget *retryBudget             // shared by call retries and redials
+	redial func() (net.Conn, error) // nil → no transparent reconnect
+	stats  retryCounters
+
+	// connMu guards the connection generations. cur is the connection
+	// calls go out on; each generation owns its conn, demultiplexer,
+	// batcher, and reader, so a dead generation's state never bleeds
+	// into its replacement. redialCh is non-nil while one goroutine is
+	// reconnecting (closed when it finishes): single-flight, so a burst
+	// of failing calls produces one dial sequence, not one each.
+	connMu   sync.Mutex
+	cur      *tcpConn
+	redialCh chan struct{}
 }
 
-// NewTCP returns a client issuing calls over the established connection.
-func NewTCP(conn net.Conn, cfg Config) *TCP {
-	cfg.fill()
-	c := &TCP{cfg: cfg, tmpl: callTemplate(&cfg), conn: conn, dmx: newDemux()}
-	c.xid.Store(cfg.FirstXID)
-	c.batch = xdr.NewRecBatcher(xdr.NewRecStream(conn, 0))
+// tcpConn is one connection generation: everything whose lifetime is
+// the connection's, not the client's. The client-lifetime state — XID
+// counter, header template, fused/compiled codec cache, retry budget,
+// stats — lives on TCP and is reused across generations, which is what
+// makes reconnect cheap: a replacement connection recompiles nothing.
+type tcpConn struct {
+	conn   net.Conn
+	dmx    *demux
+	batch  *xdr.RecBatcher // owns the write side of the record stream
+	reader sync.Once
+}
+
+func (tc *tcpConn) start(c *TCP) {
+	tc.reader.Do(func() { go c.readLoop(tc) })
+}
+
+// minWriteGrace floors the armed write deadline: a call whose own
+// deadline already passed (it will time out regardless) must not arm an
+// instantly-expired deadline and poison the shared write for the
+// healthy calls batched with it.
+const minWriteGrace = 5 * time.Millisecond
+
+// newConn builds a connection generation around conn, wiring the
+// batcher's deadline and failure hooks to this generation only.
+func (c *TCP) newConn(conn net.Conn) *tcpConn {
+	tc := &tcpConn{conn: conn, dmx: newDemux()}
+	tc.batch = xdr.NewRecBatcher(xdr.NewRecStream(conn, 0))
 	// The write deadline covers each vectored write: a peer that stopped
 	// reading must not wedge the writers sharing the stream past their
-	// call timeout.
-	c.batch.PreWrite = func() error {
-		return c.conn.SetWriteDeadline(time.Now().Add(c.cfg.Timeout))
+	// call budget. earliest is the tightest per-call deadline among the
+	// batched records (from WriteDeadline), so a nearly-expired call
+	// bounds the write by its own remaining budget, never by a whole
+	// fresh Timeout; records with no deadline fall back to Timeout.
+	tc.batch.PreWrite = func(earliest time.Time) error {
+		dl := time.Now().Add(c.cfg.Timeout)
+		if !earliest.IsZero() && earliest.Before(dl) {
+			dl = earliest
+			if floor := time.Now().Add(minWriteGrace); dl.Before(floor) {
+				dl = floor
+			}
+		}
+		return conn.SetWriteDeadline(dl)
 	}
 	// A failed or timed-out batch write leaves the record framing
 	// unusable for every call sharing the stream — including calls whose
 	// records were queued by a leader that already returned — so fail the
-	// transport and close the connection so everyone unblocks now.
-	c.batch.OnError = func(err error) {
+	// generation and close its connection so everyone unblocks now.
+	tc.batch.OnError = func(err error) {
 		if c.isClosed() {
-			c.dmx.fail(ErrClosed)
+			tc.dmx.fail(ErrClosed)
 		} else {
-			c.dmx.fail(fmt.Errorf("client: send record: %w", err))
+			tc.dmx.fail(fmt.Errorf("client: send record: %w", err))
 		}
-		_ = c.conn.Close()
+		_ = conn.Close()
 	}
-	if cfg.NoBatch {
-		c.batch.MaxBatch = 1
-	} else if cfg.MaxFlushDelay > 0 {
-		c.batch.MaxFlushDelay = cfg.MaxFlushDelay
+	if c.cfg.NoBatch {
+		tc.batch.MaxBatch = 1
+	} else if c.cfg.MaxFlushDelay > 0 {
+		tc.batch.MaxFlushDelay = c.cfg.MaxFlushDelay
 	}
+	return tc
+}
+
+// NewTCP returns a client issuing calls over the established connection.
+// With cfg.Redial set the connection is only the first of possibly many:
+// when it breaks, the client redials under the retry policy and swaps in
+// a replacement generation transparently.
+func NewTCP(conn net.Conn, cfg Config) *TCP {
+	cfg.fill()
+	c := &TCP{cfg: cfg, tmpl: callTemplate(&cfg), life: newLifecycle(), redial: cfg.Redial}
+	c.xid.Store(cfg.FirstXID)
+	if cfg.Retry != nil || cfg.Redial != nil {
+		var p RetryPolicy
+		if cfg.Retry != nil {
+			p = *cfg.Retry
+		}
+		p = p.norm(0)
+		c.policy = &p
+		c.budget = newRetryBudget(&p)
+	}
+	c.cur = c.newConn(conn)
 	return c
+}
+
+// DialTCP dials addr and returns a stream client with transparent
+// reconnect enabled: cfg.Redial defaults to redialing the same address.
+func DialTCP(network, addr string, cfg Config) (*TCP, error) {
+	conn, err := net.Dial(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Redial == nil {
+		cfg.Redial = func() (net.Conn, error) { return net.Dial(network, addr) }
+	}
+	return NewTCP(conn, cfg), nil
+}
+
+// current returns the live connection generation (nil only after Close
+// races the first use — cur is set before NewTCP returns).
+func (c *TCP) current() *tcpConn {
+	c.connMu.Lock()
+	defer c.connMu.Unlock()
+	return c.cur
+}
+
+// errBudget reports a retry or redial suppressed by the token-bucket
+// budget: the client is failing faster than the policy lets it retry.
+var errBudget = errors.New("client: retry budget exhausted")
+
+// acquire returns a healthy connection generation, reconnecting if the
+// current one has failed. Without a Redial it returns the current
+// generation regardless of health — the call then surfaces the dead
+// generation's error exactly as the legacy client did. With one, the
+// first goroutine to find the generation dead becomes the redialer and
+// the rest wait on its outcome (bounded by the caller's deadline).
+func (c *TCP) acquire(ctx context.Context, deadline time.Time) (*tcpConn, error) {
+	for {
+		c.connMu.Lock()
+		if c.life.isClosed() {
+			c.connMu.Unlock()
+			return nil, ErrClosed
+		}
+		tc := c.cur
+		if tc != nil && tc.dmx.error() == nil {
+			c.connMu.Unlock()
+			return tc, nil
+		}
+		if c.redial == nil {
+			c.connMu.Unlock()
+			if tc == nil {
+				return nil, ErrClosed
+			}
+			return tc, nil
+		}
+		if c.redialCh == nil {
+			ch := make(chan struct{})
+			c.redialCh = ch
+			c.connMu.Unlock()
+			err := c.reconnect(tc)
+			c.connMu.Lock()
+			c.redialCh = nil
+			c.connMu.Unlock()
+			close(ch)
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
+		ch := c.redialCh
+		c.connMu.Unlock()
+		wait := time.NewTimer(time.Until(deadline))
+		select {
+		case <-ch:
+			wait.Stop()
+		case <-wait.C:
+			return nil, ErrTimeout
+		case <-ctx.Done():
+			wait.Stop()
+			return nil, ctx.Err()
+		case <-c.life.done:
+			wait.Stop()
+			return nil, ErrClosed
+		}
+	}
+}
+
+// reconnect retires the dead generation and dials its replacement under
+// the retry policy: each attempt after the first spends a budget token
+// and backs off with full jitter, interruptible by Close. On success
+// the replacement is installed as cur (unless Close won the race, in
+// which case the fresh connection is closed again).
+func (c *TCP) reconnect(old *tcpConn) error {
+	if old != nil {
+		_ = old.conn.Close()
+	}
+	var lastErr error
+	for attempt := 1; attempt <= c.policy.MaxAttempts; attempt++ {
+		if attempt > 1 {
+			if !c.budget.take() {
+				c.stats.budgetDenied.Add(1)
+				return fmt.Errorf("client: reconnect: %w", errBudget)
+			}
+			backoff := time.NewTimer(c.policy.delay(attempt - 1))
+			select {
+			case <-backoff.C:
+			case <-c.life.done:
+				backoff.Stop()
+				return ErrClosed
+			}
+		}
+		if c.life.isClosed() {
+			return ErrClosed
+		}
+		conn, err := c.redial()
+		if err != nil {
+			c.stats.redialFailures.Add(1)
+			lastErr = err
+			continue
+		}
+		tc := c.newConn(conn)
+		c.connMu.Lock()
+		if c.life.isClosed() {
+			c.connMu.Unlock()
+			_ = conn.Close()
+			return ErrClosed
+		}
+		c.cur = tc
+		c.connMu.Unlock()
+		c.stats.reconnects.Add(1)
+		return nil
+	}
+	return fmt.Errorf("client: reconnect: %w", lastErr)
 }
 
 // Call performs one call over the stream: one record out, one record
@@ -815,72 +1118,201 @@ func NewTCP(conn net.Conn, cfg Config) *TCP {
 // connection. The arguments are marshaled into a pooled buffer outside
 // the write lock, so slow marshaling never blocks other senders.
 func (c *TCP) Call(proc uint32, args, reply Marshal) error {
-	return c.doCall(proc, callReq{args: args}, replySink{fn: reply})
+	return c.doCall(context.Background(), proc, callReq{args: args}, replySink{fn: reply})
+}
+
+// CallCtx is Call with a per-call context; see (*UDP).CallCtx. Over the
+// stream the context deadline also bounds the shared record write (the
+// batcher arms the connection's write deadline from the earliest
+// deadline in each batch).
+func (c *TCP) CallCtx(ctx context.Context, proc uint32, args, reply Marshal) error {
+	return c.doCall(ctx, proc, callReq{args: args}, replySink{fn: reply})
 }
 
 // callPlanned is the fused entry point CallTyped routes typed calls
 // through; see (*UDP).callPlanned.
-func (c *TCP) callPlanned(proc uint32, argc *wire.Codec, arg unsafe.Pointer, resc *wire.Codec, res unsafe.Pointer) (bool, error) {
+func (c *TCP) callPlanned(ctx context.Context, proc uint32, argc *wire.Codec, arg unsafe.Pointer, resc *wire.Codec, res unsafe.Pointer) (bool, error) {
 	e := c.planned.lookup(c.tmpl, proc, argc, resc)
 	if e == nil {
 		return false, nil
 	}
-	return true, c.doCall(proc,
+	return true, c.doCall(ctx, proc,
 		callReq{cc: e.call, argp: arg},
 		replySink{rc: e.rep, resc: resc, resp: res})
 }
 
-func (c *TCP) doCall(proc uint32, req callReq, sink replySink) error {
+// doCall drives one call to completion, possibly across connection
+// generations. Each attempt runs on the then-current generation; a
+// transport failure is classified by whether the request could have
+// reached the server. "Definitely not sent" failures (the batcher
+// rejected the record before queueing it, or the generation was already
+// dead at registration) are always safe to retry; "maybe sent" failures
+// (the record was handed to the wire before the connection died) are
+// retried only under RetryPolicy.RetryAmbiguous, because the stream
+// path has no duplicate-request cache to absorb a re-execution.
+func (c *TCP) doCall(ctx context.Context, proc uint32, req callReq, sink replySink) error {
 	if c.isClosed() {
 		return ErrClosed
 	}
-	c.reader.Do(func() { go c.readLoop() })
-
-	xid, ch, err := registerCall(&c.xid, c.dmx)
-	if err != nil {
+	if err := ctx.Err(); err != nil {
 		return err
 	}
-	defer c.dmx.unregister(xid)
+	deadline := callDeadline(ctx, c.cfg.Timeout)
+	maxAttempts := 1
+	if c.policy != nil && c.redial != nil {
+		maxAttempts = c.policy.MaxAttempts
+	}
+	var lastErr error
+	lastSent := false
+	for attempt := 1; attempt <= maxAttempts; attempt++ {
+		if attempt > 1 {
+			if lastSent && !c.policy.RetryAmbiguous {
+				break
+			}
+			if !c.budget.take() {
+				c.stats.budgetDenied.Add(1)
+				lastErr = fmt.Errorf("%w (%w)", lastErr, errBudget)
+				break
+			}
+			backoff := time.NewTimer(c.policy.delay(attempt - 1))
+			select {
+			case <-backoff.C:
+			case <-ctx.Done():
+				backoff.Stop()
+				return ctx.Err()
+			case <-c.life.done:
+				backoff.Stop()
+				return ErrClosed
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			c.stats.retries.Add(1)
+		}
+		final, err, sent := c.attemptOnce(ctx, proc, req, sink, deadline)
+		if final {
+			return err
+		}
+		lastErr, lastSent = err, sent
+	}
+	if c.redial == nil {
+		return lastErr
+	}
+	return &TransportError{Err: lastErr, MaybeSent: lastSent}
+}
+
+// attemptOnce runs one send/await cycle on the current generation.
+// final=true means err is the call's outcome (reply decoded, RPC error,
+// timeout, cancellation, closed client); final=false means a transport
+// failure the retry loop may act on, with sent reporting whether the
+// request could have reached the server.
+func (c *TCP) attemptOnce(ctx context.Context, proc uint32, req callReq, sink replySink, deadline time.Time) (final bool, err error, sent bool) {
+	tc, aerr := c.acquire(ctx, deadline)
+	if aerr != nil {
+		if errors.Is(aerr, ErrClosed) || errors.Is(aerr, ErrTimeout) ||
+			errors.Is(aerr, context.Canceled) || errors.Is(aerr, context.DeadlineExceeded) {
+			return true, aerr, false
+		}
+		// Reconnect already retried dialing under the policy; surface its
+		// failure with the not-sent classification rather than looping.
+		return true, &TransportError{Err: aerr, MaybeSent: false}, false
+	}
+	tc.start(c)
+
+	xid, ch, rerr := registerCall(&c.xid, tc.dmx)
+	if rerr != nil {
+		// The generation died before the call registered: nothing sent.
+		if c.isClosed() {
+			return true, ErrClosed, false
+		}
+		return false, rerr, false
+	}
+	defer tc.dmx.unregister(xid)
 
 	// The record mark is reserved at the head of the marshal buffer, so
 	// the record layer patches it in place and the whole call leaves in
 	// one Write — the message is never copied into the fragment buffer.
-	reqBuf, err := marshalReq(&c.cfg, c.tmpl, req, xid, proc, xdr.RecordMarkLen)
-	if err != nil {
-		return err
+	reqBuf, merr := marshalReq(&c.cfg, c.tmpl, req, xid, proc, xdr.RecordMarkLen)
+	if merr != nil {
+		return true, merr, false
 	}
 	// Ownership of reqBuf transfers to the batcher: it is released after
 	// the batch carrying it is written. Concurrent callers coalesce —
 	// their records leave in one vectored write — and any queued batched
-	// calls (CallBatched) ride out with this record.
-	if werr := c.batch.Write(reqBuf); werr != nil {
+	// calls (CallBatched) ride out with this record. The call's deadline
+	// rides along so the batch write is armed with the earliest deadline
+	// among its records.
+	if werr := tc.batch.WriteDeadline(reqBuf, deadline); werr != nil {
 		if c.isClosed() {
-			return ErrClosed
+			return true, ErrClosed, false
 		}
-		return fmt.Errorf("client: send record: %w", werr)
+		// A record rejected by an already-failed batcher never entered the
+		// queue: definitively not sent. Any other write failure may have
+		// put a prefix of the batch — including this record — on the wire.
+		return false, fmt.Errorf("client: send record: %w", werr), !errors.Is(werr, xdr.ErrRejected)
 	}
 
-	overall := time.NewTimer(c.cfg.Timeout)
+	overall := time.NewTimer(time.Until(deadline))
 	defer overall.Stop()
 	select {
 	case bp := <-ch:
-		err := sink.decode(*bp)
+		derr := sink.decode(*bp)
 		xdr.PutBuf(bp)
-		if errors.Is(err, errIllFormed) {
-			return fmt.Errorf("client: read reply: %w", err)
+		if errors.Is(derr, errIllFormed) {
+			return true, fmt.Errorf("client: read reply: %w", derr), true
 		}
-		return err
+		return true, derr, true
 	case <-overall.C:
-		if ok, err := drainReply(ch, &sink); ok {
-			return err
+		if ok, derr := drainReply(ch, &sink); ok {
+			return true, derr, true
 		}
-		return ErrTimeout
-	case <-c.dmx.done:
-		if ok, err := drainReply(ch, &sink); ok {
-			return err
+		if cerr := ctx.Err(); cerr != nil {
+			return true, cerr, true
 		}
-		return c.dmx.error()
+		return true, ErrTimeout, true
+	case <-ctx.Done():
+		if ok, derr := drainReply(ch, &sink); ok {
+			return true, derr, true
+		}
+		return true, ctx.Err(), true
+	case <-tc.dmx.done:
+		if ok, derr := drainReply(ch, &sink); ok {
+			return true, derr, true
+		}
+		if c.isClosed() {
+			return true, ErrClosed, false
+		}
+		// The request was handed to the wire before the generation died:
+		// the server may have executed it even though no reply arrived.
+		return false, tc.dmx.error(), true
 	}
+}
+
+// RetryStats reports the client's retry counters.
+func (c *TCP) RetryStats() RetryStats { return c.stats.retryStats() }
+
+// ReconnectStats reports the client's transparent-reconnect counters.
+func (c *TCP) ReconnectStats() ReconnectStats { return c.stats.reconnectStats() }
+
+// InFlight reports how many calls currently hold a reply slot on the
+// live connection generation; see (*UDP).InFlight.
+func (c *TCP) InFlight() int {
+	tc := c.current()
+	if tc == nil {
+		return 0
+	}
+	return tc.dmx.inFlight()
+}
+
+// QueuedRecords reports how many records sit unflushed in the live
+// generation's batcher queue (leak gauge: cancelled and failed calls
+// must not strand entries there).
+func (c *TCP) QueuedRecords() int {
+	tc := c.current()
+	if tc == nil {
+		return 0
+	}
+	return tc.batch.Pending()
 }
 
 // CallBatched issues one ONC batched (fire-and-forget) call: the request
@@ -902,16 +1334,20 @@ func (c *TCP) CallBatched(proc uint32, args Marshal) error {
 	if c.isClosed() {
 		return ErrClosed
 	}
+	tc, aerr := c.acquire(context.Background(), time.Now().Add(c.cfg.Timeout))
+	if aerr != nil {
+		return aerr
+	}
 	// Start the reader even though no reply is expected: the server
 	// replies to batched calls it cannot tell apart from normal ones, and
 	// someone must drain those records off the connection.
-	c.reader.Do(func() { go c.readLoop() })
+	tc.start(c)
 	xid := c.xid.Add(1)
 	reqBuf, err := marshalReq(&c.cfg, c.tmpl, callReq{args: args}, xid, proc, xdr.RecordMarkLen)
 	if err != nil {
 		return err
 	}
-	if err := c.batch.Queue(reqBuf); err != nil {
+	if err := tc.batch.Queue(reqBuf); err != nil {
 		if c.isClosed() {
 			return ErrClosed
 		}
@@ -924,7 +1360,11 @@ func (c *TCP) CallBatched(proc uint32, args Marshal) error {
 // Call. A failure here poisons the connection like any other write
 // failure.
 func (c *TCP) Flush() error {
-	if err := c.batch.Flush(); err != nil {
+	tc := c.current()
+	if tc == nil {
+		return ErrClosed
+	}
+	if err := tc.batch.Flush(); err != nil {
 		if c.isClosed() {
 			return ErrClosed
 		}
@@ -933,11 +1373,13 @@ func (c *TCP) Flush() error {
 	return nil
 }
 
-// readLoop owns the connection's read side: it slurps one reply record at
-// a time into a pooled buffer and routes it by XID. Records for XIDs with
-// no waiter (e.g. replies arriving after a call timed out) are dropped.
-func (c *TCP) readLoop() {
-	rrec := xdr.NewRecStream(c.conn, 0)
+// readLoop owns one generation's read side: it slurps one reply record
+// at a time into a pooled buffer and routes it by XID. Records for XIDs
+// with no waiter (e.g. replies arriving after a call timed out) are
+// dropped. A read failure fails only this generation; with Redial set
+// the next call swaps in a replacement.
+func (c *TCP) readLoop(tc *tcpConn) {
+	rrec := xdr.NewRecStream(tc.conn, 0)
 	for {
 		bp := xdr.GetBuf(c.cfg.BufSize)
 		rec, err := rrec.ReadRecord((*bp)[:0])
@@ -945,14 +1387,14 @@ func (c *TCP) readLoop() {
 		if err != nil {
 			xdr.PutBuf(bp)
 			if c.isClosed() {
-				c.dmx.fail(ErrClosed)
+				tc.dmx.fail(ErrClosed)
 			} else {
-				c.dmx.fail(fmt.Errorf("client: read reply: %w", err))
+				tc.dmx.fail(fmt.Errorf("client: read reply: %w", err))
 			}
 			return
 		}
 		xid, ok := rpcmsg.PeekXID(rec)
-		if !ok || !c.dmx.deliver(xid, bp) {
+		if !ok || !tc.dmx.deliver(xid, bp) {
 			xdr.PutBuf(bp) // stale record (timed-out call): discard
 		}
 	}
@@ -964,9 +1406,21 @@ func (c *TCP) isClosed() bool { return c.life.isClosed() }
 // its connection. In-flight calls fail with ErrClosed; a flush failure
 // is reported once close itself succeeded (repeat closes stay nil — the
 // batcher's empty Flush is a no-op even after a transport failure).
+// Closing also interrupts any in-progress retry backoff or redial sleep
+// immediately: sleepers select on the lifecycle's done channel.
 func (c *TCP) Close() error {
-	ferr := c.batch.Flush()
-	err := c.life.closeOnce(c.conn, c.dmx)
+	if !c.life.beginClose() {
+		return nil
+	}
+	c.connMu.Lock()
+	tc := c.cur
+	c.connMu.Unlock()
+	if tc == nil {
+		return nil
+	}
+	ferr := tc.batch.Flush()
+	err := tc.conn.Close()
+	tc.dmx.fail(ErrClosed)
 	if err == nil && ferr != nil {
 		err = fmt.Errorf("client: flush batched calls: %w", ferr)
 	}
@@ -980,9 +1434,18 @@ type Caller interface {
 	Close() error
 }
 
+// CtxCaller extends Caller with per-call contexts; both transports
+// satisfy it.
+type CtxCaller interface {
+	Caller
+	CallCtx(ctx context.Context, proc uint32, args, reply Marshal) error
+}
+
 var (
 	_ Caller        = (*UDP)(nil)
 	_ Caller        = (*TCP)(nil)
+	_ CtxCaller     = (*UDP)(nil)
+	_ CtxCaller     = (*TCP)(nil)
 	_ plannedCaller = (*UDP)(nil)
 	_ plannedCaller = (*TCP)(nil)
 )

@@ -1,6 +1,7 @@
 package client
 
 import (
+	"context"
 	"unsafe"
 
 	"specrpc/internal/wire"
@@ -21,6 +22,15 @@ import (
 // take the closure adapter below, byte-identical on the wire either
 // way, so typed and closure calls multiplex freely on one connection.
 func CallTyped[A, R any](c Caller, proc uint32, args *wire.Plan[A], arg *A, results *wire.Plan[R], res *R) error {
+	return CallTypedCtx(context.Background(), c, proc, args, arg, results, res)
+}
+
+// CallTypedCtx is CallTyped with a per-call context: the context's
+// deadline and cancellation compose with the client's global timeout
+// exactly as in CallCtx, on both the fused and the closure path (the
+// closure fallback requires the transport to implement CtxCaller; a
+// plain Caller falls back to Call and ignores the context).
+func CallTypedCtx[A, R any](ctx context.Context, c Caller, proc uint32, args *wire.Plan[A], arg *A, results *wire.Plan[R], res *R) error {
 	if pc, ok := c.(plannedCaller); ok {
 		var argc, resc *wire.Codec
 		var ap, rp unsafe.Pointer
@@ -30,7 +40,7 @@ func CallTyped[A, R any](c Caller, proc uint32, args *wire.Plan[A], arg *A, resu
 		if results != nil {
 			resc, rp = results.Codec(), unsafe.Pointer(res)
 		}
-		if handled, err := pc.callPlanned(proc, argc, ap, resc, rp); handled {
+		if handled, err := pc.callPlanned(ctx, proc, argc, ap, resc, rp); handled {
 			return err
 		}
 	}
@@ -41,6 +51,9 @@ func CallTyped[A, R any](c Caller, proc uint32, args *wire.Plan[A], arg *A, resu
 	rm := Void
 	if results != nil {
 		rm = func(x *xdr.XDR) error { return results.Marshal(x, res) }
+	}
+	if cc, ok := c.(CtxCaller); ok {
+		return cc.CallCtx(ctx, proc, am, rm)
 	}
 	return c.Call(proc, am, rm)
 }

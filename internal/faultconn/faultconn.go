@@ -1,0 +1,229 @@
+// Package faultconn wraps net.Conn, net.Listener, and net.PacketConn
+// with seeded fault injection that works over real transports: short
+// writes that split a record mid-frame, stalls that hold a write long
+// enough to trip deadlines, injected connection resets, and datagram
+// loss/duplication. Where netsim simulates a lossy network in-process,
+// faultconn distresses actual kernel sockets, so the chaos suite can
+// prove the client's reconnect and retry machinery against the same
+// code paths production traffic takes.
+package faultconn
+
+import (
+	"errors"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjectedReset is the error surfaced by a connection the Plan chose
+// to reset; the underlying socket is really closed, so the peer sees a
+// genuine EOF/RST, not a simulated one.
+var ErrInjectedReset = errors.New("faultconn: injected connection reset")
+
+// Plan is a seeded fault schedule for one connection (or one listener's
+// accepted connections, each deriving its own sub-seed). Rates are
+// probabilities in [0, 1], drawn per Write.
+type Plan struct {
+	// Seed fixes the schedule; the same Plan replays identically.
+	Seed int64
+	// SplitWrite is the probability a Write is split into two kernel
+	// writes at a random boundary — a mid-record short write, which a
+	// correct record layer must reassemble invisibly.
+	SplitWrite float64
+	// StallRate is the probability a Write first sleeps for Stall,
+	// simulating a congested or half-dead peer (trips write deadlines).
+	StallRate float64
+	// Stall is the injected write delay (default 10ms when StallRate is
+	// set).
+	Stall time.Duration
+	// ResetRate is the probability, drawn per Write, that the connection
+	// is closed mid-stream after ResetAfter bytes of the record.
+	ResetRate float64
+	// ResetAfter is how many bytes of the triggering Write are written
+	// before the close — a mid-record reset when 0 < ResetAfter < len(p).
+	ResetAfter int
+	// DropRate / DupRate apply to packet connections (WrapPacket):
+	// outbound datagrams are dropped or sent twice.
+	DropRate float64
+	DupRate  float64
+}
+
+func (p *Plan) stall() time.Duration {
+	if p.Stall <= 0 {
+		return 10 * time.Millisecond
+	}
+	return p.Stall
+}
+
+// Stats counts the faults a wrapper has injected.
+type Stats struct {
+	SplitWrites atomic.Uint64
+	Stalls      atomic.Uint64
+	Resets      atomic.Uint64
+	Dropped     atomic.Uint64
+	Duplicated  atomic.Uint64
+}
+
+// Conn is a fault-injecting net.Conn.
+type Conn struct {
+	net.Conn
+	plan  Plan
+	stats *Stats
+
+	mu    sync.Mutex // guards rng (Read and Write run on different goroutines)
+	rng   *rand.Rand
+	reset bool
+}
+
+// Wrap returns conn distressed by plan, with faults counted into stats
+// (which may be shared across connections; nil allocates a private
+// one).
+func Wrap(conn net.Conn, plan Plan, stats *Stats) *Conn {
+	if stats == nil {
+		stats = &Stats{}
+	}
+	return &Conn{Conn: conn, plan: plan, stats: stats, rng: rand.New(rand.NewSource(plan.Seed))}
+}
+
+// draw runs one seeded probability check under the rng lock.
+func (c *Conn) draw(rate float64) bool {
+	if rate <= 0 {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rng.Float64() < rate
+}
+
+func (c *Conn) splitPoint(n int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return 1 + c.rng.Intn(n-1)
+}
+
+func (c *Conn) isReset() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.reset
+}
+
+func (c *Conn) markReset() {
+	c.mu.Lock()
+	c.reset = true
+	c.mu.Unlock()
+}
+
+// Write applies the plan: maybe stall, maybe reset mid-record, maybe
+// split into two kernel writes.
+func (c *Conn) Write(p []byte) (int, error) {
+	if c.isReset() {
+		return 0, ErrInjectedReset
+	}
+	if c.draw(c.plan.StallRate) {
+		c.stats.Stalls.Add(1)
+		time.Sleep(c.plan.stall())
+	}
+	if c.draw(c.plan.ResetRate) {
+		c.stats.Resets.Add(1)
+		c.markReset()
+		n := 0
+		if c.plan.ResetAfter > 0 && c.plan.ResetAfter < len(p) {
+			n, _ = c.Conn.Write(p[:c.plan.ResetAfter])
+		}
+		_ = c.Conn.Close()
+		return n, ErrInjectedReset
+	}
+	if len(p) > 1 && c.draw(c.plan.SplitWrite) {
+		c.stats.SplitWrites.Add(1)
+		k := c.splitPoint(len(p))
+		n, err := c.Conn.Write(p[:k])
+		if err != nil {
+			return n, err
+		}
+		m, err := c.Conn.Write(p[k:])
+		return n + m, err
+	}
+	return c.Conn.Write(p)
+}
+
+func (c *Conn) Read(p []byte) (int, error) {
+	if c.isReset() {
+		return 0, ErrInjectedReset
+	}
+	return c.Conn.Read(p)
+}
+
+// Listener wraps an accept loop so every accepted connection carries a
+// fault plan derived from the listener's seed (connection i uses
+// Seed+i, so one seed fixes the whole run's schedule).
+type Listener struct {
+	net.Listener
+	plan  Plan
+	stats *Stats
+	seq   atomic.Int64
+}
+
+// WrapListener returns ln with every accepted conn wrapped in plan;
+// stats aggregates across connections (nil allocates one).
+func WrapListener(ln net.Listener, plan Plan, stats *Stats) *Listener {
+	if stats == nil {
+		stats = &Stats{}
+	}
+	return &Listener{Listener: ln, plan: plan, stats: stats}
+}
+
+// Stats returns the shared fault counters.
+func (l *Listener) Stats() *Stats { return l.stats }
+
+func (l *Listener) Accept() (net.Conn, error) {
+	conn, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	p := l.plan
+	p.Seed += l.seq.Add(1)
+	return Wrap(conn, p, l.stats), nil
+}
+
+// PacketConn is a fault-injecting net.PacketConn for real-UDP chaos.
+type PacketConn struct {
+	net.PacketConn
+	plan  Plan
+	stats *Stats
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// WrapPacket returns pc with outbound loss/duplication per plan.
+func WrapPacket(pc net.PacketConn, plan Plan, stats *Stats) *PacketConn {
+	if stats == nil {
+		stats = &Stats{}
+	}
+	return &PacketConn{PacketConn: pc, plan: plan, stats: stats, rng: rand.New(rand.NewSource(plan.Seed))}
+}
+
+func (c *PacketConn) draw(rate float64) bool {
+	if rate <= 0 {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rng.Float64() < rate
+}
+
+func (c *PacketConn) WriteTo(p []byte, addr net.Addr) (int, error) {
+	if c.draw(c.plan.DropRate) {
+		c.stats.Dropped.Add(1)
+		return len(p), nil // lost in flight: the sender still succeeds
+	}
+	if c.draw(c.plan.DupRate) {
+		c.stats.Duplicated.Add(1)
+		if _, err := c.PacketConn.WriteTo(p, addr); err != nil {
+			return 0, err
+		}
+	}
+	return c.PacketConn.WriteTo(p, addr)
+}

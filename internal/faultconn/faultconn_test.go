@@ -1,0 +1,146 @@
+package faultconn
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestSplitWriteReassembles: a split write must deliver the same bytes,
+// just in two kernel writes.
+func TestSplitWriteReassembles(t *testing.T) {
+	p1, p2 := net.Pipe()
+	defer p2.Close()
+	stats := &Stats{}
+	c := Wrap(p1, Plan{Seed: 1, SplitWrite: 1.0}, stats)
+
+	msg := []byte("the quick brown fox jumps over the lazy dog")
+	got := make([]byte, 0, len(msg))
+	done := make(chan error, 1)
+	go func() {
+		buf := make([]byte, 8)
+		for len(got) < len(msg) {
+			n, err := p2.Read(buf)
+			got = append(got, buf[:n]...)
+			if err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	if n, err := c.Write(msg); err != nil || n != len(msg) {
+		t.Fatalf("Write = %d, %v", n, err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("reassembled %q, want %q", got, msg)
+	}
+	if stats.SplitWrites.Load() == 0 {
+		t.Fatal("split never counted")
+	}
+}
+
+// TestResetClosesSocket: an injected reset surfaces ErrInjectedReset on
+// the faulted side and a real close (EOF) on the peer, after exactly
+// ResetAfter bytes.
+func TestResetClosesSocket(t *testing.T) {
+	p1, p2 := net.Pipe()
+	stats := &Stats{}
+	c := Wrap(p1, Plan{Seed: 1, ResetRate: 1.0, ResetAfter: 3}, stats)
+
+	peer := make(chan []byte, 1)
+	go func() {
+		b, _ := io.ReadAll(p2)
+		peer <- b
+	}()
+	n, err := c.Write([]byte("abcdef"))
+	if !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("Write err = %v, want ErrInjectedReset", err)
+	}
+	if n != 3 {
+		t.Fatalf("wrote %d bytes before reset, want 3", n)
+	}
+	select {
+	case b := <-peer:
+		if string(b) != "abc" {
+			t.Fatalf("peer saw %q, want %q", b, "abc")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("peer never saw the close")
+	}
+	if _, err := c.Write([]byte("x")); !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("post-reset Write err = %v", err)
+	}
+	if _, err := c.Read(make([]byte, 1)); !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("post-reset Read err = %v", err)
+	}
+	if stats.Resets.Load() != 1 {
+		t.Fatalf("resets = %d, want 1", stats.Resets.Load())
+	}
+}
+
+// TestSeededScheduleReplays: the same seed must produce the same fault
+// decisions write for write.
+func TestSeededScheduleReplays(t *testing.T) {
+	run := func() uint64 {
+		p1, p2 := net.Pipe()
+		defer p1.Close()
+		go func() { _, _ = io.Copy(io.Discard, p2) }()
+		stats := &Stats{}
+		c := Wrap(p1, Plan{Seed: 99, SplitWrite: 0.5}, stats)
+		for i := 0; i < 64; i++ {
+			if _, err := c.Write([]byte("0123456789")); err != nil {
+				t.Fatalf("write %d: %v", i, err)
+			}
+		}
+		return stats.SplitWrites.Load()
+	}
+	a, b := run(), run()
+	if a == 0 || a != b {
+		t.Fatalf("schedules diverged: %d vs %d splits", a, b)
+	}
+}
+
+// TestPacketDropDup: outbound datagram faults — a dropped send still
+// reports success to the caller, a duplicated one really sends twice.
+func TestPacketDropDup(t *testing.T) {
+	dst, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("no loopback udp: %v", err)
+	}
+	defer dst.Close()
+	src, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("src socket: %v", err)
+	}
+	defer src.Close()
+
+	stats := &Stats{}
+	fc := WrapPacket(src, Plan{Seed: 3, DropRate: 0.5}, stats)
+	for i := 0; i < 32; i++ {
+		if n, err := fc.WriteTo([]byte("ping"), dst.LocalAddr()); err != nil || n != 4 {
+			t.Fatalf("WriteTo = %d, %v", n, err)
+		}
+	}
+	if stats.Dropped.Load() == 0 || stats.Dropped.Load() == 32 {
+		t.Fatalf("dropped = %d, want some but not all of 32", stats.Dropped.Load())
+	}
+
+	// Count what actually arrived: sent minus dropped.
+	want := 32 - int(stats.Dropped.Load())
+	_ = dst.SetReadDeadline(time.Now().Add(2 * time.Second))
+	got := 0
+	buf := make([]byte, 64)
+	for got < want {
+		if _, _, err := dst.ReadFrom(buf); err != nil {
+			t.Fatalf("after %d/%d datagrams: %v", got, want, err)
+		}
+		got++
+	}
+}

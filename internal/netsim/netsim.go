@@ -12,6 +12,7 @@ package netsim
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"os"
 	"sync"
@@ -54,6 +55,13 @@ type Network struct {
 	delay     time.Duration
 	seq       int
 	mtu       int
+
+	// Probabilistic link-fault state (faults.go): one seeded source,
+	// per-directed-link profiles, directional partitions, counters.
+	rng    *rand.Rand
+	links  map[linkKey]*LinkFaults
+	parts  map[linkKey]bool
+	fstats FaultStats
 }
 
 // Option configures a Network.
@@ -154,17 +162,21 @@ func (e *Endpoint) WriteTo(p []byte, addr net.Addr) (int, error) {
 	if n.fault != nil {
 		verdict = n.fault(e.addr, to, seq, p)
 	}
-	delay := n.delay
+	lv := n.applyLinkLocked(e.addr, to, len(p))
+	delay := n.delay + lv.delay
 	n.mu.Unlock()
 
-	if verdict == Drop {
+	if verdict == Drop || lv.drop {
 		return len(p), nil // dropped in flight: sender still succeeds
 	}
 	copies := 1
-	if verdict == Duplicate {
+	if verdict == Duplicate || lv.dup {
 		copies = 2
 	}
 	payload := append([]byte(nil), p...)
+	if lv.corrupt >= 0 && lv.corrupt < len(payload) {
+		payload[lv.corrupt] ^= 0xFF
+	}
 	deliver := func() {
 		for i := 0; i < copies; i++ {
 			dst.enqueue(packet{from: e.addr, payload: payload})

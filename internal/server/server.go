@@ -90,6 +90,7 @@ type Server struct {
 	// no typed registrations skip the fused-path probe entirely.
 	typedCount atomic.Int32
 	truncated  atomic.Uint64
+	cacheHits  atomic.Uint64 // duplicate calls answered from the reply cache
 	qdrops     atomic.Uint64 // datagrams shed by admission control
 	connDrops  atomic.Uint64 // connections refused by the limit
 	idleDrops  atomic.Uint64 // connections reaped by the idle timeout
@@ -597,6 +598,11 @@ func (s *Server) TruncatedDrops() uint64 { return s.truncated.Load() }
 // because the worker pool and its queue were both full.
 func (s *Server) QueueDrops() uint64 { return s.qdrops.Load() }
 
+// CacheHits reports how many duplicate datagram calls were answered
+// from the reply cache instead of re-executed — the observable half of
+// the at-most-once guarantee under retransmission.
+func (s *Server) CacheHits() uint64 { return s.cacheHits.Load() }
+
 // ConnLimitDrops reports how many stream connections were refused by
 // the WithMaxConns bound.
 func (s *Server) ConnLimitDrops() uint64 { return s.connDrops.Load() }
@@ -624,6 +630,7 @@ func (s *Server) answerDatagram(sd replySender, from net.Addr, req []byte) {
 		peer = makePeerKey(from)
 		if s.cache != nil {
 			if cached, ok := s.cache.get(peer, xid, (*rp)[:0]); ok {
+				s.cacheHits.Add(1)
 				*rp = cached
 				sd.Send(from, cached)
 				return
@@ -644,6 +651,7 @@ func (s *Server) answerDatagram(sd replySender, from net.Addr, req []byte) {
 		// at-most-once for non-idempotent procedures.
 		if s.cache != nil {
 			if cached, ok := s.cache.get(peer, xid, (*rp)[:0]); ok {
+				s.cacheHits.Add(1)
 				*rp = cached
 				sd.Send(from, cached)
 				return

@@ -12,6 +12,7 @@ package xdr
 // only the syscall boundaries move.
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -135,8 +136,12 @@ const DefaultBatchWatermark = coalesceLimit
 type RecBatcher struct {
 	// PreWrite, when non-nil, runs before each vectored write (under the
 	// leader, outside the queue lock) — the hook a client uses to arm a
-	// write deadline covering the whole batch.
-	PreWrite func() error
+	// write deadline covering the whole batch. earliest is the earliest
+	// per-record deadline attached to the pending records (WriteDeadline),
+	// or the zero time when none carries one: the hook can then bound the
+	// write by the tightest caller budget in the batch instead of a fixed
+	// transport-wide timeout.
+	PreWrite func(earliest time.Time) error
 	// OnError, when non-nil, is called once with the first write error —
 	// the hook a transport uses to fail its demultiplexer and close the
 	// connection so every sharer unblocks promptly.
@@ -165,10 +170,19 @@ type RecBatcher struct {
 	rec       *RecStream
 	pend      []*[]byte
 	pendBytes int
+	pendDL    time.Time // earliest non-zero per-record deadline in pend
 	flushing  bool
 	err       error
 	errFired  bool
 }
+
+// ErrRejected wraps the sticky error when a record is refused before
+// entering the queue: the batcher had already failed, so the rejected
+// record's bytes were definitively never written. A transport can
+// therefore treat an ErrRejected failure as "not sent" — safe to retry
+// on a fresh connection without risking double execution — whereas any
+// other write failure leaves the record's delivery state unknowable.
+var ErrRejected = errors.New("xdr: record rejected by failed batcher")
 
 // NewRecBatcher returns a batcher owning the write side of rec. The
 // stream must not be written through directly while the batcher is in
@@ -182,24 +196,43 @@ func NewRecBatcher(rec *RecStream) *RecBatcher {
 // leader writes the record on its next iteration and Write returns
 // without waiting (a later failure then surfaces through OnError, not
 // this call). Ownership of bp transfers to the batcher.
-func (b *RecBatcher) Write(bp *[]byte) error { return b.add(bp, true) }
+func (b *RecBatcher) Write(bp *[]byte) error { return b.add(bp, true, time.Time{}) }
+
+// WriteDeadline is Write with the issuing call's absolute deadline
+// attached: PreWrite receives the earliest deadline across the batch,
+// so the transport can arm a write deadline matching the tightest
+// remaining call budget instead of a full fresh timeout.
+func (b *RecBatcher) WriteDeadline(bp *[]byte, deadline time.Time) error {
+	return b.add(bp, true, deadline)
+}
 
 // Queue queues bp's record without forcing a flush — the ONC
 // fire-and-forget path: the record leaves with the next Write or Flush
 // on this batcher, or immediately once the queued bytes reach the
 // watermark. Ownership of bp transfers to the batcher.
-func (b *RecBatcher) Queue(bp *[]byte) error { return b.add(bp, false) }
+func (b *RecBatcher) Queue(bp *[]byte) error { return b.add(bp, false, time.Time{}) }
 
-func (b *RecBatcher) add(bp *[]byte, flush bool) error {
+// Pending reports the records queued and not yet handed to a write —
+// the leak gauge chaos tests pin at zero once every call has returned.
+func (b *RecBatcher) Pending() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.pend)
+}
+
+func (b *RecBatcher) add(bp *[]byte, flush bool, dl time.Time) error {
 	b.mu.Lock()
 	if b.err != nil {
 		err := b.err
 		b.mu.Unlock()
 		PutBuf(bp)
-		return err
+		return fmt.Errorf("%w: %w", ErrRejected, err)
 	}
 	b.pend = append(b.pend, bp)
 	b.pendBytes += len(*bp)
+	if !dl.IsZero() && (b.pendDL.IsZero() || dl.Before(b.pendDL)) {
+		b.pendDL = dl
+	}
 	wm := b.Watermark
 	if wm <= 0 {
 		wm = DefaultBatchWatermark
@@ -254,16 +287,22 @@ func (b *RecBatcher) flushLocked(wait bool) error {
 			batch = batch[:b.MaxBatch]
 		}
 		b.pend = b.pend[len(batch):]
+		// The earliest deadline is tracked per flush generation, not per
+		// batch slice: a MaxBatch split may arm a later batch with an
+		// already-written record's tighter deadline, which only errs on
+		// the strict side.
+		dl := b.pendDL
 		if len(b.pend) == 0 {
 			b.pend = nil // release the consumed backing array
 			b.pendBytes = 0
+			b.pendDL = time.Time{}
 		} else {
 			for _, bp := range batch {
 				b.pendBytes -= len(*bp)
 			}
 		}
 		b.mu.Unlock()
-		err := b.writeBatch(batch)
+		err := b.writeBatch(batch, dl)
 		b.mu.Lock()
 		if err != nil && b.err == nil {
 			b.err = err
@@ -279,6 +318,7 @@ func (b *RecBatcher) flushLocked(wait bool) error {
 		}
 		b.pend = nil
 		b.pendBytes = 0
+		b.pendDL = time.Time{}
 	}
 	fire := err != nil && !b.errFired
 	if fire {
@@ -292,10 +332,12 @@ func (b *RecBatcher) flushLocked(wait bool) error {
 }
 
 // writeBatch frames and writes one batch, then releases every buffer.
-func (b *RecBatcher) writeBatch(batch []*[]byte) error {
+// earliest is the tightest per-record deadline in the flush generation
+// (zero when none was attached), forwarded to PreWrite.
+func (b *RecBatcher) writeBatch(batch []*[]byte, earliest time.Time) error {
 	var err error
 	if b.PreWrite != nil {
-		err = b.PreWrite()
+		err = b.PreWrite(earliest)
 	}
 	if err == nil {
 		for _, bp := range batch {
