@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build xcompile test race bench bench-json bench-diff batch-smoke chaos chaos-smoke fuzz genstubs fmt vet ci
+.PHONY: all build xcompile test race bench bench-json bench-diff batch-smoke chaos chaos-smoke fuzz genstubs fmt vet analyze ci
 
 all: build
 
@@ -90,8 +90,9 @@ batch-smoke:
 # reader and the RPC call-header decoder, fed raw bytes), the header
 # template differentials (template bytes == generic marshaler bytes),
 # the call-body accept-set differential (fixed-offset parse == header
-# walker), and the whole-call fusion differentials (fused bytes ==
-# template-copy + plan bytes).
+# walker), the whole-call fusion differentials (fused bytes ==
+# template-copy + plan bytes), and the derivation differential
+# (tempo-derived plan == hand-built plan, bytes and errors alike).
 fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzRecRead -fuzztime=10s ./internal/xdr
 	$(GO) test -run=NONE -fuzz=FuzzDecodeCallHeader -fuzztime=10s ./internal/rpcmsg
@@ -101,6 +102,7 @@ fuzz:
 	$(GO) test -run=NONE -fuzz='FuzzCallBody$$' -fuzztime=10s ./internal/rpcmsg
 	$(GO) test -run=NONE -fuzz=FuzzCallPlanFused -fuzztime=10s ./internal/wire
 	$(GO) test -run=NONE -fuzz=FuzzReplyPlanFused -fuzztime=10s ./internal/wire
+	$(GO) test -run=NONE -fuzz=FuzzDerivedPlan -fuzztime=10s ./internal/wire
 	$(GO) test -run=NONE -fuzz=FuzzCompiledCodec -fuzztime=10s ./internal/compiledtest
 
 # Build the rpcgen-generated stubs as part of the pipeline: generate
@@ -108,9 +110,10 @@ fuzz:
 # once with -compiled — and vet/build both, so codegen regressions fail
 # the build instead of only the unit tests. The compiled pass also runs
 # the three-engine differential test against the freshly emitted codecs
-# (internal/compiledtest's test file, re-packaged), proving the emitted
+# (internal/compiledtest's test files, re-packaged), proving the emitted
 # source is not merely compilable but byte-identical to the
-# interpreters it replaces.
+# interpreters it replaces — and that the tempo-derived plans match the
+# hand-built ones for every freshly generated derivable type.
 genstubs:
 	rm -rf ci_genstubs
 	mkdir -p ci_genstubs
@@ -119,9 +122,18 @@ genstubs:
 	$(GO) build ./ci_genstubs
 	$(GO) run ./cmd/rpcgen -compiled -pkg ci_genstubs -go ci_genstubs/stubs.go internal/rpcgen/testdata/rich.x
 	sed 's/^package compiledtest$$/package ci_genstubs/' internal/compiledtest/compiled_test.go > ci_genstubs/compiled_test.go
+	sed 's/^package compiledtest$$/package ci_genstubs/' internal/compiledtest/derive_test.go > ci_genstubs/derive_test.go
 	$(GO) vet ./ci_genstubs
 	$(GO) test ./ci_genstubs
 	rm -rf ci_genstubs
+
+# Repo-invariant analyzers (cmd/specvet) over the whole tree via the
+# go vet vettool protocol, so test files are covered too. Any finding
+# fails; justified exceptions carry a //specvet:ok <analyzer> line.
+analyze:
+	$(GO) build -o .specvet.bin ./cmd/specvet
+	$(GO) vet -vettool=$(CURDIR)/.specvet.bin ./...
+	rm -f .specvet.bin
 
 fmt:
 	@unformatted="$$(gofmt -l .)"; \
@@ -132,4 +144,4 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-ci: fmt vet build xcompile race bench genstubs bench-diff batch-smoke chaos chaos-smoke fuzz
+ci: fmt vet analyze build xcompile race bench genstubs bench-diff batch-smoke chaos chaos-smoke fuzz

@@ -1,0 +1,150 @@
+// Command specvet runs the repository's invariant analyzers
+// (internal/analysis/analyzers) over Go packages. Two modes:
+//
+// Standalone, taking go-list patterns:
+//
+//	specvet ./...
+//
+// As a vet tool, driven by cmd/go's unit-checker protocol:
+//
+//	go vet -vettool=$(which specvet) ./...
+//
+// In both modes findings print as file:line:col: message (analyzer)
+// and a non-empty finding set exits nonzero, so `make analyze` and CI
+// fail on violations.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"specrpc/internal/analysis"
+	"specrpc/internal/analysis/analyzers"
+)
+
+func main() {
+	// cmd/go probes a vettool with -V=full before handing it work; the
+	// response must be "<name>: version <something>".
+	vFlag := flag.String("V", "", "print version and exit (vettool protocol)")
+	// ...and with -flags, expecting a JSON listing of tool flags it may
+	// forward. specvet takes none beyond the protocol's own.
+	flagsFlag := flag.Bool("flags", false, "print analyzer flags as JSON and exit (vettool protocol)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: specvet [packages]  |  go vet -vettool=specvet [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *vFlag != "" {
+		fmt.Printf("specvet: version 1\n")
+		return
+	}
+	if *flagsFlag {
+		fmt.Println("[]")
+		return
+	}
+
+	args := flag.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(runVettool(args[0]))
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	os.Exit(runStandalone(args))
+}
+
+func runStandalone(patterns []string) int {
+	pkgs, err := analysis.Load(patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "specvet: %v\n", err)
+		return 2
+	}
+	found := 0
+	for _, pkg := range pkgs {
+		found += report(pkg)
+	}
+	if found > 0 {
+		return 1
+	}
+	return 0
+}
+
+// vetConfig is the subset of cmd/go's unit-checker config specvet reads.
+// cmd/go writes one of these per package and invokes the tool with its
+// path as the sole argument.
+type vetConfig struct {
+	ID          string
+	Dir         string
+	ImportPath  string
+	GoFiles     []string
+	NonGoFiles  []string
+	ImportMap   map[string]string // import path in source -> canonical path
+	PackageFile map[string]string // canonical path -> export data file
+	VetxOnly    bool
+	VetxOutput  string
+	Stdout      string
+}
+
+func runVettool(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "specvet: %v\n", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "specvet: parsing %s: %v\n", cfgPath, err)
+		return 2
+	}
+
+	// cmd/go requires the facts file to exist even though specvet keeps
+	// no cross-package facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "specvet: %v\n", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	// Resolve vendored/test-variant import paths through ImportMap before
+	// the export-data lookup.
+	exports := make(map[string]string, len(cfg.PackageFile))
+	for path, file := range cfg.PackageFile {
+		exports[path] = file
+	}
+	for src, canonical := range cfg.ImportMap {
+		if file, ok := cfg.PackageFile[canonical]; ok {
+			exports[src] = file
+		}
+	}
+
+	pkg, err := analysis.CheckFiles(cfg.ImportPath, cfg.Dir, cfg.GoFiles, exports)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "specvet: %v\n", err)
+		return 2
+	}
+	if report(pkg) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// report runs the suite over one package and prints its findings.
+func report(pkg *analysis.Package) int {
+	diags, err := analysis.Run(pkg, analyzers.All())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "specvet: %s: %v\n", pkg.ImportPath, err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", pkg.Fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+	return len(diags)
+}

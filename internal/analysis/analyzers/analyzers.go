@@ -1,0 +1,63 @@
+// Package analyzers holds the specvet analyzer suite: the repository's
+// cross-cutting invariants — conventions PRs established and prose
+// documented — encoded as machine-checked analysis passes.
+//
+//   - unsafeconfine: unsafe stays in the codec/platform layers; other
+//     packages may only box typed pointers for codec calls.
+//   - hotpath: functions marked //specrpc:hotpath stay allocation-free
+//     (no fmt/errors/log calls, no closures, no interface boxing).
+//   - lockguard: struct fields annotated "guards x, y" or "guarded by
+//     mu" are only touched by methods that visibly take that lock.
+//   - atomicstyle: counters use the typed sync/atomic types; the raw
+//     free functions over *uint64 et al. are rejected.
+//
+// Findings are suppressed per line with `//specvet:ok <analyzer>` —
+// the escape hatch for the rare justified exception, which keeps the
+// analyzers strict without inviting drift.
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"specrpc/internal/analysis"
+)
+
+// All returns the full suite in reporting order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		UnsafeConfine,
+		HotPath,
+		LockGuard,
+		AtomicStyle,
+	}
+}
+
+// suppressions collects the lines carrying `//specvet:ok <name>`
+// markers for one file.
+func suppressions(fset *token.FileSet, file *ast.File, analyzer string) map[int]bool {
+	lines := map[int]bool{}
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimSpace(text)
+			if !strings.HasPrefix(text, "specvet:ok") {
+				continue
+			}
+			rest := strings.TrimSpace(strings.TrimPrefix(text, "specvet:ok"))
+			if rest != "" && rest != analyzer && !strings.HasPrefix(rest, analyzer+" ") {
+				continue
+			}
+			lines[fset.Position(c.Pos()).Line] = true
+		}
+	}
+	return lines
+}
+
+// suppressed reports whether pos's line (or the line above it) carries a
+// suppression for the analyzer.
+func suppressed(sup map[int]bool, fset *token.FileSet, pos token.Pos) bool {
+	line := fset.Position(pos).Line
+	return sup[line] || sup[line-1]
+}

@@ -1,0 +1,239 @@
+package analyzers_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"specrpc/internal/analysis"
+	"specrpc/internal/analysis/analyzers"
+)
+
+// stdExports resolves export-data files for the std packages the test
+// snippets import, once per test binary, via the same go-list channel
+// the real loader uses.
+var stdExports = sync.OnceValues(func() (map[string]string, error) {
+	cmd := exec.Command("go", "list", "-deps", "-export", "-json",
+		"fmt", "errors", "log", "sync", "sync/atomic", "unsafe")
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, err
+	}
+	exports := map[string]string{}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p struct {
+			ImportPath string
+			Export     string
+		}
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, err
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return exports, nil
+})
+
+// check runs the full suite over one source snippet presented under the
+// given import path and returns the findings as "line:col analyzer"
+// strings.
+func check(t *testing.T, importPath, src string) []string {
+	t.Helper()
+	exports, err := stdExports()
+	if err != nil {
+		t.Fatalf("resolving std export data: %v", err)
+	}
+	dir := t.TempDir()
+	file := filepath.Join(dir, "x.go")
+	if err := os.WriteFile(file, []byte(src), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := analysis.CheckFiles(importPath, dir, []string{file}, exports)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	if len(pkg.TypeErrors) > 0 {
+		t.Fatalf("snippet does not typecheck: %v", pkg.TypeErrors)
+	}
+	diags, err := analysis.Run(pkg, analyzers.All())
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var got []string
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		got = append(got, strings.TrimPrefix(pos.String(), file+":")+" "+d.Analyzer)
+	}
+	return got
+}
+
+func wantFindings(t *testing.T, got []string, want ...string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("findings = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("finding %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestUnsafeConfineOutsideLayers(t *testing.T) {
+	got := check(t, "specrpc/internal/client", `package client
+
+import "unsafe"
+
+type T struct{ a, b int32 }
+
+// box is the permitted hand-off: a typed pointer into an opaque word.
+func box(p *T) unsafe.Pointer { return unsafe.Pointer(p) }
+
+// unbox reinterprets memory and must be confined.
+func unbox(p unsafe.Pointer) *T { return (*T)(p) }
+
+// arith builds a pointer from an integer.
+func arith(p *T) unsafe.Pointer {
+	return unsafe.Pointer(uintptr(unsafe.Pointer(p)) + 4)
+}
+
+// add uses the unsafe.Add family.
+func add(p unsafe.Pointer) unsafe.Pointer { return unsafe.Add(p, 4) }
+`)
+	wantFindings(t, got,
+		"11:42 unsafeconfine", // (*T)(p)
+		"15:9 unsafeconfine",  // unsafe.Pointer(uintptr + 4)
+		"15:24 unsafeconfine", // uintptr(unsafe.Pointer(p))
+		"19:52 unsafeconfine", // unsafe.Add
+	)
+}
+
+func TestUnsafeConfineInsideLayersExempt(t *testing.T) {
+	got := check(t, "specrpc/internal/wire", `package wire
+
+import "unsafe"
+
+type T struct{ a int32 }
+
+func unbox(p unsafe.Pointer) *T { return (*T)(p) }
+func add(p unsafe.Pointer) unsafe.Pointer { return unsafe.Add(p, 4) }
+`)
+	wantFindings(t, got)
+}
+
+func TestUnsafeConfineSuppression(t *testing.T) {
+	got := check(t, "specrpc/internal/client", `package client
+
+import "unsafe"
+
+type T struct{ a int32 }
+
+func unbox(p unsafe.Pointer) *T {
+	//specvet:ok unsafeconfine
+	return (*T)(p)
+}
+`)
+	wantFindings(t, got)
+}
+
+func TestHotPath(t *testing.T) {
+	got := check(t, "example.com/hot", `package hot
+
+import "fmt"
+
+type frobber interface{ frob() }
+type thing struct{}
+
+func (thing) frob() {}
+
+// cold is unmarked: anything goes.
+func cold() error { return fmt.Errorf("x %d", 1) }
+
+// hot is the measured path.
+//
+//specrpc:hotpath
+func hot(n int) error {
+	if n < 0 {
+		return fmt.Errorf("bad %d", n)
+	}
+	f := func() int { return n }
+	_ = f()
+	var fr frobber = frobber(thing{})
+	fr.frob()
+	return nil
+}
+`)
+	wantFindings(t, got,
+		"18:10 hotpath", // fmt.Errorf
+		"20:7 hotpath",  // closure
+		"22:19 hotpath", // interface conversion
+	)
+}
+
+func TestLockGuard(t *testing.T) {
+	got := check(t, "example.com/lg", `package lg
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex // guards n, name
+	n  int
+	name string
+
+	data []byte // guarded by dmu
+	dmu  sync.Mutex
+}
+
+func (b *box) good() int { b.mu.Lock(); defer b.mu.Unlock(); return b.n }
+
+func (b *box) bad() int { return b.n }
+
+func (b *box) badName() string { return b.name }
+
+func (b *box) wrongLock() []byte { b.mu.Lock(); defer b.mu.Unlock(); return b.data }
+
+func (b *box) goodLocked() int { return b.n }
+
+func (b *box) suppressedRead() int {
+	//specvet:ok lockguard
+	return b.n
+}
+`)
+	wantFindings(t, got,
+		"16:34 lockguard",
+		"18:41 lockguard",
+		"20:77 lockguard",
+	)
+}
+
+func TestAtomicStyle(t *testing.T) {
+	got := check(t, "example.com/at", `package at
+
+import "sync/atomic"
+
+var word uint64
+var typed atomic.Uint64
+
+func free() uint64 { return atomic.LoadUint64(&word) }
+
+func freeAdd() { atomic.AddUint64(&word, 1) }
+
+// typed-value methods are the sanctioned form.
+func methods() uint64 { typed.Add(1); return typed.Load() }
+`)
+	wantFindings(t, got,
+		"8:29 atomicstyle",
+		"10:18 atomicstyle",
+	)
+}

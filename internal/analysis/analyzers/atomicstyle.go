@@ -1,0 +1,66 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"specrpc/internal/analysis"
+)
+
+// AtomicStyle enforces the typed-atomics convention: counters and flags
+// are declared as atomic.Uint64 / atomic.Bool / atomic.Pointer fields
+// and touched through their methods. The sync/atomic free functions
+// (atomic.AddUint64(&x, 1), atomic.LoadInt32(&f), ...) are rejected —
+// they separate the "this word is atomic" fact from the declaration, so
+// one forgotten call site silently reads a torn value. The repository
+// converted wholesale to typed atomics in the sharding PR; this pass
+// keeps new code from regressing.
+var AtomicStyle = &analysis.Analyzer{
+	Name: "atomicstyle",
+	Doc:  "use typed sync/atomic values (atomic.Uint64 etc.), not the free functions over raw words",
+	Run:  runAtomicStyle,
+}
+
+func runAtomicStyle(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		sup := suppressions(pass.Fset, file, "atomicstyle")
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+			if !ok || pn.Imported().Path() != "sync/atomic" {
+				return true
+			}
+			// Method calls on the typed values resolve the receiver, not a
+			// PkgName, so reaching here means a package-level free function.
+			if suppressed(sup, pass.Fset, call.Pos()) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "sync/atomic free function atomic.%s; declare the word as a typed atomic (atomic.%s-style value) and use its methods",
+				sel.Sel.Name, typedEquivalent(sel.Sel.Name))
+			return true
+		})
+	}
+	return nil
+}
+
+// typedEquivalent guesses the typed-atomic spelling to suggest from the
+// free function's name suffix.
+func typedEquivalent(fn string) string {
+	for _, suffix := range []string{"Uint64", "Uint32", "Int64", "Int32", "Uintptr", "Pointer"} {
+		if len(fn) > len(suffix) && fn[len(fn)-len(suffix):] == suffix {
+			return suffix
+		}
+	}
+	return "Uint64"
+}

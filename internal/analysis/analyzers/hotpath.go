@@ -1,0 +1,131 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"specrpc/internal/analysis"
+)
+
+// HotPath checks functions marked with a `//specrpc:hotpath` line in
+// their doc comment: the zero-allocation promise the benchmark suite
+// measures, enforced structurally. Inside a marked function the
+// analyzer rejects the allocation-prone constructs that have actually
+// bitten this codebase:
+//
+//   - calls into fmt, errors, or log (fmt.Errorf in a codec loop was a
+//     real finding — every error formats even when none is returned);
+//   - function literals (closure environments allocate);
+//   - explicit conversions of concrete values to interface types
+//     (boxing allocates).
+//
+// Marked functions may call other marked functions freely; the analyzer
+// is per-construct, not interprocedural.
+var HotPath = &analysis.Analyzer{
+	Name: "hotpath",
+	Doc:  "forbid allocation-prone constructs in //specrpc:hotpath functions",
+	Run:  runHotPath,
+}
+
+// hotMarker is the doc-comment line that opts a function in.
+const hotMarker = "specrpc:hotpath"
+
+// allocProneImports are the packages whose calls are rejected in hot
+// functions.
+var allocProneImports = map[string]bool{
+	"fmt":    true,
+	"errors": true,
+	"log":    true,
+}
+
+func runHotPath(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		sup := suppressions(pass.Fset, file, "hotpath")
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotMarked(fd) {
+				continue
+			}
+			checkHotBody(pass, fd, sup)
+		}
+	}
+	return nil
+}
+
+func isHotMarked(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if text == hotMarker {
+			return true
+		}
+	}
+	return false
+}
+
+func checkHotBody(pass *analysis.Pass, fd *ast.FuncDecl, sup map[int]bool) {
+	name := fd.Name.Name
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.FuncLit:
+			if !suppressed(sup, pass.Fset, e.Pos()) {
+				pass.Reportf(e.Pos(), "closure in hotpath function %s (closure environments allocate)", name)
+			}
+		case *ast.CallExpr:
+			if pkg, fn, ok := calleePackage(pass, e); ok && allocProneImports[pkg] {
+				if !suppressed(sup, pass.Fset, e.Pos()) {
+					pass.Reportf(e.Pos(), "%s.%s call in hotpath function %s (formats and allocates on every execution)", pkg, fn, name)
+				}
+				return true
+			}
+			checkInterfaceConversion(pass, e, name, sup)
+		}
+		return true
+	})
+}
+
+// calleePackage resolves a call to (package path, function name) when
+// the callee is a package-level function of another package.
+func calleePackage(pass *analysis.Pass, call *ast.CallExpr) (string, string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", "", false
+	}
+	pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", "", false
+	}
+	return pn.Imported().Path(), sel.Sel.Name, true
+}
+
+// checkInterfaceConversion reports explicit T(x) conversions where T is
+// an interface and x a concrete value: boxing, which allocates.
+func checkInterfaceConversion(pass *analysis.Pass, call *ast.CallExpr, name string, sup map[int]bool) {
+	if len(call.Args) != 1 {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return
+	}
+	if !types.IsInterface(tv.Type) {
+		return
+	}
+	argT := pass.TypesInfo.Types[call.Args[0]].Type
+	if argT == nil || types.IsInterface(argT) {
+		return
+	}
+	if b, ok := argT.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return
+	}
+	if !suppressed(sup, pass.Fset, call.Pos()) {
+		pass.Reportf(call.Pos(), "interface conversion %s(...) in hotpath function %s (boxing allocates)", tv.Type, name)
+	}
+}

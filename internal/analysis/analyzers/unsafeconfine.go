@@ -1,0 +1,133 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"specrpc/internal/analysis"
+)
+
+// fullUnsafePrefixes lists the package layers allowed full unsafe: the
+// codec layer (plans execute against raw struct memory) and the
+// platform layer (raw syscalls need pointer plumbing).
+var fullUnsafePrefixes = []string{
+	"specrpc/internal/wire",
+	"specrpc/internal/platform",
+}
+
+// UnsafeConfine checks the repository's unsafe-confinement invariant.
+// Inside internal/wire and internal/platform anything goes; everywhere
+// else the only permitted unsafe operations are using unsafe.Pointer as
+// an opaque type and boxing a typed pointer into one (the
+// `unsafe.Pointer(&v)` / `unsafe.Pointer(p)` hand-off that feeds a
+// value to a wire codec). Unboxing, pointer arithmetic, and the
+// unsafe.Add/Slice/String family are reported: those construct or
+// reinterpret memory and belong in the confined layers.
+var UnsafeConfine = &analysis.Analyzer{
+	Name: "unsafeconfine",
+	Doc: "confine unsafe to internal/wire and internal/platform; " +
+		"elsewhere only typed-pointer boxing into unsafe.Pointer is allowed",
+	Run: runUnsafeConfine,
+}
+
+func runUnsafeConfine(pass *analysis.Pass) error {
+	path := pass.Pkg.Path()
+	for _, pfx := range fullUnsafePrefixes {
+		if path == pfx || strings.HasPrefix(path, pfx+"/") {
+			return nil
+		}
+	}
+	for _, file := range pass.Files {
+		sup := suppressions(pass.Fset, file, "unsafeconfine")
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.CallExpr:
+				checkUnsafeCall(pass, e, sup)
+			case *ast.SelectorExpr:
+				if fn, ok := unsafeBuiltin(pass, e); ok {
+					switch fn {
+					case "Pointer", "Sizeof", "Alignof", "Offsetof":
+						// Pointer-as-type and the compile-time size
+						// operators are harmless anywhere; conversions
+						// through Pointer are vetted at the CallExpr.
+					default:
+						if !suppressed(sup, pass.Fset, e.Pos()) {
+							pass.Reportf(e.Pos(), "unsafe.%s outside the confined layers (internal/wire, internal/platform)", fn)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkUnsafeCall vets conversions involving unsafe.Pointer.
+func checkUnsafeCall(pass *analysis.Pass, call *ast.CallExpr, sup map[int]bool) {
+	if len(call.Args) != 1 {
+		return
+	}
+	argT := pass.TypesInfo.Types[call.Args[0]].Type
+	if argT == nil {
+		return
+	}
+	// unsafe.Pointer(x): boxing a typed pointer (or nil) is the allowed
+	// hand-off; anything built from a uintptr is arithmetic.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if fn, isUnsafe := unsafeBuiltin(pass, sel); isUnsafe && fn == "Pointer" {
+			switch u := argT.Underlying().(type) {
+			case *types.Pointer:
+				_ = u // *T -> unsafe.Pointer: the permitted boxing
+			case *types.Basic:
+				if u.Kind() == types.UntypedNil {
+					return
+				}
+				if !suppressed(sup, pass.Fset, call.Pos()) {
+					pass.Reportf(call.Pos(), "unsafe.Pointer built from %s outside the confined layers", argT)
+				}
+			default:
+				if !isUnsafePointer(argT) && !suppressed(sup, pass.Fset, call.Pos()) {
+					pass.Reportf(call.Pos(), "unsafe.Pointer conversion from %s outside the confined layers", argT)
+				}
+			}
+			return
+		}
+	}
+	// T(p) where p is unsafe.Pointer: unboxing back to a typed pointer
+	// (or to uintptr) reinterprets memory.
+	if !isUnsafePointer(argT) {
+		return
+	}
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		if isUnsafePointer(tv.Type) {
+			return // unsafe.Pointer(unsafe.Pointer(x)) via alias: harmless
+		}
+		if !suppressed(sup, pass.Fset, call.Pos()) {
+			pass.Reportf(call.Pos(), "conversion of unsafe.Pointer to %s outside the confined layers (internal/wire, internal/platform)", tv.Type)
+		}
+	}
+}
+
+// unsafeBuiltin resolves sel to a member of package unsafe.
+func unsafeBuiltin(pass *analysis.Pass, sel *ast.SelectorExpr) (string, bool) {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	obj, ok := pass.TypesInfo.Uses[id]
+	if !ok {
+		return "", false
+	}
+	pn, ok := obj.(*types.PkgName)
+	if !ok || pn.Imported().Path() != "unsafe" {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+func isUnsafePointer(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.UnsafePointer
+}

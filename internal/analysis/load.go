@@ -1,0 +1,138 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string // absolute paths
+	Fset       *token.FileSet
+	Syntax     []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+	// TypeErrors collects type-checking problems; analysis proceeds on a
+	// best-effort basis so one broken file doesn't hide all findings.
+	TypeErrors []error
+}
+
+// listedPackage is the subset of `go list -json` output the loader uses.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	DepOnly    bool
+	Standard   bool
+	Error      *struct{ Err string }
+}
+
+// Load resolves patterns with the go tool, type-checks every matched
+// (non-dependency) package against the compiler's export data, and
+// returns them ready for analysis. It shells out to `go list -deps
+// -export -json`, so the build cache does all the heavy lifting and no
+// third-party loader is needed.
+func Load(patterns []string) ([]*Package, error) {
+	args := append([]string{"list", "-deps", "-export", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %w", err)
+	}
+
+	exports := map[string]string{} // import path -> export file
+	var targets []*listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var lp listedPackage
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %w", err)
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+		if !lp.DepOnly {
+			p := lp
+			targets = append(targets, &p)
+		}
+	}
+
+	var pkgs []*Package
+	for _, lp := range targets {
+		pkg, err := typecheck(lp, exports)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// CheckFiles type-checks one explicit file set (the vettool unit-checker
+// path, where cmd/go supplies files and an import map directly).
+func CheckFiles(importPath, dir string, goFiles []string, exports map[string]string) (*Package, error) {
+	lp := &listedPackage{ImportPath: importPath, Dir: dir, GoFiles: goFiles}
+	return typecheck(lp, exports)
+}
+
+func typecheck(lp *listedPackage, exports map[string]string) (*Package, error) {
+	fset := token.NewFileSet()
+	pkg := &Package{ImportPath: lp.ImportPath, Dir: lp.Dir, Fset: fset}
+	for _, f := range lp.GoFiles {
+		path := f
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(lp.Dir, f)
+		}
+		pkg.GoFiles = append(pkg.GoFiles, path)
+		file, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %w", path, err)
+		}
+		pkg.Syntax = append(pkg.Syntax, file)
+	}
+
+	lookup := func(path string) (io.ReadCloser, error) {
+		exp, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(exp)
+	}
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "gc", lookup),
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	pkg.Info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	tpkg, err := conf.Check(lp.ImportPath, fset, pkg.Syntax, pkg.Info)
+	if err != nil && tpkg == nil {
+		return nil, fmt.Errorf("typecheck %s: %w", lp.ImportPath, err)
+	}
+	pkg.Types = tpkg
+	return pkg, nil
+}

@@ -166,7 +166,7 @@ func (c *Config) fill() {
 // per-call channels registered by issuing goroutines, keyed on XID. It is
 // the concurrency core shared by both transports.
 type demux struct {
-	mu    sync.Mutex
+	mu    sync.Mutex // guards calls, err
 	calls map[uint32]chan *[]byte
 	err   error         // terminal transport error; set once
 	done  chan struct{} // closed when err is set
@@ -268,7 +268,7 @@ func (d *demux) inFlight() int {
 // select on it and unblock immediately instead of finishing their
 // timer (the client-side mirror of the server's accept-backoff fix).
 type lifecycle struct {
-	mu     sync.Mutex
+	mu     sync.Mutex // guards closed
 	closed bool
 	done   chan struct{}
 }
@@ -512,7 +512,7 @@ func drainReply(ch chan *[]byte, sink *replySink) (bool, error) {
 // always belongs to the plans in hand, never to whichever caller
 // happened to arrive first.
 type plannedProcs struct {
-	mu sync.RWMutex
+	mu sync.RWMutex // guards m
 	m  map[uint32]*plannedProc
 }
 
@@ -888,7 +888,7 @@ type TCP struct {
 	redial func() (net.Conn, error) // nil → no transparent reconnect
 	stats  retryCounters
 
-	// connMu guards the connection generations. cur is the connection
+	// connMu guards cur, redialCh — the connection generations. cur is the connection
 	// calls go out on; each generation owns its conn, demultiplexer,
 	// batcher, and reader, so a dead generation's state never bleeds
 	// into its replacement. redialCh is non-nil while one goroutine is

@@ -105,7 +105,7 @@ func (p *RetryPolicy) delay(attempt int) time.Duration {
 // retryBudget is the token bucket retries spend from. A nil budget
 // always admits (no policy, or BudgetRate < 0).
 type retryBudget struct {
-	mu     sync.Mutex
+	mu     sync.Mutex // guards tokens, last
 	tokens float64
 	last   time.Time
 	rate   float64

@@ -1,0 +1,133 @@
+package compiledtest
+
+// Derivation differential for the rpcgen-emitted wire descriptions:
+// for every generated type the tempo pipeline can specialize, the plan
+// derived by binding-time analysis (wire.DeriveCodec — probe stub →
+// specializer → residual schedule → lowering) must be
+// instruction-identical and byte-identical to the hand-built MustPlan
+// codec the stubs actually ship; for every type it cannot, the failure
+// must be an explicit *planext.UnsupportedError, never a silently
+// different plan.
+//
+// Like compiled_test.go, this file doubles as the CI genstubs
+// differential: the Makefile regenerates stubs.go from rich.x into a
+// scratch package, copies this test alongside, and runs it there — so
+// the derivation claim is checked against freshly emitted descriptions,
+// not just the committed ones.
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"unsafe"
+
+	"specrpc/internal/tempo/planext"
+	"specrpc/internal/wire"
+	"specrpc/internal/xdr"
+)
+
+// derivable lists the generated (wire type, hand plan, value factory)
+// triples inside the probe subset: word scalars, fixed arrays, counted
+// arrays of words, and nested records thereof.
+func derivable(rng *rand.Rand) []struct {
+	name string
+	wt   *wire.Type
+	hand *wire.Codec
+	rt   reflect.Type
+	val  func() unsafe.Pointer
+} {
+	return []struct {
+		name string
+		wt   *wire.Type
+		hand *wire.Codec
+		rt   reflect.Type
+		val  func() unsafe.Pointer
+	}{
+		{"point", wireTypePoint, planPoint.Codec(), reflect.TypeOf(Point{}), func() unsafe.Pointer {
+			return unsafe.Pointer(&Point{X: rng.Int31(), Y: -rng.Int31()})
+		}},
+		{"numbers", wireTypeNumbers, planNumbers.Codec(), reflect.TypeOf(Numbers(nil)), func() unsafe.Pointer {
+			v := make(Numbers, rng.Intn(40))
+			for i := range v {
+				v[i] = rng.Int31()
+			}
+			return unsafe.Pointer(&v)
+		}},
+	}
+}
+
+// TestDerivedPlanMatchesGenerated: the analysis-derived codec equals the
+// shipped hand-built one — same instruction program, same bytes out,
+// same accept/reject and value in — for every derivable generated type.
+func TestDerivedPlanMatchesGenerated(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, mode := range []wire.Mode{wire.Specialized, wire.Chunked} {
+		for _, tc := range derivable(rng) {
+			derived, err := wire.DeriveCodec(tc.wt, tc.rt, mode)
+			if err != nil {
+				t.Errorf("%s/%v: derivation failed: %v", tc.name, mode, err)
+				continue
+			}
+			hand, err := wire.Compile(tc.wt, tc.rt, mode)
+			if err != nil {
+				t.Fatalf("%s/%v: hand compile: %v", tc.name, mode, err)
+			}
+			if d, h := derived.ProgString(), hand.ProgString(); d != h {
+				t.Errorf("%s/%v: derived program differs from hand-built\nderived:\n%s\nhand:\n%s", tc.name, mode, d, h)
+				continue
+			}
+			for pass := 0; pass < 25; pass++ {
+				p := tc.val()
+				hb := xdr.NewBufEncode(nil)
+				if err := tc.hand.Encode(xdr.NewEncoder(hb), p); err != nil {
+					t.Fatalf("%s/%v: hand encode: %v", tc.name, mode, err)
+				}
+				db := xdr.NewBufEncode(nil)
+				if err := derived.Encode(xdr.NewEncoder(db), p); err != nil {
+					t.Fatalf("%s/%v: derived encode: %v", tc.name, mode, err)
+				}
+				if !bytes.Equal(db.Buffer(), hb.Buffer()) {
+					t.Fatalf("%s/%v: derived bytes differ\n got %x\nwant %x", tc.name, mode, db.Buffer(), hb.Buffer())
+				}
+				gotH := reflect.New(tc.rt)
+				gotD := reflect.New(tc.rt)
+				herr := tc.hand.DecodeBody(hb.Buffer(), gotH.UnsafePointer())
+				derr := derived.DecodeBody(hb.Buffer(), gotD.UnsafePointer())
+				if (herr == nil) != (derr == nil) {
+					t.Fatalf("%s/%v: decode disagreement: hand=%v derived=%v", tc.name, mode, herr, derr)
+				}
+				if herr == nil && !reflect.DeepEqual(gotH.Elem().Interface(), gotD.Elem().Interface()) {
+					t.Fatalf("%s/%v: decoded values differ", tc.name, mode)
+				}
+			}
+		}
+	}
+}
+
+// TestDeriveFallbackExplicit: generated types outside the probe subset
+// (strings, opaque bytes, and the kitchen-sink record containing them)
+// must fail derivation with the typed unsupported error — the explicit
+// signal the caller needs to fall back to the hand compiler.
+func TestDeriveFallbackExplicit(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		wt   *wire.Type
+		rt   reflect.Type
+	}{
+		{"blob", wireTypeBlob, reflect.TypeOf(Blob(nil))},
+		{"word", wireTypeWord, reflect.TypeOf(Word(""))},
+		{"sample", wireTypeSample, reflect.TypeOf(Sample{})},
+	} {
+		_, err := wire.DeriveCodec(tc.wt, tc.rt, wire.Specialized)
+		if err == nil {
+			t.Errorf("%s: derivation unexpectedly succeeded", tc.name)
+			continue
+		}
+		var ue *planext.UnsupportedError
+		if !errors.As(err, &ue) {
+			t.Errorf("%s: error %v is not an UnsupportedError", tc.name, err)
+		}
+	}
+}

@@ -193,7 +193,7 @@ type PacketConn struct {
 	plan  Plan
 	stats *Stats
 
-	mu  sync.Mutex
+	mu  sync.Mutex // guards rng
 	rng *rand.Rand
 }
 

@@ -64,7 +64,7 @@ func (m *Mapping) Marshal(x *xdr.XDR) error { return mappingPlan.Marshal(x, m) }
 
 // Registry is the in-memory mapping table.
 type Registry struct {
-	mu sync.RWMutex
+	mu sync.RWMutex       // guards m
 	m  map[Mapping]uint32 // key has Port zeroed; value is the port
 }
 

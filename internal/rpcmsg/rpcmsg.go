@@ -201,6 +201,8 @@ func DecodeSysCred(a OpaqueAuth) (*SysCred, error) {
 // reply without building a decoder. Both the client demultiplexer and the
 // server duplicate-request cache route messages on the XID before any
 // header decoding happens, so this stays on the hot path.
+//
+//specrpc:hotpath
 func PeekXID(b []byte) (uint32, bool) {
 	if len(b) < 4 {
 		return 0, false

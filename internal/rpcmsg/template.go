@@ -89,6 +89,8 @@ func (t *CallTemplate) Len() int { return len(t.buf) }
 // AppendCall appends the header for (xid, proc) to dst and returns the
 // extended slice: one copy of the constant bytes plus two 4-byte stores,
 // byte-identical to CallHeader.Marshal on the same fields.
+//
+//specrpc:hotpath
 func (t *CallTemplate) AppendCall(dst []byte, xid, proc uint32) []byte {
 	base := len(dst)
 	dst = append(dst, t.buf...)
@@ -137,6 +139,8 @@ func (t *ReplyTemplate) Len() int { return len(t.buf) }
 
 // AppendReply appends the success header for xid to dst and returns the
 // extended slice, byte-identical to AcceptedReply(xid).Marshal.
+//
+//specrpc:hotpath
 func (t *ReplyTemplate) AppendReply(dst []byte, xid uint32) []byte {
 	base := len(dst)
 	dst = append(dst, t.buf...)
@@ -146,6 +150,8 @@ func (t *ReplyTemplate) AppendReply(dst []byte, xid uint32) []byte {
 
 // CopyTo writes the success header for xid into dst, which must be
 // exactly Len() bytes (e.g. a window reserved with BufStream.Extend).
+//
+//specrpc:hotpath
 func (t *ReplyTemplate) CopyTo(dst []byte, xid uint32) {
 	copy(dst, t.buf)
 	put32(dst, xid)
@@ -159,6 +165,8 @@ func (t *ReplyTemplate) CopyTo(dst []byte, xid uint32) {
 // back to the generic ReplyHeader.Marshal walker; the two paths accept
 // exactly the same inputs on this shape (fuzz-asserted), the fast one
 // just skips the interpretive dispatch.
+//
+//specrpc:hotpath
 func AcceptedSuccessBody(b []byte) ([]byte, bool) {
 	// Fixed prefix: xid, msg_type, reply_stat, verf flavor, verf length —
 	// five words — then the verf body (padded) and the accept_stat word.
@@ -191,6 +199,8 @@ func AcceptedSuccessBody(b []byte) ([]byte, bool) {
 // to the generic interpretive walk. This is what lets a server's
 // per-procedure dispatch table skip the header walker entirely on the
 // hot path.
+//
+//specrpc:hotpath
 func CallBody(b []byte) (xid, prog, vers, proc uint32, body []byte, ok bool) {
 	// Fixed prefix: xid, msg_type, rpcvers, prog, vers, proc, cred
 	// flavor, cred length — eight words — then the cred body (padded),

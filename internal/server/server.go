@@ -64,7 +64,7 @@ type TypedProc func(body []byte, xid uint32, bs *xdr.BufStream) error
 
 // Server dispatches RPC calls to registered procedures.
 type Server struct {
-	mu       sync.RWMutex
+	mu       sync.RWMutex // guards procs, typed, versions
 	procs    map[procKey]Proc
 	typed    map[procKey]TypedProc // fused fast-path dispatch table
 	versions map[uint32][2]uint32  // prog -> [low, high] registered versions
@@ -97,7 +97,7 @@ type Server struct {
 	conns      atomic.Int64  // live stream connections
 
 	wg        sync.WaitGroup
-	closeMu   sync.Mutex
+	closeMu   sync.Mutex // guards closers, closerSeq, closed
 	closers   map[uint64]func() error
 	closerSeq uint64
 	closed    bool

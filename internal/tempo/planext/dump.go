@@ -1,0 +1,197 @@
+package planext
+
+// The binding-time division dump: the paper's §6.1 evidence artifact
+// ("different colors are used to display the static and dynamic parts
+// of a program") rendered as text and committed as goldens under
+// internal/tempo/testdata/. For each corpus entry the dump shows
+//
+//   - a per-variable/per-field table of how the BTA classified every
+//     object and handle access in the probe stub (static, dynamic,
+//     mixed, or dead under the division),
+//   - the two-level annotated stub source («…» dynamic, ⟦…⟧ dead),
+//   - the residual program the specializer produced, and
+//   - the extracted access schedule the wire plan is lowered from.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"specrpc/internal/minic"
+)
+
+// DivisionDump renders the full binding-time evidence artifact for one
+// derivation.
+func (d *Derivation) DivisionDump() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "binding-time division · entry %s · direction %s\n", d.Entry, d.Schedule.Dir)
+	static, dynamic := d.Division.Summary()
+	fmt.Fprintf(&sb, "observations: %d static, %d dynamic (%.0f%% of the stub's work folded away)\n",
+		static, dynamic, 100*float64(static)/float64(static+dynamic))
+	sb.WriteString("\n== variable/field classification ==\n\n")
+	sb.WriteString(d.classificationTable())
+	sb.WriteString("\n== two-level stub (« » dynamic, ⟦ ⟧ dead) ==\n\n")
+	for _, fn := range d.StubFuncs {
+		out, err := d.Division.Render(d.Program, fn)
+		if err != nil {
+			fmt.Fprintf(&sb, "render %s: %v\n", fn, err)
+			continue
+		}
+		sb.WriteString(out)
+	}
+	sb.WriteString("\n== residual program ==\n\n")
+	sb.WriteString(d.residualText())
+	sb.WriteString("\n== extracted schedule ==\n\n")
+	sb.WriteString(d.Schedule.String())
+	return sb.String()
+}
+
+// classificationTable tallies every variable and field access in the
+// probe stub by binding time.
+func (d *Derivation) classificationTable() string {
+	type row struct {
+		static, dynamic int
+		observed        bool
+	}
+	rows := map[string]*row{}
+	var order []string
+	note := func(name string, e minic.Expr) {
+		r := rows[name]
+		if r == nil {
+			r = &row{}
+			rows[name] = r
+			order = append(order, name)
+		}
+		// The specializer observes the nodes it evaluates, which for a
+		// residualized access are the subexpressions; sum over the whole
+		// subtree so objp->f0 inherits the binding time of its parts.
+		walkExpr(e, func(sub minic.Expr) {
+			s, dyn := d.Division.Counts(sub)
+			r.static += s
+			r.dynamic += dyn
+			if d.Division.Observed(sub) {
+				r.observed = true
+			}
+		})
+	}
+	for _, fn := range d.StubFuncs {
+		f := d.Program.Funcs[fn]
+		if f == nil {
+			continue
+		}
+		walkExprs(f.Body, func(e minic.Expr) {
+			switch e.(type) {
+			case *minic.VarRef, *minic.Field:
+				note(minic.ExprString(e), e)
+			}
+		})
+	}
+	// Rows keep first-appearance order (source order of the stub);
+	// a stable sort by class groups the summary reading without losing
+	// it: static first, then mixed, dynamic, dead.
+	class := func(r *row) string {
+		switch {
+		case !r.observed:
+			return "dead"
+		case r.dynamic == 0:
+			return "static"
+		case r.static == 0:
+			return "dynamic"
+		default:
+			return "mixed"
+		}
+	}
+	rank := map[string]int{"static": 0, "mixed": 1, "dynamic": 2, "dead": 3}
+	sort.SliceStable(order, func(i, j int) bool {
+		return rank[class(rows[order[i]])] < rank[class(rows[order[j]])]
+	})
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-28s %7s %8s  %s\n", "expression", "static", "dynamic", "class")
+	for _, name := range order {
+		r := rows[name]
+		fmt.Fprintf(&sb, "%-28s %7d %8d  %s\n", name, r.static, r.dynamic, class(r))
+	}
+	return sb.String()
+}
+
+// residualText prints the residual entry (and any residual variants) of
+// the derivation, without the unchanged library declarations.
+func (d *Derivation) residualText() string {
+	sub := &minic.Program{Funcs: map[string]*minic.FuncDef{}}
+	var names []string
+	for name, f := range d.Residual.Program.Funcs {
+		// Residual functions carry the specialization suffix; the
+		// untouched library copies do not.
+		if strings.Contains(name, "_spec") {
+			names = append(names, name)
+			sub.Funcs[name] = f
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		sub.Order = append(sub.Order, "func "+name)
+	}
+	return minic.PrintProgram(sub)
+}
+
+// walkExprs visits every expression under a statement in source order.
+func walkExprs(s minic.Stmt, visit func(minic.Expr)) {
+	switch n := s.(type) {
+	case nil:
+	case *minic.Block:
+		for _, st := range n.Stmts {
+			walkExprs(st, visit)
+		}
+	case *minic.If:
+		walkExpr(n.Cond, visit)
+		walkExprs(n.Then, visit)
+		if n.Else != nil {
+			walkExprs(n.Else, visit)
+		}
+	case *minic.While:
+		walkExpr(n.Cond, visit)
+		walkExprs(n.Body, visit)
+	case *minic.For:
+		if n.Init != nil {
+			walkExprs(n.Init, visit)
+		}
+		walkExpr(n.Cond, visit)
+		if n.Post != nil {
+			walkExprs(n.Post, visit)
+		}
+		walkExprs(n.Body, visit)
+	case *minic.Return:
+		walkExpr(n.E, visit)
+	case *minic.ExprStmt:
+		walkExpr(n.E, visit)
+	case *minic.VarDecl:
+		walkExpr(n.Init, visit)
+	}
+}
+
+func walkExpr(e minic.Expr, visit func(minic.Expr)) {
+	if e == nil {
+		return
+	}
+	visit(e)
+	switch n := e.(type) {
+	case *minic.Unary:
+		walkExpr(n.X, visit)
+	case *minic.Binary:
+		walkExpr(n.X, visit)
+		walkExpr(n.Y, visit)
+	case *minic.Assign:
+		walkExpr(n.LHS, visit)
+		walkExpr(n.RHS, visit)
+	case *minic.Call:
+		walkExpr(n.Fun, visit)
+		for _, a := range n.Args {
+			walkExpr(a, visit)
+		}
+	case *minic.Field:
+		walkExpr(n.X, visit)
+	case *minic.Index:
+		walkExpr(n.X, visit)
+		walkExpr(n.I, visit)
+	}
+}

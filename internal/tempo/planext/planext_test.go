@@ -1,0 +1,175 @@
+package planext
+
+import (
+	"strings"
+	"testing"
+)
+
+// pairShape mirrors examples/rmin: struct pair { int a; int b; }.
+func pairShape() *Shape {
+	return &Shape{Kind: Record, Fields: []*Shape{{Kind: Word}, {Kind: Word}}}
+}
+
+func TestDerivePairEncode(t *testing.T) {
+	d, err := Derive(pairShape(), Encode)
+	if err != nil {
+		t.Fatalf("Derive: %v", err)
+	}
+	s := d.Schedule
+	if len(s.Accesses) != 2 || s.WireBytes != 8 {
+		t.Fatalf("schedule = %v", s)
+	}
+	want := []string{"@0000 obj.f0", "@0004 obj.f1"}
+	for i, a := range s.Accesses {
+		if a.String() != want[i] {
+			t.Errorf("access %d = %s, want %s", i, a, want[i])
+		}
+	}
+}
+
+func TestDerivePairDecode(t *testing.T) {
+	d, err := Derive(pairShape(), Decode)
+	if err != nil {
+		t.Fatalf("Derive: %v", err)
+	}
+	if got := len(d.Schedule.Accesses); got != 2 {
+		t.Fatalf("accesses = %d, want 2\nschedule:\n%s", got, d.Schedule)
+	}
+}
+
+func TestDeriveScalarWrapped(t *testing.T) {
+	for _, k := range []Kind{Word, UWord, Flag} {
+		d, err := Derive(&Shape{Kind: k}, Encode)
+		if err != nil {
+			t.Fatalf("Derive(%s): %v", k, err)
+		}
+		s := d.Schedule
+		if len(s.Accesses) != 1 || s.WireBytes != 4 {
+			t.Fatalf("%s schedule = %v", k, s)
+		}
+		a := s.Accesses[0]
+		if len(a.Path) != 0 {
+			t.Errorf("%s wrapped scalar path = %v, want empty", k, a.Path)
+		}
+	}
+}
+
+func TestDeriveFixedArray(t *testing.T) {
+	sh := &Shape{Kind: Record, Fields: []*Shape{
+		{Kind: Fixed, Len: 3, Elem: &Shape{Kind: Word}},
+	}}
+	d, err := Derive(sh, Encode)
+	if err != nil {
+		t.Fatalf("Derive: %v", err)
+	}
+	s := d.Schedule
+	if len(s.Accesses) != 3 || s.WireBytes != 12 {
+		t.Fatalf("schedule:\n%s", s)
+	}
+	for i, a := range s.Accesses {
+		want := Access{Path: []Step{{Field: 0, Index: -1}, {Field: -1, Index: i}}, WireOff: 4 * i}
+		if a.String() != want.String() {
+			t.Errorf("access %d = %s, want %s", i, a, want)
+		}
+	}
+}
+
+func TestDeriveCountedArray(t *testing.T) {
+	sh := &Shape{Kind: Record, Fields: []*Shape{
+		{Kind: Counted, Bound: 7, Elem: &Shape{Kind: Word}},
+	}}
+	d, err := Derive(sh, Decode)
+	if err != nil {
+		t.Fatalf("Derive: %v", err)
+	}
+	s := d.Schedule
+	// Count word + ProbeCount(7)=2 probe elements.
+	if len(s.Accesses) != 3 || s.WireBytes != 12 {
+		t.Fatalf("schedule:\n%s", s)
+	}
+	if !s.Accesses[0].Path[0].Count {
+		t.Errorf("first access %s is not the count word", s.Accesses[0])
+	}
+	t.Logf("schedule:\n%s", s)
+}
+
+func TestDeriveNestedRecord(t *testing.T) {
+	inner := &Shape{Kind: Record, Fields: []*Shape{{Kind: Word}, {Kind: Word}}}
+	sh := &Shape{Kind: Record, Fields: []*Shape{
+		{Kind: UWord},
+		inner,
+		{Kind: Flag},
+	}}
+	d, err := Derive(sh, Encode)
+	if err != nil {
+		t.Fatalf("Derive: %v", err)
+	}
+	s := d.Schedule
+	want := []string{
+		"@0000 obj.f0",
+		"@0004 obj.f1.f0",
+		"@0008 obj.f1.f1",
+		"@0012 obj.f2",
+	}
+	if len(s.Accesses) != len(want) {
+		t.Fatalf("schedule:\n%s", s)
+	}
+	for i, a := range s.Accesses {
+		if a.String() != want[i] {
+			t.Errorf("access %d = %s, want %s", i, a, want[i])
+		}
+	}
+}
+
+func TestDeriveUnsupported(t *testing.T) {
+	cases := []struct {
+		name string
+		sh   *Shape
+	}{
+		{"array of records", &Shape{Kind: Record, Fields: []*Shape{
+			{Kind: Fixed, Len: 2, Elem: &Shape{Kind: Record, Fields: []*Shape{{Kind: Word}}}},
+		}}},
+		{"counted of counted", &Shape{Kind: Counted, Bound: 3, Elem: &Shape{Kind: Counted, Bound: 2, Elem: &Shape{Kind: Word}}}},
+		{"empty record", &Shape{Kind: Record}},
+		{"zero-length fixed", &Shape{Kind: Fixed, Len: 0, Elem: &Shape{Kind: Word}}},
+		{"nil", nil},
+	}
+	for _, tc := range cases {
+		_, err := Derive(tc.sh, Encode)
+		if err == nil {
+			t.Errorf("%s: Derive succeeded, want UnsupportedError", tc.name)
+			continue
+		}
+		var ue *UnsupportedError
+		if !asUnsupported(err, &ue) {
+			t.Errorf("%s: error %v is not UnsupportedError", tc.name, err)
+		}
+	}
+}
+
+func asUnsupported(err error, out **UnsupportedError) bool {
+	for err != nil {
+		if ue, ok := err.(*UnsupportedError); ok {
+			*out = ue
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+func TestStubSourceShape(t *testing.T) {
+	d, err := Derive(pairShape(), Encode)
+	if err != nil {
+		t.Fatalf("Derive: %v", err)
+	}
+	for _, frag := range []string{"struct d0", "xdr_d0", "xdr_int(xdrs, &objp->f0)"} {
+		if !strings.Contains(d.StubSource, frag) {
+			t.Errorf("stub source lacks %q:\n%s", frag, d.StubSource)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package wire
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"reflect"
 	"unsafe"
@@ -215,6 +216,13 @@ func ensureSlice(dst unsafe.Pointer, sliceT reflect.Type, cnt int, stride uintpt
 // runs through an outer loop in ChunkUnits-element chunks, the paper's
 // Table 4 transform.
 
+// errBadInstruction reports a corrupted plan. A plan is built once by
+// Compile/DeriveCodec, so this is an internal invariant, not an input
+// error — and the hot executors must not pay fmt.Errorf's allocation to
+// report it.
+var errBadInstruction = errors.New("wire: bad instruction in plan")
+
+//specrpc:hotpath
 func encodeProg(bs *xdr.BufStream, prog []instr, p unsafe.Pointer, chunk int) error {
 	for i := range prog {
 		in := &prog[i]
@@ -272,7 +280,7 @@ func encodeProg(bs *xdr.BufStream, prog []instr, p unsafe.Pointer, chunk int) er
 				}
 			}
 		default:
-			return fmt.Errorf("wire: bad instruction %d", in.op)
+			return errBadInstruction
 		}
 	}
 	return nil
@@ -281,6 +289,8 @@ func encodeProg(bs *xdr.BufStream, prog []instr, p unsafe.Pointer, chunk int) er
 // encUnits writes n 4-byte big-endian units from src: the residual loop
 // of the specialized stub — no dispatch, no per-unit check, just the
 // byte-order store.
+//
+//specrpc:hotpath
 func encUnits(bs *xdr.BufStream, src unsafe.Pointer, n, chunk int) {
 	for done := 0; done < n; {
 		k := runLen(n-done, chunk)
@@ -292,6 +302,7 @@ func encUnits(bs *xdr.BufStream, src unsafe.Pointer, n, chunk int) {
 	}
 }
 
+//specrpc:hotpath
 func encUnits8(bs *xdr.BufStream, src unsafe.Pointer, n, chunk int) {
 	for done := 0; done < n; {
 		k := runLen(n-done, chunk)
@@ -303,6 +314,7 @@ func encUnits8(bs *xdr.BufStream, src unsafe.Pointer, n, chunk int) {
 	}
 }
 
+//specrpc:hotpath
 func encBools(bs *xdr.BufStream, src unsafe.Pointer, n, chunk int) {
 	for done := 0; done < n; {
 		k := runLen(n-done, chunk)
@@ -319,6 +331,8 @@ func encBools(bs *xdr.BufStream, src unsafe.Pointer, n, chunk int) {
 }
 
 // encBytes writes n fixed opaque bytes plus padding as one memcpy run.
+//
+//specrpc:hotpath
 func encBytes(bs *xdr.BufStream, src unsafe.Pointer, n int) {
 	if n == 0 {
 		return
@@ -332,6 +346,8 @@ func encBytes(bs *xdr.BufStream, src unsafe.Pointer, n int) {
 }
 
 // encCounted writes a 4-byte count, n raw bytes, and padding.
+//
+//specrpc:hotpath
 func encCounted(bs *xdr.BufStream, src unsafe.Pointer, n int) {
 	pad := xdr.Pad(n)
 	w := bs.Extend(4 + n + pad)
@@ -345,6 +361,8 @@ func encCounted(bs *xdr.BufStream, src unsafe.Pointer, n int) {
 }
 
 // runLen bounds one inner run to the chunk size (0 = unbounded).
+//
+//specrpc:hotpath
 func runLen(remaining, chunk int) int {
 	if chunk > 0 && remaining > chunk {
 		return chunk
@@ -352,6 +370,7 @@ func runLen(remaining, chunk int) int {
 	return remaining
 }
 
+//specrpc:hotpath
 func decodeProg(ms *xdr.MemStream, prog []instr, p unsafe.Pointer, chunk int) error {
 	for i := range prog {
 		in := &prog[i]
@@ -453,12 +472,13 @@ func decodeProg(ms *xdr.MemStream, prog []instr, p unsafe.Pointer, chunk int) er
 				}
 			}
 		default:
-			return fmt.Errorf("wire: bad instruction %d", in.op)
+			return errBadInstruction
 		}
 	}
 	return nil
 }
 
+//specrpc:hotpath
 func decCount(ms *xdr.MemStream, bound uint32) (int, error) {
 	b, err := ms.Take(4)
 	if err != nil {
@@ -471,6 +491,7 @@ func decCount(ms *xdr.MemStream, bound uint32) (int, error) {
 	return int(cnt), nil
 }
 
+//specrpc:hotpath
 func decUnits(ms *xdr.MemStream, dst unsafe.Pointer, n, chunk int) error {
 	for done := 0; done < n; {
 		k := runLen(n-done, chunk)
@@ -486,6 +507,7 @@ func decUnits(ms *xdr.MemStream, dst unsafe.Pointer, n, chunk int) error {
 	return nil
 }
 
+//specrpc:hotpath
 func decUnits8(ms *xdr.MemStream, dst unsafe.Pointer, n, chunk int) error {
 	for done := 0; done < n; {
 		k := runLen(n-done, chunk)
@@ -501,6 +523,7 @@ func decUnits8(ms *xdr.MemStream, dst unsafe.Pointer, n, chunk int) error {
 	return nil
 }
 
+//specrpc:hotpath
 func decBools(ms *xdr.MemStream, dst unsafe.Pointer, n, chunk int) error {
 	for done := 0; done < n; {
 		k := runLen(n-done, chunk)
@@ -522,6 +545,8 @@ func decBools(ms *xdr.MemStream, dst unsafe.Pointer, n, chunk int) error {
 // path cheap. The slice header written is a valid header for the field's
 // own (pointer-free) element type, so the GC tracks the backing array
 // through the field as usual.
+//
+//specrpc:hotpath
 func ensureSlicePtrFree(dst unsafe.Pointer, cnt int, stride uintptr) unsafe.Pointer {
 	h := (*sliceHeader)(dst)
 	if h.len == cnt {

@@ -144,6 +144,8 @@ func NewCompiledCallCodec(tmpl *rpcmsg.CallTemplate, proc uint32, args *Codec) *
 
 // Append emits the complete call message for (xid, arg) onto bs,
 // byte-identical to the fused CallCodec and the template+plan pair.
+//
+//specrpc:hotpath
 func (cc *CompiledCallCodec) Append(bs *xdr.BufStream, xid uint32, arg unsafe.Pointer) error {
 	return cc.app(bs, cc.hdr, xid, arg)
 }
@@ -183,6 +185,8 @@ func NewCompiledReplyCodec(tmpl *rpcmsg.ReplyTemplate, results *Codec) *Compiled
 }
 
 // Append emits the complete accepted-success reply for (xid, res).
+//
+//specrpc:hotpath
 func (rc *CompiledReplyCodec) Append(bs *xdr.BufStream, xid uint32, res unsafe.Pointer) error {
 	return rc.app(bs, rc.hdr, xid, res)
 }
@@ -199,6 +203,8 @@ func (rc *CompiledReplyCodec) AppendHeader(bs *xdr.BufStream, xid uint32) error 
 // DecodeReply recognizes an accepted-success reply at fixed offsets and
 // decodes the results through the emitted routine; handled=false sends
 // any other reply shape to the generic path, exactly as ReplyCodec does.
+//
+//specrpc:hotpath
 func (rc *CompiledReplyCodec) DecodeReply(raw []byte, res unsafe.Pointer) (bool, error) {
 	body, ok := rpcmsg.AcceptedSuccessBody(raw)
 	if !ok {

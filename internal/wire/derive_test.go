@@ -1,0 +1,365 @@
+package wire
+
+// Derivation equivalence: the tempo-derived plan must be structurally
+// identical to the hand compiler's output and byte-identical on the
+// wire for every fully-compat type in the rpcgen corpus (rich.x,
+// rmin.x, pmap). This is the reproduction result of ROADMAP item 3,
+// front (a): the paper's binding-time analysis, not our compilation
+// rules, produces the live codec shape.
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"unsafe"
+
+	"specrpc/internal/tempo/planext"
+	"specrpc/internal/xdr"
+)
+
+// Corpus Go types, mirroring the generated stubs they stand in for
+// (examples/rmin Pair, internal/pmap Mapping, compiledtest Point and
+// Numbers, the quickstart []int32, and rich.x's word-subset pieces).
+type (
+	dPair    struct{ Int1, Int2 int32 }
+	dPoint   struct{ X, Y int32 }
+	dMapping struct{ Prog, Vers, Prot, Port uint32 }
+	dWindow  struct{ Window [5]int32 }
+	dMixed   struct {
+		A    int32
+		B    uint32
+		Flag bool
+		At   dPoint
+		Win  [3]int32
+		Nums []int32
+		Bits []bool
+	}
+)
+
+// derivedCorpus lists every corpus type inside the derivable word
+// subset, with a generator producing in-bounds random values.
+var derivedCorpus = []struct {
+	name string
+	t    *Type
+	rt   reflect.Type
+	gen  func(r *rand.Rand) any
+}{
+	{
+		"rmin.pair",
+		StructT("pair", F("int1", Int32T()), F("int2", Int32T())),
+		reflect.TypeOf(dPair{}),
+		func(r *rand.Rand) any { return &dPair{r.Int31(), -r.Int31()} },
+	},
+	{
+		"rich.point",
+		StructT("point", F("x", Int32T()), F("y", Int32T())),
+		reflect.TypeOf(dPoint{}),
+		func(r *rand.Rand) any { return &dPoint{r.Int31(), r.Int31()} },
+	},
+	{
+		"pmap.mapping",
+		StructT("mapping", F("prog", Uint32T()), F("vers", Uint32T()), F("prot", Uint32T()), F("port", Uint32T())),
+		reflect.TypeOf(dMapping{}),
+		func(r *rand.Rand) any { return &dMapping{r.Uint32(), r.Uint32(), r.Uint32(), r.Uint32()} },
+	},
+	{
+		"rich.numbers",
+		VarArrayT(2000, Int32T()),
+		reflect.TypeOf([]int32(nil)),
+		func(r *rand.Rand) any {
+			v := make([]int32, r.Intn(50))
+			for i := range v {
+				v[i] = r.Int31()
+			}
+			return &v
+		},
+	},
+	{
+		"quickstart.ints",
+		VarArrayT(4096, Int32T()),
+		reflect.TypeOf([]int32(nil)),
+		func(r *rand.Rand) any {
+			v := make([]int32, r.Intn(20))
+			for i := range v {
+				v[i] = -r.Int31()
+			}
+			return &v
+		},
+	},
+	{
+		"rich.bits",
+		VarArrayT(8, BoolT()),
+		reflect.TypeOf([]bool(nil)),
+		func(r *rand.Rand) any {
+			v := make([]bool, r.Intn(9))
+			for i := range v {
+				v[i] = r.Intn(2) == 1
+			}
+			return &v
+		},
+	},
+	{
+		"rich.window",
+		StructT("win", F("window", FixedArrayT(5, Int32T()))),
+		reflect.TypeOf(dWindow{}),
+		func(r *rand.Rand) any {
+			var v dWindow
+			for i := range v.Window {
+				v.Window[i] = r.Int31()
+			}
+			return &v
+		},
+	},
+	{
+		"scalar.int32",
+		Int32T(),
+		reflect.TypeOf(int32(0)),
+		func(r *rand.Rand) any { v := r.Int31(); return &v },
+	},
+	{
+		"scalar.uint32",
+		Uint32T(),
+		reflect.TypeOf(uint32(0)),
+		func(r *rand.Rand) any { v := r.Uint32(); return &v },
+	},
+	{
+		"scalar.bool",
+		BoolT(),
+		reflect.TypeOf(false),
+		func(r *rand.Rand) any { v := r.Intn(2) == 1; return &v },
+	},
+	{
+		"mixed.word-subset",
+		StructT("mixed",
+			F("a", Int32T()), F("b", Uint32T()), F("flag", BoolT()),
+			F("at", StructT("point", F("x", Int32T()), F("y", Int32T()))),
+			F("win", FixedArrayT(3, Int32T())),
+			F("nums", VarArrayT(2000, Int32T())),
+			F("bits", VarArrayT(8, BoolT())),
+		),
+		reflect.TypeOf(dMixed{}),
+		func(r *rand.Rand) any {
+			v := dMixed{
+				A: r.Int31(), B: r.Uint32(), Flag: r.Intn(2) == 1,
+				At:   dPoint{r.Int31(), r.Int31()},
+				Nums: make([]int32, r.Intn(10)),
+				Bits: make([]bool, r.Intn(9)),
+			}
+			for i := range v.Win {
+				v.Win[i] = r.Int31()
+			}
+			for i := range v.Nums {
+				v.Nums[i] = r.Int31()
+			}
+			for i := range v.Bits {
+				v.Bits[i] = r.Intn(2) == 1
+			}
+			return &v
+		},
+	},
+}
+
+// TestDerivedPlanStructuralEquality pins the strongest form of the
+// reproduction claim: for every corpus type, the program lowered from
+// the specializer's residual is instruction-for-instruction the program
+// the hand compiler builds.
+func TestDerivedPlanStructuralEquality(t *testing.T) {
+	for _, tc := range derivedCorpus {
+		for _, mode := range []Mode{Specialized, Chunked} {
+			hand, err := Compile(tc.t, tc.rt, mode)
+			if err != nil {
+				t.Fatalf("%s: Compile: %v", tc.name, err)
+			}
+			derived, err := DeriveCodec(tc.t, tc.rt, mode)
+			if err != nil {
+				t.Fatalf("%s: DeriveCodec: %v", tc.name, err)
+			}
+			if !reflect.DeepEqual(hand.prog, derived.prog) {
+				t.Errorf("%s (%s): derived program differs from hand-built\nhand:\n%sderived:\n%s",
+					tc.name, mode, hand.ProgString(), derived.ProgString())
+			}
+			if derived.Instructions() == 0 {
+				t.Errorf("%s: derived codec has an empty program", tc.name)
+			}
+		}
+	}
+}
+
+// TestDerivedPlanDifferential round-trips random values through both
+// codecs: byte-identical encodes, value-identical decodes of each
+// other's bytes.
+func TestDerivedPlanDifferential(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, tc := range derivedCorpus {
+		hand, err := Compile(tc.t, tc.rt, Specialized)
+		if err != nil {
+			t.Fatalf("%s: Compile: %v", tc.name, err)
+		}
+		derived, err := DeriveCodec(tc.t, tc.rt, Specialized)
+		if err != nil {
+			t.Fatalf("%s: DeriveCodec: %v", tc.name, err)
+		}
+		for pass := 0; pass < 50; pass++ {
+			v := tc.gen(r)
+			p := unsafe.Pointer(reflect.ValueOf(v).Pointer())
+
+			hb, db := xdr.NewBufEncode(nil), xdr.NewBufEncode(nil)
+			if err := hand.Encode(xdr.NewEncoder(hb), p); err != nil {
+				t.Fatalf("%s: hand encode: %v", tc.name, err)
+			}
+			if err := derived.Encode(xdr.NewEncoder(db), p); err != nil {
+				t.Fatalf("%s: derived encode: %v", tc.name, err)
+			}
+			if !bytes.Equal(hb.Buffer(), db.Buffer()) {
+				t.Fatalf("%s: encode bytes differ\nhand:    %x\nderived: %x", tc.name, hb.Buffer(), db.Buffer())
+			}
+
+			// Cross-decode: the derived codec must accept the hand bytes
+			// and reproduce the value, and vice versa.
+			hv := reflect.New(tc.rt)
+			dv := reflect.New(tc.rt)
+			if err := hand.DecodeBody(db.Buffer(), unsafe.Pointer(hv.Pointer())); err != nil {
+				t.Fatalf("%s: hand decode of derived bytes: %v", tc.name, err)
+			}
+			if err := derived.DecodeBody(hb.Buffer(), unsafe.Pointer(dv.Pointer())); err != nil {
+				t.Fatalf("%s: derived decode of hand bytes: %v", tc.name, err)
+			}
+			if !reflect.DeepEqual(hv.Elem().Interface(), dv.Elem().Interface()) {
+				t.Fatalf("%s: decoded values differ\nhand:    %+v\nderived: %+v",
+					tc.name, hv.Elem().Interface(), dv.Elem().Interface())
+			}
+		}
+	}
+}
+
+// TestDeriveUnsupportedFallsBack pins the failure mode: out-of-subset
+// shapes (strings, opaque, 8-byte scalars, floats, arrays of
+// composites) must return *planext.UnsupportedError — the explicit
+// fall-back-to-Compile signal — never a silently wrong plan.
+func TestDeriveUnsupportedFallsBack(t *testing.T) {
+	point := StructT("point", F("x", Int32T()), F("y", Int32T()))
+	cases := []struct {
+		name string
+		t    *Type
+		rt   reflect.Type
+	}{
+		{"string", StringT(16), reflect.TypeOf("")},
+		{"opaque-fixed", OpaqueFixedT(10), reflect.TypeOf([10]byte{})},
+		{"opaque-var", OpaqueVarT(64), reflect.TypeOf([]byte(nil))},
+		{"hyper", HyperT(), reflect.TypeOf(int64(0))},
+		{"double", Float64T(), reflect.TypeOf(float64(0))},
+		{"float", Float32T(), reflect.TypeOf(float32(0))},
+		{"array-of-struct", FixedArrayT(3, point), reflect.TypeOf([3]dPoint{})},
+		{"slice-of-struct", VarArrayT(7, point), reflect.TypeOf([]dPoint(nil))},
+		{
+			"struct-with-string",
+			StructT("s", F("a", Int32T()), F("name", StringT(32))),
+			reflect.TypeOf(struct {
+				A    int32
+				Name string
+			}{}),
+		},
+	}
+	for _, tc := range cases {
+		_, err := DeriveCodec(tc.t, tc.rt, Specialized)
+		if err == nil {
+			t.Errorf("%s: DeriveCodec succeeded, want UnsupportedError", tc.name)
+			continue
+		}
+		var ue *planext.UnsupportedError
+		if !errors.As(err, &ue) {
+			t.Errorf("%s: error %v is not *planext.UnsupportedError", tc.name, err)
+		}
+		// The hand compiler must still take the type — fallback works.
+		if _, cerr := Compile(tc.t, tc.rt, Specialized); cerr != nil {
+			t.Errorf("%s: Compile fallback failed too: %v", tc.name, cerr)
+		}
+	}
+}
+
+// TestDeriveRejectsGenericMode pins that derivation refuses the
+// walker mode instead of returning a codec with no program.
+func TestDeriveRejectsGenericMode(t *testing.T) {
+	if _, err := DeriveCodec(Int32T(), reflect.TypeOf(int32(0)), Generic); err == nil {
+		t.Fatal("DeriveCodec(Generic) succeeded, want error")
+	}
+}
+
+// TestDerivePlanTyped exercises the generic façade end to end.
+func TestDerivePlanTyped(t *testing.T) {
+	p, err := DerivePlan[dPair](StructT("pair", F("int1", Int32T()), F("int2", Int32T())), Specialized)
+	if err != nil {
+		t.Fatalf("DerivePlan: %v", err)
+	}
+	bs := xdr.NewBufEncode(nil)
+	in := dPair{7, -9}
+	if err := p.Encode(xdr.NewEncoder(bs), &in); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	var out dPair
+	if err := p.Decode(xdr.NewDecoder(xdr.NewMemDecode(bs.Buffer())), &out); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if out != in {
+		t.Fatalf("round trip: got %+v, want %+v", out, in)
+	}
+}
+
+// FuzzDerivedPlan is the differential fuzz target of the derivation
+// pipeline: fuzzer-chosen values of the mixed word-subset corpus type
+// must encode byte-identically and decode value- and error-identically
+// through the hand-built and tempo-derived codecs, in both directions —
+// including on arbitrary (often hostile) body bytes.
+func FuzzDerivedPlan(f *testing.F) {
+	mixed := derivedCorpus[len(derivedCorpus)-1]
+	hand, err := Compile(mixed.t, mixed.rt, Specialized)
+	if err != nil {
+		f.Fatal(err)
+	}
+	derived, err := DeriveCodec(mixed.t, mixed.rt, Specialized)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(int32(1), uint32(2), true, []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add(int32(-1), uint32(0), false, []byte{})
+	f.Fuzz(func(t *testing.T, a int32, b uint32, flag bool, raw []byte) {
+		v := dMixed{A: a, B: b, Flag: flag, At: dPoint{a ^ 1, a ^ 2}}
+		for i := range v.Win {
+			v.Win[i] = a + int32(i)
+		}
+		nn := int(b % 10)
+		v.Nums = make([]int32, nn)
+		for i := range v.Nums {
+			v.Nums[i] = a - int32(i)
+		}
+		v.Bits = make([]bool, int(uint32(a)%9))
+		for i := range v.Bits {
+			v.Bits[i] = (a>>i)&1 == 1
+		}
+
+		hb, db := xdr.NewBufEncode(nil), xdr.NewBufEncode(nil)
+		if err := hand.Encode(xdr.NewEncoder(hb), unsafe.Pointer(&v)); err != nil {
+			t.Fatalf("hand encode: %v", err)
+		}
+		if err := derived.Encode(xdr.NewEncoder(db), unsafe.Pointer(&v)); err != nil {
+			t.Fatalf("derived encode: %v", err)
+		}
+		if !bytes.Equal(hb.Buffer(), db.Buffer()) {
+			t.Fatalf("encode bytes differ\nhand:    %x\nderived: %x", hb.Buffer(), db.Buffer())
+		}
+
+		// Decode differential on arbitrary bytes: same accept/reject
+		// decision, same value on accept.
+		var hv, dv dMixed
+		herr := hand.DecodeBody(raw, unsafe.Pointer(&hv))
+		derr := derived.DecodeBody(raw, unsafe.Pointer(&dv))
+		if (herr == nil) != (derr == nil) {
+			t.Fatalf("decode disagreement on %x: hand=%v derived=%v", raw, herr, derr)
+		}
+		if herr == nil && !reflect.DeepEqual(hv, dv) {
+			t.Fatalf("decoded values differ on %x\nhand:    %+v\nderived: %+v", raw, hv, dv)
+		}
+	})
+}

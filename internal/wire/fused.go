@@ -2,6 +2,7 @@ package wire
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"unsafe"
 
@@ -97,6 +98,8 @@ fold:
 // encodeFixed executes the fused stores into the already-reserved
 // window: no growth checks, no dispatch through the stream — the
 // residual loop of the whole-call specialization.
+//
+//specrpc:hotpath
 func encodeFixed(w []byte, runs []fixedRun, p unsafe.Pointer) {
 	for i := range runs {
 		r := &runs[i]
@@ -132,6 +135,8 @@ func encodeFixed(w []byte, runs []fixedRun, p unsafe.Pointer) {
 // header image plus the fixed runs, the XID is stamped at its fixed
 // offset, and any variable tail continues through the plan executor on
 // the same buffer.
+//
+//specrpc:hotpath
 func appendFused(bs *xdr.BufStream, hdr []byte, xidOff int, body *fusedBody, xid uint32, p unsafe.Pointer) error {
 	w := bs.Extend(len(hdr) + body.fixedWire)
 	copy(w, hdr)
@@ -176,6 +181,8 @@ func NewCallCodec(tmpl *rpcmsg.CallTemplate, proc uint32, args *Codec) (*CallCod
 // byte-identical to CallTemplate.AppendCall followed by the argument
 // plan's Encode, in one pass. arg must point at a value of the argument
 // codec's Go type (ignored when the codec was compiled void).
+//
+//specrpc:hotpath
 func (cc *CallCodec) Append(bs *xdr.BufStream, xid uint32, arg unsafe.Pointer) error {
 	return appendFused(bs, cc.hdr, rpcmsg.CallXIDOffset, &cc.body, xid, arg)
 }
@@ -209,12 +216,19 @@ func NewReplyCodec(tmpl *rpcmsg.ReplyTemplate, results *Codec) (*ReplyCodec, err
 	return rc, nil
 }
 
+// errDecodeOnly reports an encode call on a ReplyCodec built without a
+// template: a wiring mistake, constant by nature, and returned from the
+// hot append path where fmt.Errorf would allocate per call.
+var errDecodeOnly = errors.New("wire: reply codec is decode-only")
+
 // Append emits the complete accepted-success reply for (xid, res) onto
 // bs: byte-identical to ReplyTemplate.AppendReply followed by the
 // result plan's Encode, in one pass.
+//
+//specrpc:hotpath
 func (rc *ReplyCodec) Append(bs *xdr.BufStream, xid uint32, res unsafe.Pointer) error {
 	if rc.hdr == nil {
-		return fmt.Errorf("wire: reply codec is decode-only")
+		return errDecodeOnly
 	}
 	return appendFused(bs, rc.hdr, rpcmsg.ReplyXIDOffset, &rc.body, xid, res)
 }
@@ -223,7 +237,7 @@ func (rc *ReplyCodec) Append(bs *xdr.BufStream, xid uint32, res unsafe.Pointer) 
 // body), byte-identical to ReplyTemplate.AppendReply.
 func (rc *ReplyCodec) AppendHeader(bs *xdr.BufStream, xid uint32) error {
 	if rc.hdr == nil {
-		return fmt.Errorf("wire: reply codec is decode-only")
+		return errDecodeOnly
 	}
 	w := bs.Extend(len(rc.hdr))
 	copy(w, rc.hdr)
@@ -238,6 +252,8 @@ func (rc *ReplyCodec) AppendHeader(bs *xdr.BufStream, xid uint32) error {
 // ill-formed headers), sending the caller to the generic interpretive
 // path for the full failure detail; the accept set of the fixed-offset
 // test matches the generic walker's exactly (fuzz-asserted).
+//
+//specrpc:hotpath
 func (rc *ReplyCodec) DecodeReply(raw []byte, res unsafe.Pointer) (bool, error) {
 	body, ok := rpcmsg.AcceptedSuccessBody(raw)
 	if !ok {

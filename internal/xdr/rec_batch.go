@@ -166,7 +166,7 @@ type RecBatcher struct {
 	// flushes never delay.
 	MaxFlushDelay time.Duration
 
-	mu        sync.Mutex
+	mu        sync.Mutex // guards pend, pendBytes, pendDL, flushing, err, errFired
 	rec       *RecStream
 	pend      []*[]byte
 	pendBytes int
